@@ -1,0 +1,89 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section 6). Each benchmark runs the corresponding experiment from
+// internal/bench; the first iteration's full output is logged so
+// `go test -bench . -benchtime 1x -v` regenerates every table and series.
+// cmd/vssbench runs the same experiments standalone with streaming output.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runExperiment executes one named experiment b.N times, logging the rows
+// from the first run.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			b.Logf("%s", buf.String())
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (datasets: resolution,
+// frames, compressed size).
+func BenchmarkTable1Datasets(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig10LongRead regenerates Figure 10 (long-read time vs number
+// of materialized fragments; solver vs greedy vs original).
+func BenchmarkFig10LongRead(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11PairSelection regenerates Figure 11 (joint compression
+// pair discovery: VSS vs random vs oracle).
+func BenchmarkFig11PairSelection(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12ShortRead regenerates Figure 12 (short 1-second reads vs
+// cache size and optimizations).
+func BenchmarkFig12ShortRead(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13DeferredWrite regenerates Figure 13 (deferred compression
+// during uncompressed writes).
+func BenchmarkFig13DeferredWrite(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14ReadFormats regenerates Figure 14 (read throughput by
+// input/output format across systems).
+func BenchmarkFig14ReadFormats(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Write regenerates Figure 15 (write throughput per dataset,
+// uncompressed and compressed).
+func BenchmarkFig15Write(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Eviction regenerates Figure 16 (final read runtime by
+// eviction policy and storage budget).
+func BenchmarkFig16Eviction(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkTable2JointQuality regenerates Table 2 (joint compression
+// recovered quality by merge function).
+func BenchmarkTable2JointQuality(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig17JointStorage regenerates Figure 17 (joint vs separate
+// storage size by overlap).
+func BenchmarkFig17JointStorage(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18JointThroughput regenerates Figure 18 (joint compression
+// read/write throughput).
+func BenchmarkFig18JointThroughput(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19JointOverhead regenerates Figure 19 (joint compression
+// overhead by resolution and camera dynamicism).
+func BenchmarkFig19JointOverhead(b *testing.B) { runExperiment(b, "fig19") }
+
+// BenchmarkFig20DeferredRead regenerates Figure 20 (read throughput over
+// deferred-compressed fragments by level).
+func BenchmarkFig20DeferredRead(b *testing.B) { runExperiment(b, "fig20") }
+
+// BenchmarkFig21EndToEnd regenerates Figure 21 (end-to-end application
+// performance by client count).
+func BenchmarkFig21EndToEnd(b *testing.B) { runExperiment(b, "fig21") }

@@ -1,0 +1,231 @@
+// Vssctl is the administrative CLI for a VSS store: create, write, read,
+// delete, inspect, compact, and jointly compress videos. Writes ingest
+// synthetic Visual Road footage (this repository is offline and carries no
+// real video); reads report what was produced and can dump decoded frames
+// as PGM for inspection.
+//
+// Examples:
+//
+//	vssctl -store /tmp/vss create -name traffic
+//	vssctl -store /tmp/vss write -name traffic -seconds 10 -codec h264
+//	vssctl -store /tmp/vss read -name traffic -start 2 -end 5 -codec hevc
+//	vssctl -store /tmp/vss stat -name traffic
+//	vssctl -store /tmp/vss compact -name traffic
+//	vssctl -store /tmp/vss joint
+//	vssctl -store /tmp/vss delete -name traffic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory (required)")
+	flag.Parse()
+	if *store == "" || flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	sys, err := vss.Open(*store, vss.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "create":
+		runCreate(sys, args)
+	case "write":
+		runWrite(sys, args)
+	case "read":
+		runRead(sys, args)
+	case "delete":
+		runDelete(sys, args)
+	case "stat":
+		runStat(sys, args)
+	case "compact":
+		runCompact(sys, args)
+	case "joint":
+		runJoint(sys, args)
+	case "ls":
+		for _, name := range sys.Videos() {
+			fmt.Println(name)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR COMMAND [flags]
+commands: create write read delete stat compact joint ls`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vssctl:", err)
+	os.Exit(1)
+}
+
+func runCreate(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	budget := fs.Int64("budget", 0, "storage budget bytes (0 default, <0 unlimited)")
+	fs.Parse(args)
+	if *name == "" {
+		fatal(fmt.Errorf("create: -name required"))
+	}
+	if err := sys.Create(*name, *budget); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("created %s\n", *name)
+}
+
+func runWrite(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	seconds := fs.Int("seconds", 10, "seconds of synthetic footage")
+	width := fs.Int("width", 240, "frame width")
+	height := fs.Int("height", 136, "frame height")
+	fps := fs.Int("fps", 8, "frame rate")
+	cd := fs.String("codec", "h264", "codec (raw|h264|hevc)")
+	quality := fs.Int("quality", 0, "encode quality 1-100 (0 default)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *name == "" {
+		fatal(fmt.Errorf("write: -name required"))
+	}
+	frames := visualroad.Generate(visualroad.Config{
+		Width: *width, Height: *height, FPS: *fps, Seed: *seed,
+	}, *seconds**fps)
+	err := sys.Write(*name, vss.WriteSpec{FPS: *fps, Codec: vss.Codec(*cd), Quality: *quality}, frames)
+	if err != nil {
+		fatal(err)
+	}
+	n, _ := sys.TotalBytes(*name)
+	fmt.Printf("wrote %d frames to %s (%d bytes on disk)\n", len(frames), *name, n)
+}
+
+func runRead(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("read", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	start := fs.Float64("start", 0, "start seconds")
+	end := fs.Float64("end", 0, "end seconds (0 = video end)")
+	width := fs.Int("width", 0, "output width (0 source)")
+	height := fs.Int("height", 0, "output height (0 source)")
+	cd := fs.String("codec", "raw", "output codec (raw|h264|hevc)")
+	dump := fs.String("dump", "", "dump first decoded frame to this PGM file")
+	fs.Parse(args)
+	if *name == "" {
+		fatal(fmt.Errorf("read: -name required"))
+	}
+	spec := vss.ReadSpec{
+		S: vss.Spatial{Width: *width, Height: *height},
+		T: vss.Temporal{Start: *start, End: *end},
+	}
+	if *cd != "raw" {
+		spec.P.Codec = vss.Codec(*cd)
+	}
+	res, err := sys.Read(*name, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("read %d frames (%dx%d @ %d fps), plan=%s cost=%.0f runs=%d gops-decoded=%d cached=%v\n",
+		res.FrameCount(), res.Width, res.Height, res.FPS,
+		res.Stats.PlanMethod, res.Stats.PlanCost, res.Stats.PlanRuns, res.Stats.GOPsDecoded, res.Stats.Admitted)
+	if *dump != "" && len(res.Frames) > 0 {
+		if err := dumpPGM(*dump, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dumped first frame to %s\n", *dump)
+	}
+}
+
+// dumpPGM writes the first frame's luma as a binary PGM image.
+func dumpPGM(path string, res *vss.ReadResult) error {
+	f := res.Frames[0].Convert(vss.Gray)
+	out := fmt.Appendf(nil, "P5\n%d %d\n255\n", f.Width, f.Height)
+	out = append(out, f.Data...)
+	return os.WriteFile(path, out, 0o644)
+}
+
+func runDelete(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	fs.Parse(args)
+	if err := sys.Delete(*name); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deleted %s\n", *name)
+}
+
+func runStat(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	name := fs.String("name", "", "video name (empty = all)")
+	fs.Parse(args)
+	names := sys.Videos()
+	if *name != "" {
+		names = []string{*name}
+	}
+	for _, n := range names {
+		total, err := sys.TotalBytes(n)
+		if err != nil {
+			fatal(err)
+		}
+		v, phys, err := sys.Store().Info(n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: duration=%.1fs fps=%d %dx%d budget=%d bytes=%d views=%d\n",
+			n, v.Duration, v.FPS, v.Width, v.Height, v.Budget, total, len(phys))
+		for _, p := range phys {
+			tag := ""
+			if p.Orig {
+				tag = " (original)"
+			}
+			fmt.Printf("  view %d: %dx%d@%d %s q=%d [%.1fs, %.1fs) gops=%d bytes=%d psnr-bound=%.1f%s\n",
+				p.ID, p.Width, p.Height, p.FPS, p.Codec, p.Quality, p.Start, p.End(), len(p.GOPs), p.Bytes(), psnrOf(p.MSE), tag)
+		}
+	}
+}
+
+func psnrOf(mse float64) float64 {
+	if mse <= 0 {
+		return 350
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func runCompact(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	fs.Parse(args)
+	n, err := sys.Compact(*name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted %s: %d merges\n", *name, n)
+}
+
+func runJoint(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("joint", flag.ExitOnError)
+	merge := fs.String("merge", "mean", "merge function (mean|unprojected)")
+	fs.Parse(args)
+	mode := vss.MergeMean
+	if *merge == "unprojected" {
+		mode = vss.MergeUnprojected
+	}
+	st, err := sys.JointCompress(mode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("joint compression: scanned=%d pairs=%d compressed=%d dups=%d aborted=%d bytes %d -> %d\n",
+		st.Scanned, st.Pairs, st.Compressed, st.Duplicates, st.Aborted, st.BytesBefore, st.BytesAfter)
+}

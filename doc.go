@@ -1,0 +1,11 @@
+// Package repro is a from-scratch, stdlib-only Go reproduction of
+// "VSS: A Storage System for Video Analytics" (SIGMOD 2021).
+//
+// The public API lives in repro/vss; the storage manager in
+// internal/core; substrates (codec, vision, clustering, solver, catalog,
+// storage, indexes, cost and quality models) under internal/. See
+// README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for recorded
+// paper-vs-measured results. bench_test.go wraps every evaluation
+// experiment in a testing.B harness; cmd/vssbench runs them standalone.
+package repro

@@ -1,0 +1,78 @@
+// Budgeteviction demonstrates VSS's storage budget and LRU_VSS eviction
+// (Section 4 of the paper): a video is created with a tight budget, a
+// stream of reads populates the cache past it, and the example shows
+// which materialized views survive — the baseline-quality cover is never
+// evicted, and recently used, hard-to-recreate views outlive redundant
+// ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vss-eviction-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := vss.Open(dir, vss.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	const fps = 8
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: fps, Seed: 11}, 12*fps)
+	if err := sys.Create("cam", 0); err != nil { // default budget: 10x original
+		log.Fatal(err)
+	}
+	if err := sys.Write("cam", vss.WriteSpec{FPS: fps, Codec: vss.H264}, frames); err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := sys.Store().Info("cam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget: %d bytes (10x the original)\n\n", v.Budget)
+
+	// A stream of varied reads overflows the budget several times.
+	reads := []vss.ReadSpec{
+		{T: vss.Temporal{Start: 0, End: 6}},                                                 // big raw view
+		{T: vss.Temporal{Start: 2, End: 8}, P: vss.Physical{Codec: vss.HEVC}},               // hevc view
+		{T: vss.Temporal{Start: 4, End: 10}},                                                // another raw view
+		{T: vss.Temporal{Start: 2, End: 8}, P: vss.Physical{Codec: vss.HEVC}},               // re-touch the hevc view
+		{T: vss.Temporal{Start: 6, End: 12}, P: vss.Physical{Codec: vss.H264, Quality: 60}}, // lossy view
+	}
+	for i, spec := range reads {
+		res, err := sys.Read("cam", spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		used, _ := sys.TotalBytes("cam")
+		fmt.Printf("read %d: frames=%d cached=%v stored=%d/%d bytes (%.0f%% of budget)\n",
+			i+1, res.FrameCount(), res.Stats.Admitted, used, v.Budget, 100*float64(used)/float64(v.Budget))
+	}
+
+	fmt.Println("\nsurviving physical videos:")
+	_, phys, _ := sys.Store().Info("cam")
+	for _, p := range phys {
+		tag := ""
+		if p.Orig {
+			tag = "  <- original: baseline cover, never evicted"
+		}
+		fmt.Printf("  %dx%d %s q=%d [%.0fs, %.0fs) %d GOPs, %d bytes%s\n",
+			p.Width, p.Height, p.Codec, p.Quality, p.Start, p.End(), len(p.GOPs), p.Bytes(), tag)
+	}
+	used, _ := sys.TotalBytes("cam")
+	if used > v.Budget {
+		log.Fatalf("budget invariant violated: %d > %d", used, v.Budget)
+	}
+	fmt.Printf("\nfinal storage %d bytes respects the %d-byte budget\n", used, v.Budget)
+}

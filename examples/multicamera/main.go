@@ -1,0 +1,82 @@
+// Multicamera demonstrates VSS's joint compression (Section 5.1): two
+// overlapping camera streams are written as separate logical videos, the
+// automatic candidate-discovery pipeline (histogram clustering + feature
+// correspondence + homography estimation) finds the redundancy, and the
+// overlapping regions are stored once. Both streams remain independently
+// readable afterward.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vss-multicam-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := vss.Open(dir, vss.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Two cameras watching the same intersection with 50% overlapping
+	// fields of view and a mild perspective difference.
+	const fps = 8
+	cfg := visualroad.Config{
+		Width: 240, Height: 136, FPS: fps, Seed: 3,
+		Overlap: 0.5, Perspective: 0.4,
+	}
+	left, right := visualroad.GeneratePair(cfg, 6*fps)
+
+	for name, frames := range map[string][]*vss.Frame{"cam-north": left, "cam-south": right} {
+		if err := sys.Create(name, -1); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Write(name, vss.WriteSpec{FPS: fps, Codec: vss.H264, Quality: 90}, frames); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := totalSize(sys)
+	fmt.Printf("separate storage: %d bytes\n", before)
+
+	// Joint compression: discovery + compression across the whole store.
+	stats, err := sys.JointCompress(vss.MergeMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := totalSize(sys)
+	fmt.Printf("joint compression: scanned %d GOPs, proposed %d pairs, compressed %d (dups %d, aborted %d)\n",
+		stats.Scanned, stats.Pairs, stats.Compressed, stats.Duplicates, stats.Aborted)
+	fmt.Printf("joint storage: %d bytes (%.1f%% smaller)\n", after, 100*float64(before-after)/float64(before))
+
+	// Both streams still read back normally; the right stream is
+	// reconstructed through the stored homography.
+	for _, name := range []string{"cam-north", "cam-south"} {
+		res, err := sys.Read(name, vss.ReadSpec{T: vss.Temporal{Start: 1, End: 3}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("read %s: %d frames of %dx%d\n", name, len(res.Frames), res.Width, res.Height)
+	}
+}
+
+func totalSize(sys *vss.System) int64 {
+	var total int64
+	for _, name := range sys.Videos() {
+		n, err := sys.TotalBytes(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+// Quickstart: create a video, write synthetic traffic footage, and read
+// it back in several spatial/temporal/physical configurations through the
+// VSS public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vss-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := vss.Open(dir, vss.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Generate 10 seconds of synthetic traffic video (240x136 @ 8 fps).
+	const fps = 8
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: fps, Seed: 1}, 10*fps)
+
+	if err := sys.Create("intersection", 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Write("intersection", vss.WriteSpec{FPS: fps, Codec: vss.H264}, frames); err != nil {
+		log.Fatal(err)
+	}
+	size, _ := sys.TotalBytes("intersection")
+	fmt.Printf("wrote %d frames (%d bytes compressed)\n", len(frames), size)
+
+	// 1. Read a temporal slice as decoded RGB frames.
+	res, err := sys.Read("intersection", vss.ReadSpec{
+		T: vss.Temporal{Start: 2, End: 5},
+		P: vss.Physical{Format: vss.RGB},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw read: %d frames of %dx%d rgb\n", len(res.Frames), res.Width, res.Height)
+
+	// 2. Read a downsampled thumbnail stream (cached for future reads).
+	res, err = sys.Read("intersection", vss.ReadSpec{
+		S: vss.Spatial{Width: 120, Height: 68},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thumbnail read: %d frames at %dx%d (cached: %v)\n",
+		len(res.Frames), res.Width, res.Height, res.Stats.Admitted)
+
+	// 3. Read a region of interest transcoded to hevc.
+	roi := vss.Rect{X0: 60, Y0: 34, X1: 180, Y1: 102}
+	res, err = sys.Read("intersection", vss.ReadSpec{
+		S: vss.Spatial{ROI: &roi},
+		T: vss.Temporal{Start: 0, End: 4},
+		P: vss.Physical{Codec: vss.HEVC},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roi+transcode read: %d hevc GOPs covering %d frames (plan: %s, %d fragment runs)\n",
+		len(res.GOPs), res.FrameCount(), res.Stats.PlanMethod, res.Stats.PlanRuns)
+
+	// 4. Repeat the thumbnail read: VSS now serves it from the cached
+	// materialized view instead of re-decoding the original.
+	res, err = sys.Read("intersection", vss.ReadSpec{
+		S: vss.Spatial{Width: 120, Height: 68},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat thumbnail read: plan cost %.0f, decoded %d GOPs\n",
+		res.Stats.PlanCost, res.Stats.GOPsDecoded)
+}

@@ -1,0 +1,204 @@
+// Package app implements the end-to-end intersection-monitoring
+// application of Section 6.4 of the paper: (i) an indexing phase that
+// detects automobiles in every Nth frame, (ii) a search phase that finds
+// indexed detections matching a queried vehicle color, and (iii) a
+// streaming content-retrieval phase that extracts video clips around the
+// matches. The same application logic runs against VSS or against the
+// OpenCV-style local-filesystem variant, so the comparison isolates the
+// storage manager.
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/frame"
+)
+
+// IndexEntry records the detections of one sampled frame.
+type IndexEntry struct {
+	FrameIdx   int
+	Detections []detect.Detection
+}
+
+// Clip is one retrieved video segment.
+type Clip struct {
+	Start, End float64 // seconds
+	GOPs       [][]byte
+	Frames     []*frame.Frame
+}
+
+// Backend abstracts the storage layer under the application.
+type Backend interface {
+	// ReadLowRes returns every frame at thumbnail resolution for
+	// indexing.
+	ReadLowRes(video string, w, h int) ([]*frame.Frame, error)
+	// ReadClip retrieves [start, end) seconds as an h264 clip.
+	ReadClip(video string, start, end float64) (Clip, error)
+}
+
+// VSSBackend serves the application from a VSS store.
+type VSSBackend struct {
+	Store *core.Store
+}
+
+// ReadLowRes reads the whole video at thumbnail resolution; VSS caches
+// the result, so the search phase's repeat access is nearly free.
+func (b *VSSBackend) ReadLowRes(video string, w, h int) ([]*frame.Frame, error) {
+	res, err := b.Store.Read(video, core.ReadSpec{
+		S: core.Spatial{Width: w, Height: h},
+		P: core.Physical{Format: frame.RGB},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Frames, nil
+}
+
+// ReadClip asks VSS for an h264 clip; the planner exploits any cached
+// views covering the range.
+func (b *VSSBackend) ReadClip(video string, start, end float64) (Clip, error) {
+	res, err := b.Store.Read(video, core.ReadSpec{
+		T: core.Temporal{Start: start, End: end},
+		P: core.Physical{Codec: codec.H264},
+	})
+	if err != nil {
+		return Clip{}, err
+	}
+	return Clip{Start: start, End: end, GOPs: res.GOPs}, nil
+}
+
+// FSBackend is the OpenCV-style variant: a monolithic file per video,
+// full decode on every access, explicit transcode for clips.
+type FSBackend struct {
+	FS  *baseline.LocalFS
+	FPS int
+}
+
+// ReadLowRes decodes the entire video and downsamples every frame — there
+// is no cache to reuse.
+func (b *FSBackend) ReadLowRes(video string, w, h int) ([]*frame.Frame, error) {
+	frames, err := b.FS.ReadFrames(video)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*frame.Frame, len(frames))
+	for i, f := range frames {
+		rgb := f
+		if f.Format != frame.RGB {
+			rgb = f.Convert(frame.RGB)
+		}
+		out[i] = rgb.Resize(w, h)
+	}
+	return out, nil
+}
+
+// ReadClip decodes up to the clip and re-encodes it as h264. Like the
+// paper's OpenCV variant, the monolithic file has no temporal index, so
+// seeking decodes sequentially from the start of the stream (OpenCV's
+// CAP_PROP_POS_FRAMES behaviour on indexless streams).
+func (b *FSBackend) ReadClip(video string, start, end float64) (Clip, error) {
+	from := int(start * float64(b.FPS))
+	to := int(end * float64(b.FPS))
+	all, err := b.FS.ReadFrames(video)
+	if err != nil {
+		return Clip{}, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > len(all) {
+		to = len(all)
+	}
+	frames := all[from:to]
+	if len(frames) == 0 {
+		return Clip{}, fmt.Errorf("app: empty clip [%f, %f)", start, end)
+	}
+	data, _, err := codec.EncodeGOP(frames, codec.H264, codec.DefaultQuality)
+	if err != nil {
+		return Clip{}, err
+	}
+	return Clip{Start: start, End: end, GOPs: [][]byte{data}}, nil
+}
+
+// Monitor is the application.
+type Monitor struct {
+	Backend Backend
+	FPS     int
+	// IndexEvery samples every Nth frame during indexing (paper: every
+	// ten frames).
+	IndexEvery int
+	// ThumbW, ThumbH is the indexing resolution.
+	ThumbW, ThumbH int
+}
+
+// Index runs the indexing phase: low-resolution read plus per-sampled-
+// frame vehicle detection.
+func (m *Monitor) Index(video string) ([]IndexEntry, error) {
+	every := m.IndexEvery
+	if every <= 0 {
+		every = 10
+	}
+	frames, err := m.Backend.ReadLowRes(video, m.ThumbW, m.ThumbH)
+	if err != nil {
+		return nil, err
+	}
+	var entries []IndexEntry
+	for i := 0; i < len(frames); i += every {
+		dets := detect.Vehicles(frames[i])
+		if len(dets) > 0 {
+			entries = append(entries, IndexEntry{FrameIdx: i, Detections: dets})
+		}
+	}
+	return entries, nil
+}
+
+// Search finds indexed frames containing a vehicle whose mean color is
+// within distance 50 of the query (the paper's matching rule).
+func (m *Monitor) Search(index []IndexEntry, color [3]float64) []IndexEntry {
+	var out []IndexEntry
+	for _, e := range index {
+		for _, d := range e.Detections {
+			if detect.ColorDistance(d.Color, color) <= 50 {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Retrieve extracts clips of clipSeconds around each matched frame,
+// merging overlapping requests.
+func (m *Monitor) Retrieve(video string, matches []IndexEntry, clipSeconds float64, duration float64) ([]Clip, error) {
+	var clips []Clip
+	var lastEnd float64 = -1
+	for _, e := range matches {
+		t := float64(e.FrameIdx) / float64(m.FPS)
+		start := t - clipSeconds/2
+		if start < 0 {
+			start = 0
+		}
+		end := start + clipSeconds
+		if end > duration {
+			end = duration
+			start = end - clipSeconds
+			if start < 0 {
+				start = 0
+			}
+		}
+		if start < lastEnd {
+			continue // overlaps the previous clip
+		}
+		clip, err := m.Backend.ReadClip(video, start, end)
+		if err != nil {
+			return nil, err
+		}
+		clips = append(clips, clip)
+		lastEnd = end
+	}
+	return clips, nil
+}

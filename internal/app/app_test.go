@@ -1,0 +1,129 @@
+package app
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/visualroad"
+)
+
+const (
+	testW, testH = 240, 136
+	testFPS      = 8
+	testFrames   = 48
+)
+
+func buildVSS(t *testing.T) *Monitor {
+	t.Helper()
+	s, err := core.Open(t.TempDir(), core.Options{GOPFrames: 8, BudgetMultiple: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	frames := visualroad.Generate(visualroad.Config{Width: testW, Height: testH, FPS: testFPS, Seed: 81}, testFrames)
+	if err := s.Create("cam", -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("cam", core.WriteSpec{FPS: testFPS, Codec: codec.H264, Quality: 90}, frames); err != nil {
+		t.Fatal(err)
+	}
+	return &Monitor{Backend: &VSSBackend{Store: s}, FPS: testFPS, IndexEvery: 4, ThumbW: 120, ThumbH: 68}
+}
+
+func buildFS(t *testing.T) *Monitor {
+	t.Helper()
+	fs, err := baseline.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := visualroad.Generate(visualroad.Config{Width: testW, Height: testH, FPS: testFPS, Seed: 81}, testFrames)
+	if err := fs.Write("cam", frames, codec.H264, 90, 8); err != nil {
+		t.Fatal(err)
+	}
+	return &Monitor{Backend: &FSBackend{FS: fs, FPS: testFPS}, FPS: testFPS, IndexEvery: 4, ThumbW: 120, ThumbH: 68}
+}
+
+func runPipeline(t *testing.T, m *Monitor) ([]IndexEntry, []Clip) {
+	t.Helper()
+	index, err := m.Index("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) == 0 {
+		t.Fatal("indexing found no vehicles in the traffic scene")
+	}
+	matches := m.Search(index, [3]float64{210, 40, 40}) // red vehicle
+	if len(matches) == 0 {
+		t.Fatal("search found no red vehicles")
+	}
+	clips, err := m.Retrieve("cam", matches, 1.0, float64(testFrames)/float64(testFPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clips) == 0 {
+		t.Fatal("no clips retrieved")
+	}
+	for _, c := range clips {
+		if len(c.GOPs) == 0 {
+			t.Error("clip missing encoded data")
+		}
+	}
+	return index, clips
+}
+
+func TestPipelineOnVSS(t *testing.T) {
+	m := buildVSS(t)
+	runPipeline(t, m)
+}
+
+func TestPipelineOnFS(t *testing.T) {
+	m := buildFS(t)
+	runPipeline(t, m)
+}
+
+func TestBothBackendsAgreeOnIndex(t *testing.T) {
+	// The two variants must index essentially the same content: same
+	// sampled frames with detections (detector runs on slightly different
+	// pixels after VSS's codec round trip, so allow small divergence).
+	iv, _ := runPipeline(t, buildVSS(t))
+	if_, _ := runPipeline(t, buildFS(t))
+	diff := len(iv) - len(if_)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Errorf("index sizes diverge: vss=%d fs=%d", len(iv), len(if_))
+	}
+}
+
+func TestSearchColorFilter(t *testing.T) {
+	m := buildVSS(t)
+	index, err := m.Index("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A color far from every palette entry matches nothing.
+	if got := m.Search(index, [3]float64{5, 250, 250}); len(got) != 0 {
+		t.Errorf("implausible color matched %d entries", len(got))
+	}
+}
+
+func TestRetrieveMergesOverlaps(t *testing.T) {
+	m := buildVSS(t)
+	index, _ := m.Index("cam")
+	matches := m.Search(index, [3]float64{210, 40, 40})
+	if len(matches) < 2 {
+		t.Skip("need multiple matches")
+	}
+	clips, err := m.Retrieve("cam", matches, 2.0, float64(testFrames)/float64(testFPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(clips); i++ {
+		if clips[i].Start < clips[i-1].End {
+			t.Error("overlapping clips not merged")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/visualroad"
+)
+
+func genFrames(n int) []*frame.Frame {
+	return visualroad.Generate(visualroad.Config{Width: 64, Height: 48, FPS: 8, Seed: 61}, n)
+}
+
+func TestLocalFSRoundTrip(t *testing.T) {
+	fs, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := genFrames(16)
+	if err := fs.Write("v", frames, codec.H264, 85, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFrames("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Errorf("read %d frames", len(got))
+	}
+	gops, err := fs.ReadGOPs("v")
+	if err != nil || len(gops) != 2 {
+		t.Errorf("gops: %v %d", err, len(gops))
+	}
+	if sz, err := fs.Size("v"); err != nil || sz <= 0 {
+		t.Errorf("size: %v %d", err, sz)
+	}
+}
+
+func TestLocalFSAppend(t *testing.T) {
+	fs, _ := NewLocalFS(t.TempDir())
+	frames := genFrames(16)
+	fs.Write("v", frames[:8], codec.H264, 85, 8)
+	fs.Write("v", frames[8:], codec.H264, 85, 8)
+	got, err := fs.ReadFrames("v")
+	if err != nil || len(got) != 16 {
+		t.Errorf("append: %v %d", err, len(got))
+	}
+}
+
+func TestLocalFSReadRange(t *testing.T) {
+	fs, _ := NewLocalFS(t.TempDir())
+	frames := genFrames(24)
+	fs.Write("v", frames, codec.H264, 85, 8)
+	got, err := fs.ReadRange("v", 10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("range read %d frames", len(got))
+	}
+	// Range spanning GOP boundary.
+	got, err = fs.ReadRange("v", 6, 18)
+	if err != nil || len(got) != 12 {
+		t.Errorf("spanning range: %v %d", err, len(got))
+	}
+}
+
+func TestLocalFSErrors(t *testing.T) {
+	fs, _ := NewLocalFS(t.TempDir())
+	if _, err := fs.ReadFrames("missing"); err == nil {
+		t.Error("missing video should error")
+	}
+	if _, err := fs.Size("missing"); err == nil {
+		t.Error("missing size should error")
+	}
+	fs.Write("v", genFrames(4), codec.H264, 85, 4)
+	if err := fs.Delete("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadGOPs("v"); err == nil {
+		t.Error("deleted video still readable")
+	}
+}
+
+func TestVStoreStagesAllFormats(t *testing.T) {
+	vs, err := NewVStore(t.TempDir(), []StageFormat{
+		{Name: "full-h264", Codec: codec.H264},
+		{Name: "thumb-raw", Codec: codec.Raw, Width: 32, Height: 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Write("v", genFrames(8), 8); err != nil {
+		t.Fatal(err)
+	}
+	full, err := vs.ReadFrames("v", "full-h264")
+	if err != nil || len(full) != 8 {
+		t.Fatalf("full: %v %d", err, len(full))
+	}
+	thumb, err := vs.ReadFrames("v", "thumb-raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thumb[0].Width != 32 || thumb[0].Height != 24 {
+		t.Errorf("thumb %dx%d", thumb[0].Width, thumb[0].Height)
+	}
+	if sz, err := vs.Size("v"); err != nil || sz <= 0 {
+		t.Errorf("size: %v %d", err, sz)
+	}
+}
+
+func TestVStoreRejectsUnstagedFormat(t *testing.T) {
+	vs, _ := NewVStore(t.TempDir(), []StageFormat{{Name: "h264", Codec: codec.H264}})
+	vs.Write("v", genFrames(4), 4)
+	if _, err := vs.ReadFrames("v", "hevc"); err == nil {
+		t.Error("unstaged format read should fail (a-priori staging)")
+	}
+	if _, err := vs.ReadGOPs("v", "hevc"); err == nil {
+		t.Error("unstaged gop read should fail")
+	}
+}
+
+func TestVStoreRequiresFormats(t *testing.T) {
+	if _, err := NewVStore(t.TempDir(), nil); err == nil {
+		t.Error("vstore without declared formats should fail")
+	}
+}

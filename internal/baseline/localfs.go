@@ -1,0 +1,169 @@
+// Package baseline implements the two comparison systems of the paper's
+// evaluation (Section 6): direct use of the local file system, and a
+// VStore-like staging store. Both speak the same Frame/codec substrate as
+// VSS so throughput comparisons are apples-to-apples.
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+// LocalFS stores each video as a monolithic file of concatenated GOPs —
+// the "Local FS" baseline. It supports writing in one format and reading
+// back in that same format (or decoding to raw); it has no notion of
+// caching, transcoding, ROI, or resolution change, which is exactly the
+// gap VSS fills.
+type LocalFS struct {
+	dir string
+}
+
+// NewLocalFS creates a local-filesystem baseline rooted at dir.
+func NewLocalFS(dir string) (*LocalFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &LocalFS{dir: dir}, nil
+}
+
+func (l *LocalFS) path(name string) string { return filepath.Join(l.dir, name+".bin") }
+
+// Write encodes frames into GOPs of gopFrames and appends them to the
+// video's file.
+func (l *LocalFS) Write(name string, frames []*frame.Frame, cd codec.ID, quality, gopFrames int) error {
+	f, err := os.OpenFile(l.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	for i := 0; i < len(frames); i += gopFrames {
+		j := i + gopFrames
+		if j > len(frames) {
+			j = len(frames)
+		}
+		data, _, err := codec.EncodeGOP(frames[i:j], cd, quality)
+		if err != nil {
+			return err
+		}
+		var hdr [8]byte
+		putU64(hdr[:], uint64(len(data)))
+		if _, err := f.Write(hdr[:]); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadGOPs returns the stored GOP bitstreams without decoding (the
+// same-format read path).
+func (l *LocalFS) ReadGOPs(name string) ([][]byte, error) {
+	data, err := os.ReadFile(l.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var out [][]byte
+	for off := 0; off < len(data); {
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("baseline: truncated GOP header")
+		}
+		n := int(getU64(data[off : off+8]))
+		off += 8
+		if off+n > len(data) {
+			return nil, fmt.Errorf("baseline: truncated GOP payload")
+		}
+		out = append(out, data[off:off+n])
+		off += n
+	}
+	return out, nil
+}
+
+// ReadFrames decodes the whole video to frames (the raw read path). The
+// local FS must always decode from the start: it has no sub-file index.
+func (l *LocalFS) ReadFrames(name string) ([]*frame.Frame, error) {
+	gops, err := l.ReadGOPs(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	for _, g := range gops {
+		frames, _, err := codec.DecodeGOP(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frames...)
+	}
+	return out, nil
+}
+
+// ReadRange decodes only the frames in [from, to) — but, lacking an
+// index, it must scan GOP headers from the start of the file, and it
+// cannot skip decoding within a covering GOP.
+func (l *LocalFS) ReadRange(name string, from, to int) ([]*frame.Frame, error) {
+	gops, err := l.ReadGOPs(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	base := 0
+	for _, g := range gops {
+		hd, err := codec.DecodeHeader(g)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := base, base+hd.FrameCount
+		if hi > from && lo < to {
+			a, b := from-lo, to-lo
+			if a < 0 {
+				a = 0
+			}
+			if b > hd.FrameCount {
+				b = hd.FrameCount
+			}
+			frames, _, err := codec.DecodeRange(g, a, b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, frames...)
+		}
+		base = hi
+		if base >= to {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Size returns the on-disk size of a video.
+func (l *LocalFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(l.path(name))
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// Delete removes a video.
+func (l *LocalFS) Delete(name string) error {
+	return os.Remove(l.path(name))
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

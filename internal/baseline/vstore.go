@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+// VStore models the staging behaviour of VStore (Xu et al., EuroSys 2019),
+// the storage-system baseline of the paper's evaluation. VStore requires
+// the workload's formats to be declared a priori; at write time it stages
+// the entire video in every declared format, and reads are only possible
+// from a staged format — there is no on-demand conversion, no ROI, and no
+// partial staging ("even dedicated systems such as VStore transcode entire
+// videos, even when only a few frames are needed").
+type VStore struct {
+	fs      *LocalFS
+	formats []StageFormat
+}
+
+// StageFormat is one pre-declared staged representation.
+type StageFormat struct {
+	Name    string
+	Codec   codec.ID
+	Width   int // 0 = source resolution
+	Height  int
+	Quality int
+}
+
+// NewVStore creates a VStore-like baseline with the declared formats.
+// Every write is staged into all of them.
+func NewVStore(dir string, formats []StageFormat) (*VStore, error) {
+	if len(formats) == 0 {
+		return nil, fmt.Errorf("baseline: vstore requires a-priori staged formats")
+	}
+	fs, err := NewLocalFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &VStore{fs: fs, formats: formats}, nil
+}
+
+func stageName(video, format string) string { return video + "@" + format }
+
+// Write stages the frames in every declared format — the whole video,
+// every time, which is VStore's defining cost.
+func (v *VStore) Write(video string, frames []*frame.Frame, gopFrames int) error {
+	for _, sf := range v.formats {
+		staged := frames
+		if sf.Width > 0 && sf.Height > 0 && (sf.Width != frames[0].Width || sf.Height != frames[0].Height) {
+			staged = make([]*frame.Frame, len(frames))
+			for i, f := range frames {
+				staged[i] = f.Resize(sf.Width, sf.Height)
+			}
+		}
+		q := sf.Quality
+		if q == 0 {
+			q = codec.DefaultQuality
+		}
+		if err := v.fs.Write(stageName(video, sf.Name), staged, sf.Codec, q, gopFrames); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGOPs reads a staged representation without decoding. It fails when
+// the format was not declared up front — the inflexibility VSS removes.
+func (v *VStore) ReadGOPs(video, format string) ([][]byte, error) {
+	if !v.has(format) {
+		return nil, fmt.Errorf("baseline: vstore format %q was not staged a priori", format)
+	}
+	return v.fs.ReadGOPs(stageName(video, format))
+}
+
+// ReadFrames decodes a staged representation.
+func (v *VStore) ReadFrames(video, format string) ([]*frame.Frame, error) {
+	if !v.has(format) {
+		return nil, fmt.Errorf("baseline: vstore format %q was not staged a priori", format)
+	}
+	return v.fs.ReadFrames(stageName(video, format))
+}
+
+// Size sums the staged representations of a video.
+func (v *VStore) Size(video string) (int64, error) {
+	var total int64
+	for _, sf := range v.formats {
+		n, err := v.fs.Size(stageName(video, sf.Name))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func (v *VStore) has(format string) bool {
+	for _, sf := range v.formats {
+		if sf.Name == format {
+			return true
+		}
+	}
+	return false
+}

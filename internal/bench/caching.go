@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/frame"
+	"repro/internal/lossless"
+	"repro/internal/visualroad"
+)
+
+// Fig13 reproduces Figure 13: an uncompressed write under a fixed budget,
+// instrumenting budget consumption, deferred-compression level, and write
+// throughput relative to the deferred-compression-off baseline as the
+// write progresses.
+func Fig13(w io.Writer) error {
+	header(w, "Figure 13: writes with deferred compression")
+	fmt.Fprintf(w, "%-12s %12s %10s %14s\n", "Progress(%)", "Budget(%)", "Level", "RelThroughput")
+
+	cfg := visualroad.Config{Width: 240, Height: 136, FPS: benchFPS, Seed: 1300}
+	const totalFrames = 30 * benchFPS
+	frames := visualroad.Generate(cfg, totalFrames)
+	rawBytes := int64(totalFrames) * int64(frame.RGB.Size(240, 136))
+	budget := rawBytes * 3 / 10 // the write cannot fit uncompressed
+
+	// Baseline: per-GOP write time with deferred compression disabled.
+	baseTimes, err := fig13WriteTimes(frames, budget, core.Options{DisableDeferred: true, GOPFrames: 8})
+	if err != nil {
+		return err
+	}
+	// Instrumented run with deferred compression on.
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	s, err := core.Open(dir, core.Options{GOPFrames: 8})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Create("video", budget); err != nil {
+		return err
+	}
+	wtr, err := s.OpenWriter("video", core.WriteSpec{FPS: benchFPS, Codec: codec.Raw})
+	if err != nil {
+		return err
+	}
+	const gop = 8
+	var windowT, windowBase time.Duration
+	for i := 0; i < totalFrames; i += gop {
+		t, err := timeIt(func() error {
+			if err := wtr.Append(frames[i : i+gop]...); err != nil {
+				return err
+			}
+			return wtr.Flush()
+		})
+		if err != nil {
+			return err
+		}
+		windowT += t
+		windowBase += baseTimes[i/gop]
+		used, err := s.TotalBytes("video")
+		if err != nil {
+			return err
+		}
+		progress := 100 * (i + gop) / totalFrames
+		if progress%10 == 0 {
+			// Throughput is averaged over the reporting window: single-GOP
+			// timings are too noisy on a shared CPU.
+			rel := windowBase.Seconds() / windowT.Seconds()
+			fmt.Fprintf(w, "%-12d %12.1f %10d %14.2f\n",
+				progress, 100*float64(used)/float64(budget), s.DeferredLevel("video"), rel)
+			windowT, windowBase = 0, 0
+		}
+	}
+	return nil
+}
+
+// fig13WriteTimes measures per-GOP append time for the baseline config.
+func fig13WriteTimes(frames []*frame.Frame, budget int64, opts core.Options) ([]time.Duration, error) {
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	s, err := core.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Create("video", budget); err != nil {
+		return nil, err
+	}
+	wtr, err := s.OpenWriter("video", core.WriteSpec{FPS: benchFPS, Codec: codec.Raw})
+	if err != nil {
+		return nil, err
+	}
+	const gop = 8
+	var times []time.Duration
+	for i := 0; i < len(frames); i += gop {
+		t, err := timeIt(func() error {
+			if err := wtr.Append(frames[i : i+gop]...); err != nil {
+				return err
+			}
+			return wtr.Flush()
+		})
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, t)
+	}
+	return times, nil
+}
+
+// Fig15 reproduces Figure 15: write throughput per dataset for VSS, the
+// local file system, and VStore, in uncompressed and compressed (h264)
+// form.
+func Fig15(w io.Writer) error {
+	header(w, "Figure 15: write throughput (fps)")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s %10s\n",
+		"Dataset", "VSS-raw", "FS-raw", "VSt-raw", "VSS-h264", "FS-h264", "VSt-h264")
+	for _, d := range datasets.All() {
+		n := datasetFrames(d, 48)
+		frames := d.Generate(n)
+		var cells [6]float64
+		for i, cd := range []codec.ID{codec.Raw, codec.H264} {
+			// VSS.
+			dir, cleanup, err := tempDir()
+			if err != nil {
+				return err
+			}
+			s, err := core.Open(dir, core.Options{GOPFrames: 8, BudgetMultiple: -1})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			s.Create("v", -1)
+			t, err := timeIt(func() error {
+				return s.Write("v", core.WriteSpec{FPS: d.FPS, Codec: cd, Quality: 85}, frames)
+			})
+			s.Close()
+			cleanup()
+			if err != nil {
+				return err
+			}
+			cells[i*3] = fps(n, t)
+
+			// Local FS.
+			dir, cleanup, err = tempDir()
+			if err != nil {
+				return err
+			}
+			fs, err := baseline.NewLocalFS(dir)
+			if err != nil {
+				cleanup()
+				return err
+			}
+			t, err = timeIt(func() error { return fs.Write("v", frames, cd, 85, 8) })
+			cleanup()
+			if err != nil {
+				return err
+			}
+			cells[i*3+1] = fps(n, t)
+
+			// VStore stages exactly this format.
+			dir, cleanup, err = tempDir()
+			if err != nil {
+				return err
+			}
+			vs, err := baseline.NewVStore(dir, []baseline.StageFormat{{Name: "fmt", Codec: cd, Quality: 85}})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			t, err = timeIt(func() error { return vs.Write("v", frames, 8) })
+			cleanup()
+			if err != nil {
+				return err
+			}
+			cells[i*3+2] = fps(n, t)
+		}
+		fmt.Fprintf(w, "%-22s %10.0f %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			d.Name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5])
+	}
+	return nil
+}
+
+// Fig16 reproduces Figure 16: populate the cache with random reads under
+// a storage budget (a multiple of the input size), with either ordinary
+// LRU or LRU_VSS eviction, then measure a final full read.
+func Fig16(w io.Writer) error {
+	header(w, "Figure 16: final read runtime by eviction policy and budget")
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s\n", "Budget(x)", "LRU (s)", "LRU_VSS (s)", "LRU-runs", "VSS-runs")
+	for _, mult := range []float64{1.5, 2, 4, 8} {
+		var times [2]time.Duration
+		var runs [2]float64
+		for i, ordinary := range []bool{true, false} {
+			dir, cleanup, err := tempDir()
+			if err != nil {
+				return err
+			}
+			s, err := writeBenchVideo(dir, core.Options{BudgetMultiple: mult, OrdinaryLRU: ordinary})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			rng := rand.New(rand.NewSource(16))
+			if _, err := populate(s, rng, 60, benchSeconds); err != nil {
+				s.Close()
+				cleanup()
+				return err
+			}
+			s.Close()
+			// Measure against the frozen cache state: admission off so the
+			// reads themselves do not mutate what eviction left behind.
+			m, err := core.Open(dir, core.Options{GOPFrames: 8, DisableCache: true, DisableDeferred: true})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			windows := [][2]float64{{0, 12}, {6, 18}, {12, 24}, {2, 22}}
+			var totalRuns int
+			t, err := timeIt(func() error {
+				for _, win := range windows {
+					spec := core.ReadSpec{T: core.Temporal{Start: win[0], End: win[1]}, P: core.Physical{Codec: codec.HEVC}}
+					res, err := m.Read("video", spec)
+					if err != nil {
+						return err
+					}
+					totalRuns += res.Stats.PlanRuns
+				}
+				return nil
+			})
+			m.Close()
+			cleanup()
+			if err != nil {
+				return err
+			}
+			times[i] = t / time.Duration(len(windows))
+			runs[i] = float64(totalRuns) / float64(len(windows))
+		}
+		fmt.Fprintf(w, "%-10.1f %12.3f %12.3f %10.1f %10.1f\n",
+			mult, times[0].Seconds(), times[1].Seconds(), runs[0], runs[1])
+	}
+	return nil
+}
+
+// Fig20 reproduces Figure 20: read throughput over raw fragments
+// deferred-compressed at each level, against decoding the same content
+// from the HEVC codec.
+func Fig20(w io.Writer) error {
+	header(w, "Figure 20: raw-fragment read throughput by deferred-compression level")
+	cfg := visualroad.Config{Width: 240, Height: 136, FPS: benchFPS, Seed: 2000}
+	const n = 48
+	frames := visualroad.Generate(cfg, n)
+	raw, _, err := codec.EncodeGOP(frames, codec.Raw, 0)
+	if err != nil {
+		return err
+	}
+	hevc, _, err := codec.EncodeGOP(frames, codec.HEVC, 85)
+	if err != nil {
+		return err
+	}
+	// HEVC decode reference.
+	tHEVC, err := timeIt(func() error { _, _, err := codec.DecodeGOP(hevc); return err })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %12s   (HEVC codec reference: %.0f fps)\n", "Level", "VSS (fps)", fps(n, tHEVC))
+	for _, level := range []int{1, 4, 7, 10, 13, 16, 19} {
+		block, err := lossless.Compress(raw, level)
+		if err != nil {
+			return err
+		}
+		// Read = decompress + raw GOP decode, repeated for stable timing.
+		const reps = 3
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			t, err := timeIt(func() error {
+				data, err := lossless.Decompress(block)
+				if err != nil {
+					return err
+				}
+				_, _, err = codec.DecodeGOP(data)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			total += t
+		}
+		fmt.Fprintf(w, "%-8d %12.0f\n", level, fps(n*reps, total))
+	}
+	return nil
+}

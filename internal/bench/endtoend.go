@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/visualroad"
+)
+
+// Fig21 reproduces Figure 21: the end-to-end intersection-monitoring
+// application (indexing, search, streaming retrieval) under 1, 2, and 4
+// concurrent clients, on VSS versus the OpenCV-style local-filesystem
+// variant. The input mirrors the paper's extended Visual Road 2K video,
+// scaled.
+func Fig21(w io.Writer) error {
+	header(w, "Figure 21: end-to-end application performance")
+	const (
+		width, height = 480, 272
+		fpsRate       = 8
+		seconds       = 16
+	)
+	frames := visualroad.Generate(visualroad.Config{Width: width, Height: height, FPS: fpsRate, Seed: 2100}, seconds*fpsRate)
+	queryColor := [3]float64{210, 40, 40}
+
+	runClients := func(mk func() (*app.Monitor, func(), error), clients int) (tIdx, tSearch, tStream time.Duration, err error) {
+		monitors := make([]*app.Monitor, clients)
+		var cleanups []func()
+		defer func() {
+			for _, c := range cleanups {
+				c()
+			}
+		}()
+		for i := range monitors {
+			m, cleanup, e := mk()
+			if e != nil {
+				err = e
+				return
+			}
+			monitors[i] = m
+			cleanups = append(cleanups, cleanup)
+		}
+		phase := func(f func(m *app.Monitor) error) (time.Duration, error) {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			start := time.Now()
+			for i := range monitors {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = f(monitors[i])
+				}(i)
+			}
+			wg.Wait()
+			for _, e := range errs {
+				if e != nil {
+					return 0, e
+				}
+			}
+			return time.Since(start), nil
+		}
+		indexes := make([][]app.IndexEntry, clients)
+		var mu sync.Mutex
+		tIdx, err = phase(func(m *app.Monitor) error {
+			idx, e := m.Index("cam")
+			if e != nil {
+				return e
+			}
+			mu.Lock()
+			for i := range monitors {
+				if monitors[i] == m {
+					indexes[i] = idx
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		tSearch, err = phase(func(m *app.Monitor) error {
+			var idx []app.IndexEntry
+			for i := range monitors {
+				if monitors[i] == m {
+					idx = indexes[i]
+				}
+			}
+			m.Search(idx, queryColor)
+			// The paper's search phase re-reads the cached low-resolution
+			// frames to compute region histograms.
+			_, e := m.Backend.ReadLowRes("cam", m.ThumbW, m.ThumbH)
+			return e
+		})
+		if err != nil {
+			return
+		}
+		tStream, err = phase(func(m *app.Monitor) error {
+			var idx []app.IndexEntry
+			for i := range monitors {
+				if monitors[i] == m {
+					idx = indexes[i]
+				}
+			}
+			matches := m.Search(idx, queryColor)
+			_, e := m.Retrieve("cam", matches, 1.5, seconds)
+			return e
+		})
+		return
+	}
+
+	mkVSS := func() (*app.Monitor, func(), error) {
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := core.Open(dir, core.Options{GOPFrames: 8, BudgetMultiple: -1})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if err := s.Create("cam", -1); err != nil {
+			s.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		if err := s.Write("cam", core.WriteSpec{FPS: fpsRate, Codec: codec.H264, Quality: 85}, frames); err != nil {
+			s.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		m := &app.Monitor{Backend: &app.VSSBackend{Store: s}, FPS: fpsRate, IndexEvery: 10, ThumbW: 160, ThumbH: 90}
+		return m, func() { s.Close(); cleanup() }, nil
+	}
+	mkFS := func() (*app.Monitor, func(), error) {
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := baseline.NewLocalFS(dir)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if err := fs.Write("cam", frames, codec.H264, 85, 8); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		m := &app.Monitor{Backend: &app.FSBackend{FS: fs, FPS: fpsRate}, FPS: fpsRate, IndexEvery: 10, ThumbW: 160, ThumbH: 90}
+		return m, cleanup, nil
+	}
+
+	fmt.Fprintf(w, "%-10s %-8s %12s %12s %12s\n", "System", "Clients", "Index (s)", "Search (s)", "Stream (s)")
+	for _, clients := range []int{1, 2, 4} {
+		for _, sys := range []struct {
+			label string
+			mk    func() (*app.Monitor, func(), error)
+		}{{"VSS", mkVSS}, {"LocalFS", mkFS}} {
+			tIdx, tSearch, tStream, err := runClients(sys.mk, clients)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %-8d %12.2f %12.2f %12.2f\n",
+				sys.label, clients, tIdx.Seconds(), tSearch.Seconds(), tStream.Seconds())
+		}
+	}
+	return nil
+}

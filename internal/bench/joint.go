@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/frame"
+	"repro/internal/vision"
+	"repro/internal/visualroad"
+)
+
+// Fig11 reproduces Figure 11: how quickly each pair-selection strategy
+// discovers the jointly compressible pairs. The oracle knows the true
+// pairs (it generated them); VSS clusters fingerprints and matches
+// features; random sampling checks uniformly drawn cross-video pairs with
+// the same feature test.
+func Fig11(w io.Writer) error {
+	header(w, "Figure 11: joint compression pair selection (% of true pairs found)")
+
+	// Build a store with several overlapping pairs plus decoys.
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	s, err := core.Open(dir, core.Options{GOPFrames: 8, BudgetMultiple: -1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	// Truth is at camera-pair granularity: any GOP pair drawn from the
+	// same overlapping camera pair is jointly compressible (the scene
+	// background is shared); pairs across different worlds are not.
+	const gopsPerVideo = 3
+	const pairsTrue = 4
+	truth := make(map[[2]string]bool)
+	for p := 0; p < pairsTrue; p++ {
+		cfg := visualroad.Config{Width: 160, Height: 96, FPS: benchFPS, Seed: int64(4000 + p*13), Overlap: 0.5, Perspective: 0.3}
+		left, right := visualroad.GeneratePair(cfg, gopsPerVideo*8)
+		ln := fmt.Sprintf("left-%d", p)
+		rn := fmt.Sprintf("right-%d", p)
+		for name, frames := range map[string][]*frame.Frame{ln: left, rn: right} {
+			if err := s.Create(name, -1); err != nil {
+				return err
+			}
+			if err := s.Write(name, core.WriteSpec{FPS: benchFPS, Codec: codec.H264, Quality: 90}, frames); err != nil {
+				return err
+			}
+		}
+		truth[[2]string{ln, rn}] = true
+	}
+	// Each camera pair contributes gopsPerVideo aligned GOP pairs.
+	totalTrue := pairsTrue * gopsPerVideo
+	isTrue := func(a, b core.GOPRef) bool {
+		return truth[[2]string{a.Video, b.Video}] || truth[[2]string{b.Video, a.Video}]
+	}
+
+	// VSS discovery.
+	start := time.Now()
+	pairs, scanned, err := s.FindJointCandidates()
+	if err != nil {
+		return err
+	}
+	dVSS := time.Since(start)
+	foundVSS := 0
+	for _, pc := range pairs {
+		if isTrue(pc.A, pc.B) {
+			foundVSS++
+		}
+	}
+
+	// Oracle: knows the pairs; cost is just enumerating them.
+	dOracle := time.Duration(totalTrue) * time.Microsecond
+
+	// Random: sample cross-video GOP pairs uniformly and run the same
+	// feature test VSS runs, for the same wall-clock budget as VSS.
+	rng := rand.New(rand.NewSource(11))
+	var refs []core.GOPRef
+	for _, name := range s.Videos() {
+		_, phys, err := s.Info(name)
+		if err != nil {
+			return err
+		}
+		for _, p := range phys {
+			for _, g := range p.GOPs {
+				refs = append(refs, core.GOPRef{Video: name, Phys: p.ID, Seq: g.Seq})
+			}
+		}
+	}
+	foundRandom := 0
+	checked := map[[2]int]bool{}
+	startR := time.Now()
+	attempts := 0
+	for time.Since(startR) < dVSS && attempts < len(refs)*len(refs) {
+		i, j := rng.Intn(len(refs)), rng.Intn(len(refs))
+		if i == j || refs[i].Video == refs[j].Video || checked[[2]int{i, j}] {
+			continue
+		}
+		checked[[2]int{i, j}] = true
+		attempts++
+		if ok, err := s.FeatureMatchCheck(refs[i], refs[j]); err == nil && ok && isTrue(refs[i], refs[j]) {
+			foundRandom++
+		}
+	}
+	dRandom := time.Since(startR)
+
+	fmt.Fprintf(w, "scanned %d GOPs; %d true pairs\n", scanned, totalTrue)
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "Strategy", "Time (s)", "Found (%)")
+	fmt.Fprintf(w, "%-10s %12.3f %12.0f\n", "Oracle", dOracle.Seconds(), 100.0)
+	fmt.Fprintf(w, "%-10s %12.3f %12.0f\n", "VSS", dVSS.Seconds(), 100*float64(foundVSS)/float64(totalTrue))
+	fmt.Fprintf(w, "%-10s %12.3f %12.0f\n", "Random", dRandom.Seconds(), 100*float64(foundRandom)/float64(totalTrue))
+	return nil
+}
+
+// Table2 reproduces Table 2: recovered quality (PSNR) of jointly
+// compressed video under the unprojected and mean merge functions, and
+// the fraction of fragments the quality model admits.
+func Table2(w io.Writer) error {
+	header(w, "Table 2: joint compression recovered quality")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s %10s\n",
+		"Dataset", "UnpL", "UnpR", "MeanL", "MeanR", "Adm-Unp%", "Adm-Mean%")
+	for _, d := range datasets.All() {
+		var cells [6]float64
+		for mi, merge := range []core.MergeMode{core.MergeUnprojected, core.MergeMean} {
+			dir, cleanup, err := tempDir()
+			if err != nil {
+				return err
+			}
+			n := datasetFrames(d, 32)
+			s, _, _, err := genPairStore(dir, d.Config(), n, core.Options{BudgetMultiple: -1})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			var sumL, sumR float64
+			admitted, total := 0, 0
+			gops := n / 8
+			for g := 0; g < gops; g++ {
+				res, err := s.JointCompressPair(
+					core.GOPRef{Video: "cam-left", Phys: 0, Seq: g},
+					core.GOPRef{Video: "cam-right", Phys: 0, Seq: g}, merge)
+				if err != nil {
+					s.Close()
+					cleanup()
+					return err
+				}
+				total++
+				if res.Compressed && !res.Duplicate {
+					admitted++
+					sumL += res.LeftPSNR
+					sumR += res.RightPSNR
+				}
+			}
+			s.Close()
+			cleanup()
+			if admitted > 0 {
+				cells[mi*2] = sumL / float64(admitted)
+				cells[mi*2+1] = sumR / float64(admitted)
+			}
+			cells[4+mi] = 100 * float64(admitted) / float64(total)
+		}
+		fmt.Fprintf(w, "%-22s %10.0f %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			d.Name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5])
+	}
+	return nil
+}
+
+// Fig17 reproduces Figure 17: on-disk size of jointly compressed video
+// relative to separate compression, as camera overlap grows.
+func Fig17(w io.Writer) error {
+	header(w, "Figure 17: joint vs separate storage size by overlap")
+	fmt.Fprintf(w, "%-12s %14s %14s %12s\n", "Overlap(%)", "Separate (B)", "Joint (B)", "Smaller(%)")
+	for _, overlap := range []float64{0.15, 0.30, 0.50, 0.75} {
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			return err
+		}
+		cfg := visualroad.Config{Width: 240, Height: 136, FPS: benchFPS, Seed: 1700, Overlap: overlap, Perspective: 0.2}
+		s, _, _, err := genPairStore(dir, cfg, 32, core.Options{BudgetMultiple: -1})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		before, _ := s.TotalBytes("cam-left")
+		beforeR, _ := s.TotalBytes("cam-right")
+		if _, err := s.JointCompressAll(core.MergeMean); err != nil {
+			s.Close()
+			cleanup()
+			return err
+		}
+		after, _ := s.TotalBytes("cam-left")
+		afterR, _ := s.TotalBytes("cam-right")
+		s.Close()
+		cleanup()
+		sep := before + beforeR
+		joint := after + afterR
+		fmt.Fprintf(w, "%-12.0f %14d %14d %12.1f\n",
+			overlap*100, sep, joint, 100*float64(sep-joint)/float64(sep))
+	}
+	return nil
+}
+
+// Fig18 reproduces Figure 18: read and write throughput with joint
+// compression versus separate storage.
+func Fig18(w io.Writer) error {
+	header(w, "Figure 18: joint compression throughput (fps)")
+	cfg := visualroad.Config{Width: 240, Height: 136, FPS: benchFPS, Seed: 1800, Overlap: 0.3, Perspective: 0.2}
+	const n = 32
+
+	// (a) Read throughput from jointly compressed vs separate storage.
+	mk := func(joint bool) (*core.Store, func(), error) {
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			return nil, nil, err
+		}
+		s, _, _, err := genPairStore(dir, cfg, n, core.Options{BudgetMultiple: -1, DisableCache: true})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if joint {
+			if _, err := s.JointCompressAll(core.MergeMean); err != nil {
+				s.Close()
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		return s, cleanup, nil
+	}
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "Read", "Joint", "Separate")
+	for _, row := range []struct {
+		label string
+		spec  core.ReadSpec
+	}{
+		{"h264->h264", core.ReadSpec{P: core.Physical{Codec: codec.H264, Quality: 90}}},
+		{"h264->raw", core.ReadSpec{P: core.Physical{Format: frame.RGB}}},
+		{"h264->hevc", core.ReadSpec{P: core.Physical{Codec: codec.HEVC}}},
+	} {
+		var cells [2]float64
+		for i, joint := range []bool{true, false} {
+			s, cleanup, err := mk(joint)
+			if err != nil {
+				return err
+			}
+			t, err := timeIt(func() error { _, err := s.Read("cam-left", row.spec); return err })
+			s.Close()
+			cleanup()
+			if err != nil {
+				return err
+			}
+			cells[i] = fps(n, t)
+		}
+		fmt.Fprintf(w, "%-14s %12.0f %12.0f\n", row.label, cells[0], cells[1])
+	}
+
+	// (b) Write throughput: raw pair written then jointly compressed,
+	// versus written separately.
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "Write", "Joint", "Separate")
+	for _, cd := range []codec.ID{codec.H264, codec.HEVC} {
+		var cells [2]float64
+		for i, joint := range []bool{true, false} {
+			dir, cleanup, err := tempDir()
+			if err != nil {
+				return err
+			}
+			s, err := core.Open(dir, core.Options{GOPFrames: 8, BudgetMultiple: -1})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			left, right := visualroad.GeneratePair(cfg, n)
+			t, err := timeIt(func() error {
+				for name, frames := range map[string][]*frame.Frame{"l": left, "r": right} {
+					if err := s.Create(name, -1); err != nil {
+						return err
+					}
+					if err := s.Write(name, core.WriteSpec{FPS: cfg.FPS, Codec: cd, Quality: 90}, frames); err != nil {
+						return err
+					}
+				}
+				if joint {
+					_, err := s.JointCompressAll(core.MergeMean)
+					return err
+				}
+				return nil
+			})
+			s.Close()
+			cleanup()
+			if err != nil {
+				return err
+			}
+			cells[i] = fps(2*n, t)
+		}
+		fmt.Fprintf(w, "raw->%-9s %12.0f %12.0f\n", cd, cells[0], cells[1])
+	}
+	return nil
+}
+
+// Fig19 reproduces Figure 19: the cost decomposition of joint compression
+// — feature detection, homography estimation, and compression — by
+// resolution class and by camera dynamicism (static, slowly rotating,
+// rapidly rotating).
+func Fig19(w io.Writer) error {
+	header(w, "Figure 19: joint compression overhead decomposition (s/fragment)")
+	fmt.Fprintf(w, "%-12s %12s %14s %14s\n", "Class", "Features", "Homography", "Compression")
+	classes := []struct {
+		label string
+		w, h  int
+	}{{"1K", 240, 136}, {"2K", 480, 272}, {"4K", 960, 544}}
+	for _, c := range classes {
+		cfg := visualroad.Config{Width: c.w, Height: c.h, FPS: benchFPS, Seed: 1900, Overlap: 0.3, Perspective: 0.2}
+		world := visualroad.NewWorld(cfg)
+		fl, fr := world.LeftFrame(0), world.RightFrame(0)
+		feat, hom, comp, err := jointPhaseTimes(fl, fr, 8, cfg, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12.3f %14.3f %14.3f\n", c.label, feat.Seconds(), hom.Seconds(), comp.Seconds())
+	}
+	fmt.Fprintf(w, "%-12s %12s %14s %14s\n", "Dynamicism", "Features", "Homography", "Compression")
+	for _, d := range []struct {
+		label       string
+		rotateEvery int
+	}{{"Static", 0}, {"Slow", 15}, {"Fast", 5}} {
+		cfg := visualroad.Config{Width: 240, Height: 136, FPS: benchFPS, Seed: 1901, Overlap: 0.3, Perspective: 0.2, RotateEvery: d.rotateEvery}
+		world := visualroad.NewWorld(cfg)
+		fl, fr := world.LeftFrame(0), world.RightFrame(0)
+		feat, hom, comp, err := jointPhaseTimes(fl, fr, 16, cfg, d.rotateEvery)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12.3f %14.3f %14.3f\n", d.label, feat.Seconds(), hom.Seconds(), comp.Seconds())
+	}
+	return nil
+}
+
+// jointPhaseTimes measures the three phases of joint compression for one
+// GOP of n frames; rotateEvery > 0 forces homography re-estimation at the
+// paper's cadence for dynamic cameras.
+func jointPhaseTimes(fl, fr *frame.Frame, n int, cfg visualroad.Config, rotateEvery int) (feat, hom, comp time.Duration, err error) {
+	world := visualroad.NewWorld(cfg)
+	var kl, kr []vision.Keypoint
+	estimations := 1
+	if rotateEvery > 0 {
+		estimations = n / rotateEvery
+		if estimations < 1 {
+			estimations = 1
+		}
+	}
+	for e := 0; e < estimations; e++ {
+		t, _ := timeIt(func() error {
+			kl = vision.DetectKeypoints(fl, 150)
+			kr = vision.DetectKeypoints(fr, 150)
+			return nil
+		})
+		feat += t
+		t, _ = timeIt(func() error {
+			matches := vision.MatchKeypoints(kl, kr, vision.DefaultLoweRatio)
+			rng := rand.New(rand.NewSource(7))
+			if _, ok := vision.RANSACHomography(kl, kr, matches, 400, 3, 12, rng); !ok {
+				return fmt.Errorf("bench: homography estimation failed")
+			}
+			return nil
+		})
+		hom += t
+	}
+	// Compression: encode the three partitioned streams for n frames
+	// (approximated by encoding left and right full GOPs, which bounds
+	// the partitioned work).
+	var lf, rf []*frame.Frame
+	for t := 0; t < n; t++ {
+		lf = append(lf, world.LeftFrame(t))
+		rf = append(rf, world.RightFrame(t))
+	}
+	tc, err := timeIt(func() error {
+		if _, _, err := codec.EncodeGOP(lf, codec.H264, 90); err != nil {
+			return err
+		}
+		_, _, err := codec.EncodeGOP(rf, codec.H264, 90)
+		return err
+	})
+	return feat, hom, tc, err
+}

@@ -1,0 +1,359 @@
+// Package cluster implements BIRCH clustering (Zhang, Ramakrishnan & Livny,
+// SIGMOD 1996) over feature vectors. VSS uses it to prune the joint
+// compression pair search (Section 5.1.3 of the paper): video fragments are
+// fingerprinted with color histograms, clustered incrementally as they
+// arrive, and only fragments sharing a cluster are considered for joint
+// compression.
+//
+// The implementation maintains a CF-tree of clustering features
+// (N, LS, SS). It is memory efficient, scales to many points, and supports
+// incremental insertion — the properties for which the paper selected
+// BIRCH.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// CF is a clustering feature: the sufficient statistics of a set of
+// vectors (count, linear sum, square sum).
+type CF struct {
+	N  int
+	LS []float64
+	SS float64
+}
+
+// newCF creates a clustering feature from a single vector.
+func newCF(v []float64) CF {
+	ls := make([]float64, len(v))
+	var ss float64
+	for i, x := range v {
+		ls[i] = x
+		ss += x * x
+	}
+	return CF{N: 1, LS: ls, SS: ss}
+}
+
+// add merges another CF into this one.
+func (c *CF) add(o CF) {
+	if c.N == 0 {
+		c.LS = make([]float64, len(o.LS))
+	}
+	c.N += o.N
+	for i := range o.LS {
+		c.LS[i] += o.LS[i]
+	}
+	c.SS += o.SS
+}
+
+// Centroid returns the mean vector of the cluster.
+func (c *CF) Centroid() []float64 {
+	out := make([]float64, len(c.LS))
+	for i, x := range c.LS {
+		out[i] = x / float64(c.N)
+	}
+	return out
+}
+
+// Radius returns the RMS distance of cluster members to the centroid
+// (BIRCH's R). Smaller radius means a tighter cluster; VSS considers the
+// tightest cluster first when searching for joint compression candidates.
+func (c *CF) Radius() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	var cent2 float64
+	for _, x := range c.LS {
+		m := x / float64(c.N)
+		cent2 += m * m
+	}
+	v := c.SS/float64(c.N) - cent2
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+// centroidDist returns the Euclidean distance between cluster centroids.
+func centroidDist(a, b *CF) float64 {
+	var s float64
+	for i := range a.LS {
+		d := a.LS[i]/float64(a.N) - b.LS[i]/float64(b.N)
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// radiusIfMerged computes the radius of the union of a CF and a point
+// without materializing the merge.
+func radiusIfMerged(c *CF, v []float64) float64 {
+	n := float64(c.N + 1)
+	var ss float64 = c.SS
+	var cent2 float64
+	for i, x := range v {
+		ls := c.LS[i] + x
+		ss0 := x * x
+		ss += ss0
+		m := ls / n
+		cent2 += m * m
+	}
+	val := ss/n - cent2
+	if val < 0 {
+		val = 0
+	}
+	return math.Sqrt(val)
+}
+
+// Entry is a leaf cluster: a CF plus the identifiers of the items assigned
+// to it. VSS stores fragment IDs here and retrieves cluster co-members as
+// joint compression candidates.
+type Entry struct {
+	CF    CF
+	Items []int
+}
+
+// node is a CF-tree node. Leaves hold Entries; internal nodes hold children
+// with aggregate CFs.
+type node struct {
+	leaf     bool
+	entries  []*Entry // leaf level
+	children []*node  // internal level
+	cf       CF       // aggregate over the subtree (internal nodes)
+}
+
+// Tree is a BIRCH CF-tree with a fixed distance threshold and branching
+// factor. Insertion is O(depth * branching).
+type Tree struct {
+	threshold float64 // max leaf-entry radius
+	branching int     // max entries per node
+	root      *node
+	dim       int
+	count     int
+}
+
+// NewTree creates a CF-tree. threshold bounds the radius of leaf clusters;
+// branching bounds node fan-out (must be >= 2).
+func NewTree(threshold float64, branching int) (*Tree, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("cluster: threshold must be positive, got %f", threshold)
+	}
+	if branching < 2 {
+		return nil, fmt.Errorf("cluster: branching must be >= 2, got %d", branching)
+	}
+	return &Tree{threshold: threshold, branching: branching, root: &node{leaf: true}}, nil
+}
+
+// Len returns the number of inserted items.
+func (t *Tree) Len() int { return t.count }
+
+// Insert adds an item (by caller-assigned id) with its feature vector,
+// returning the leaf Entry it was absorbed into or seeded as.
+func (t *Tree) Insert(id int, v []float64) (*Entry, error) {
+	if t.dim == 0 {
+		t.dim = len(v)
+	}
+	if len(v) != t.dim {
+		return nil, fmt.Errorf("cluster: dimension %d, tree expects %d", len(v), t.dim)
+	}
+	entry, split := t.insert(t.root, id, v)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		newRoot := &node{leaf: false, children: []*node{t.root, split}}
+		newRoot.cf = aggregate(t.root)
+		newRoot.cf.add(aggregate(split))
+		t.root = newRoot
+	}
+	t.count++
+	return entry, nil
+}
+
+// aggregate computes the CF summarizing an entire node.
+func aggregate(n *node) CF {
+	var cf CF
+	if n.leaf {
+		for _, e := range n.entries {
+			cf.add(e.CF)
+		}
+	} else {
+		for _, c := range n.children {
+			cf.add(c.cf)
+		}
+	}
+	return cf
+}
+
+// insert descends to the closest leaf, absorbs or adds an entry, and
+// propagates splits. Returns the entry used and a new sibling node if this
+// node split.
+func (t *Tree) insert(n *node, id int, v []float64) (*Entry, *node) {
+	point := newCF(v)
+	if n.leaf {
+		// Find closest entry by centroid distance.
+		var best *Entry
+		bestD := math.Inf(1)
+		for _, e := range n.entries {
+			if d := centroidDist(&e.CF, &point); d < bestD {
+				best, bestD = e, d
+			}
+		}
+		if best != nil && radiusIfMerged(&best.CF, v) <= t.threshold {
+			best.CF.add(point)
+			best.Items = append(best.Items, id)
+			return best, nil
+		}
+		e := &Entry{CF: point, Items: []int{id}}
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.branching {
+			return e, t.splitLeaf(n)
+		}
+		return e, nil
+	}
+	// Internal: descend into the child with the nearest centroid.
+	var best *node
+	bestD := math.Inf(1)
+	for _, c := range n.children {
+		if c.cf.N == 0 {
+			continue
+		}
+		if d := centroidDist(&c.cf, &point); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if best == nil {
+		best = n.children[0]
+	}
+	entry, split := t.insert(best, id, v)
+	best.cf = aggregate(best)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.branching {
+			n.cf = aggregate(n)
+			return entry, t.splitInternal(n)
+		}
+	}
+	n.cf = aggregate(n)
+	return entry, nil
+}
+
+// splitLeaf divides an over-full leaf into two by the classic BIRCH rule:
+// pick the two farthest entries as seeds and assign the rest by proximity.
+func (t *Tree) splitLeaf(n *node) *node {
+	i0, i1 := farthestPair(len(n.entries), func(i, j int) float64 {
+		return centroidDist(&n.entries[i].CF, &n.entries[j].CF)
+	})
+	old := n.entries
+	sib := &node{leaf: true}
+	n.entries = nil
+	for k, e := range old {
+		if k == i0 {
+			n.entries = append(n.entries, e)
+			continue
+		}
+		if k == i1 {
+			sib.entries = append(sib.entries, e)
+			continue
+		}
+		if centroidDist(&e.CF, &old[i0].CF) <= centroidDist(&e.CF, &old[i1].CF) {
+			n.entries = append(n.entries, e)
+		} else {
+			sib.entries = append(sib.entries, e)
+		}
+	}
+	sib.cf = aggregate(sib)
+	return sib
+}
+
+func (t *Tree) splitInternal(n *node) *node {
+	i0, i1 := farthestPair(len(n.children), func(i, j int) float64 {
+		return centroidDist(&n.children[i].cf, &n.children[j].cf)
+	})
+	old := n.children
+	sib := &node{leaf: false}
+	n.children = nil
+	for k, c := range old {
+		if k == i0 {
+			n.children = append(n.children, c)
+			continue
+		}
+		if k == i1 {
+			sib.children = append(sib.children, c)
+			continue
+		}
+		if centroidDist(&c.cf, &old[i0].cf) <= centroidDist(&c.cf, &old[i1].cf) {
+			n.children = append(n.children, c)
+		} else {
+			sib.children = append(sib.children, c)
+		}
+	}
+	n.cf = aggregate(n)
+	sib.cf = aggregate(sib)
+	return sib
+}
+
+// farthestPair returns the indices of the two items maximizing dist.
+func farthestPair(n int, dist func(i, j int) float64) (int, int) {
+	bi, bj := 0, 1
+	best := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// Clusters returns all leaf entries (the flat clustering).
+func (t *Tree) Clusters() []*Entry {
+	var out []*Entry
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SmallestRadiusCluster returns the leaf cluster with the smallest radius
+// among clusters with at least minItems members, or nil if none qualifies.
+// VSS selects this cluster first when searching for joint compression
+// candidates (Section 5.1.3: "selects the cluster with the smallest
+// radius").
+func (t *Tree) SmallestRadiusCluster(minItems int) *Entry {
+	var best *Entry
+	bestR := math.Inf(1)
+	for _, e := range t.Clusters() {
+		if len(e.Items) < minItems {
+			continue
+		}
+		if r := e.CF.Radius(); r < bestR {
+			best, bestR = e, r
+		}
+	}
+	return best
+}
+
+// ClustersByRadius returns qualifying leaf clusters ordered tightest-first.
+func (t *Tree) ClustersByRadius(minItems int) []*Entry {
+	var out []*Entry
+	for _, e := range t.Clusters() {
+		if len(e.Items) >= minItems {
+			out = append(out, e)
+		}
+	}
+	// Insertion sort: cluster counts are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].CF.Radius() < out[j-1].CF.Radius(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

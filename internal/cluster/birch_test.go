@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree(0, 4); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := NewTree(1, 1); err == nil {
+		t.Error("branching 1 should error")
+	}
+	if _, err := NewTree(0.5, 4); err != nil {
+		t.Errorf("valid params: %v", err)
+	}
+}
+
+func TestCFStatistics(t *testing.T) {
+	cf := newCF([]float64{1, 2})
+	cf.add(newCF([]float64{3, 4}))
+	cent := cf.Centroid()
+	if cent[0] != 2 || cent[1] != 3 {
+		t.Errorf("centroid %v", cent)
+	}
+	// Radius: RMS distance to centroid; both points are sqrt(2) away.
+	if r := cf.Radius(); math.Abs(r-math.Sqrt2) > 1e-9 {
+		t.Errorf("radius %f, want sqrt(2)", r)
+	}
+}
+
+func TestInsertSeparatedClusters(t *testing.T) {
+	tree, _ := NewTree(0.5, 4)
+	// Two well-separated groups.
+	for i := 0; i < 10; i++ {
+		if _, err := tree.Insert(i, []float64{0.1 * float64(i%3), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if _, err := tree.Insert(i, []float64{10 + 0.1*float64(i%3), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusters := tree.Clusters()
+	if len(clusters) < 2 {
+		t.Fatalf("expected >= 2 clusters, got %d", len(clusters))
+	}
+	// No cluster may span both groups.
+	for _, c := range clusters {
+		hasLow, hasHigh := false, false
+		for _, id := range c.Items {
+			if id < 10 {
+				hasLow = true
+			} else {
+				hasHigh = true
+			}
+		}
+		if hasLow && hasHigh {
+			t.Error("cluster spans both groups")
+		}
+	}
+	if tree.Len() != 20 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	tree, _ := NewTree(1, 4)
+	tree.Insert(0, []float64{1, 2})
+	if _, err := tree.Insert(1, []float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestAllItemsPreserved(t *testing.T) {
+	// Property: every inserted id appears in exactly one cluster, under
+	// many random insertion orders that force splits.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, _ := NewTree(0.3, 3)
+		n := 50
+		for i := 0; i < n; i++ {
+			v := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			if _, err := tree.Insert(i, v); err != nil {
+				return false
+			}
+		}
+		seen := map[int]int{}
+		for _, c := range tree.Clusters() {
+			for _, id := range c.Items {
+				seen[id]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafRadiusBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	thresh := 0.4
+	tree, _ := NewTree(thresh, 4)
+	for i := 0; i < 200; i++ {
+		tree.Insert(i, []float64{rng.Float64() * 5, rng.Float64() * 5})
+	}
+	for _, c := range tree.Clusters() {
+		if r := c.CF.Radius(); r > thresh+1e-9 {
+			t.Errorf("cluster radius %f exceeds threshold %f", r, thresh)
+		}
+	}
+}
+
+func TestSmallestRadiusCluster(t *testing.T) {
+	tree, _ := NewTree(5, 8)
+	// Tight cluster of 3 identical points.
+	for i := 0; i < 3; i++ {
+		tree.Insert(i, []float64{1, 1})
+	}
+	// Looser cluster.
+	tree.Insert(3, []float64{20, 20})
+	tree.Insert(4, []float64{22, 22})
+	tree.Insert(5, []float64{24, 24})
+	best := tree.SmallestRadiusCluster(2)
+	if best == nil {
+		t.Fatal("no qualifying cluster")
+	}
+	if best.CF.Radius() > 1e-9 {
+		t.Errorf("tightest cluster radius %f, want 0", best.CF.Radius())
+	}
+	for _, id := range best.Items {
+		if id > 2 {
+			t.Errorf("tight cluster contains id %d", id)
+		}
+	}
+	if got := tree.SmallestRadiusCluster(100); got != nil {
+		t.Error("minItems filter ignored")
+	}
+}
+
+func TestClustersByRadiusOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tree, _ := NewTree(1.0, 4)
+	for i := 0; i < 100; i++ {
+		tree.Insert(i, []float64{rng.Float64() * 20, rng.Float64() * 20})
+	}
+	ordered := tree.ClustersByRadius(1)
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].CF.Radius() < ordered[i-1].CF.Radius()-1e-12 {
+			t.Fatal("clusters not ordered by radius")
+		}
+	}
+}
+
+func TestIncrementalGrowthHandlesSplits(t *testing.T) {
+	// Deep insertion with tiny branching exercises internal splits.
+	tree, _ := NewTree(0.05, 2)
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		v := []float64{rng.Float64() * 100}
+		if _, err := tree.Insert(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, c := range tree.Clusters() {
+		total += len(c.Items)
+	}
+	if total != 300 {
+		t.Errorf("items across clusters = %d, want 300", total)
+	}
+}
+
+func TestInsertReturnsHostEntry(t *testing.T) {
+	tree, _ := NewTree(1, 4)
+	e1, _ := tree.Insert(1, []float64{0, 0})
+	e2, _ := tree.Insert(2, []float64{0.1, 0})
+	if e1 != e2 {
+		t.Error("near-identical points should land in the same entry")
+	}
+	if len(e1.Items) != 2 {
+		t.Errorf("entry items %v", e1.Items)
+	}
+	e3, _ := tree.Insert(3, []float64{50, 50})
+	if e3 == e1 {
+		t.Error("distant point should seed a new entry")
+	}
+}

@@ -1,0 +1,356 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/quality"
+)
+
+// testScene generates n frames of a synthetic moving scene: a smooth
+// gradient background with a moving bright square, the content class the
+// predictive profiles are designed for.
+func testScene(n, w, h int, seed int64) []*frame.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	bgR, bgG, bgB := rng.Intn(128), rng.Intn(128), rng.Intn(128)
+	frames := make([]*frame.Frame, n)
+	for i := 0; i < n; i++ {
+		f := frame.New(w, h, frame.RGB)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				f.SetRGB(x, y, u8(bgR+x/2), u8(bgG+y/2), u8(bgB+(x+y)/4))
+			}
+		}
+		// A square moving 2px/frame with wraparound.
+		sx := (i*2 + 5) % (w - 8)
+		sy := h / 3
+		for y := sy; y < sy+8 && y < h; y++ {
+			for x := sx; x < sx+8 && x < w; x++ {
+				f.SetRGB(x, y, 230, 40, 40)
+			}
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+func u8(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// psnrVsOriginal decodes and measures mean PSNR against the originals
+// (compared in YUV420 space, where the codec operates).
+func psnrVsOriginal(t *testing.T, orig []*frame.Frame, data []byte) float64 {
+	t.Helper()
+	dec, _, err := DecodeGOP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(orig) {
+		t.Fatalf("decoded %d frames, want %d", len(dec), len(orig))
+	}
+	ref := make([]*frame.Frame, len(orig))
+	for i, f := range orig {
+		ref[i] = f.Convert(frame.YUV420)
+	}
+	p, err := quality.FramesPSNR(ref, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRawRoundTripExact(t *testing.T) {
+	for _, pf := range []frame.PixelFormat{frame.RGB, frame.YUV420, frame.Gray} {
+		frames := make([]*frame.Frame, 3)
+		rng := rand.New(rand.NewSource(11))
+		for i := range frames {
+			frames[i] = frame.New(16, 12, pf)
+			rng.Read(frames[i].Data)
+		}
+		data, st, err := EncodeGOP(frames, Raw, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", pf, err)
+		}
+		if st.IFrames != 3 || st.PFrames != 0 {
+			t.Errorf("%v: raw GOP stats %+v", pf, st)
+		}
+		dec, hd, err := DecodeGOP(data)
+		if err != nil {
+			t.Fatalf("%v: %v", pf, err)
+		}
+		if hd.PixFmt != pf {
+			t.Errorf("%v: header pixfmt %v", pf, hd.PixFmt)
+		}
+		for i := range frames {
+			for j := range frames[i].Data {
+				if dec[i].Data[j] != frames[i].Data[j] {
+					t.Fatalf("%v: frame %d byte %d mismatch", pf, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLossyRoundTripQuality(t *testing.T) {
+	frames := testScene(6, 64, 48, 1)
+	for _, id := range []ID{H264, HEVC} {
+		for _, q := range []int{60, 90, 100} {
+			data, st, err := EncodeGOP(frames, id, q)
+			if err != nil {
+				t.Fatalf("%s q=%d: %v", id, q, err)
+			}
+			if st.IFrames != 1 || st.PFrames != 5 {
+				t.Errorf("%s: GOP structure I=%d P=%d", id, st.IFrames, st.PFrames)
+			}
+			p := psnrVsOriginal(t, frames, data)
+			minPSNR := 30.0
+			if q == 100 {
+				minPSNR = 45
+			}
+			if p < minPSNR {
+				t.Errorf("%s q=%d: PSNR %.1f < %.1f", id, q, p, minPSNR)
+			}
+		}
+	}
+}
+
+func TestQualityDialMonotone(t *testing.T) {
+	frames := testScene(4, 64, 48, 2)
+	for _, id := range []ID{H264, HEVC} {
+		var prevPSNR float64
+		var prevSize = 0
+		for _, q := range []int{20, 50, 80, 100} {
+			data, _, err := EncodeGOP(frames, id, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := psnrVsOriginal(t, frames, data)
+			if p+0.5 < prevPSNR {
+				t.Errorf("%s: PSNR decreased with quality: q=%d gives %.1f < %.1f", id, q, p, prevPSNR)
+			}
+			if len(data) < prevSize {
+				t.Logf("%s: size %d at q=%d below previous %d (allowed, entropy coding)", id, len(data), q, prevSize)
+			}
+			prevPSNR, prevSize = p, len(data)
+		}
+	}
+}
+
+func TestHEVCBeatsH264OnRatio(t *testing.T) {
+	// Moving content at matched quality: the hevc profile (motion search,
+	// 2D intra) should produce a meaningfully smaller bitstream.
+	frames := testScene(10, 96, 64, 3)
+	h, _, err := EncodeGOP(frames, H264, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := EncodeGOP(frames, HEVC, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) >= len(h) {
+		t.Errorf("hevc (%d bytes) not smaller than h264 (%d bytes)", len(v), len(h))
+	}
+}
+
+func TestHeaderWithoutDecode(t *testing.T) {
+	frames := testScene(5, 32, 32, 4)
+	data, _, err := EncodeGOP(frames, HEVC, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Codec != HEVC || hd.Width != 32 || hd.Height != 32 || hd.FrameCount != 5 {
+		t.Errorf("header %+v", hd)
+	}
+	if hd.Quality != 70 {
+		t.Errorf("quality %d", hd.Quality)
+	}
+	want := []FrameType{IFrame, PFrame, PFrame, PFrame, PFrame}
+	for i, ft := range hd.FrameTypes {
+		if ft != want[i] {
+			t.Errorf("frame %d type %v, want %v", i, ft, want[i])
+		}
+	}
+}
+
+func TestDecodeRangeMatchesFullDecode(t *testing.T) {
+	frames := testScene(8, 48, 32, 5)
+	data, _, err := EncodeGOP(frames, H264, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := DecodeGOP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := DecodeRange(data, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 3 {
+		t.Fatalf("range decode returned %d frames", len(part))
+	}
+	for i := 0; i < 3; i++ {
+		for j := range part[i].Data {
+			if part[i].Data[j] != full[3+i].Data[j] {
+				t.Fatalf("range frame %d differs from full decode", i)
+			}
+		}
+	}
+}
+
+func TestDecodeRangeBounds(t *testing.T) {
+	frames := testScene(4, 32, 32, 6)
+	data, _, _ := EncodeGOP(frames, H264, 80)
+	if _, _, err := DecodeRange(data, -1, 2); err == nil {
+		t.Error("negative from should error")
+	}
+	if _, _, err := DecodeRange(data, 3, 2); err == nil {
+		t.Error("from > to should error")
+	}
+	got, _, err := DecodeRange(data, 2, -1)
+	if err != nil || len(got) != 2 {
+		t.Errorf("open-ended range: %v, %d frames", err, len(got))
+	}
+	got, _, err = DecodeRange(data, 0, 100)
+	if err != nil || len(got) != 4 {
+		t.Errorf("over-long range should clamp: %v, %d frames", err, len(got))
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, _, err := EncodeGOP(nil, H264, 80); err == nil {
+		t.Error("empty GOP should error")
+	}
+	if _, _, err := EncodeGOP([]*frame.Frame{frame.New(8, 8, frame.RGB)}, "vp9", 80); err == nil {
+		t.Error("unknown codec should error")
+	}
+	mixed := []*frame.Frame{frame.New(8, 8, frame.RGB), frame.New(16, 8, frame.RGB)}
+	if _, _, err := EncodeGOP(mixed, H264, 80); err == nil {
+		t.Error("mismatched dimensions should error")
+	}
+	odd := []*frame.Frame{frame.New(7, 7, frame.RGB)}
+	if _, _, err := EncodeGOP(odd, H264, 80); err == nil {
+		t.Error("odd dimensions should error for lossy codec")
+	}
+	if _, _, err := EncodeGOP(odd, Raw, 0); err != nil {
+		t.Errorf("raw codec should accept odd dimensions: %v", err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, _, err := DecodeGOP([]byte("not a gop")); err == nil {
+		t.Error("garbage should error")
+	}
+	frames := testScene(3, 32, 32, 7)
+	data, _, _ := EncodeGOP(frames, H264, 80)
+	if _, _, err := DecodeGOP(data[:len(data)/2]); err == nil {
+		t.Error("truncated GOP should error")
+	}
+	// Corrupt the version byte.
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	if _, _, err := DecodeGOP(bad); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+func TestStatsBitsPerPixel(t *testing.T) {
+	frames := testScene(5, 64, 48, 8)
+	_, st, err := EncodeGOP(frames, H264, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BitsPerPixel <= 0 || st.BitsPerPixel > 24 {
+		t.Errorf("implausible bpp %f", st.BitsPerPixel)
+	}
+	_, rawSt, _ := EncodeGOP(frames, Raw, 0)
+	if rawSt.BitsPerPixel < 23.9 {
+		t.Errorf("raw rgb bpp %f, want ~24", rawSt.BitsPerPixel)
+	}
+	if st.BitsPerPixel >= rawSt.BitsPerPixel/2 {
+		t.Errorf("compression too weak: %f vs raw %f", st.BitsPerPixel, rawSt.BitsPerPixel)
+	}
+}
+
+func TestQuantizerMapping(t *testing.T) {
+	if quantizer(100) != 1 {
+		t.Errorf("quantizer(100) = %d, want 1", quantizer(100))
+	}
+	if quantizer(1) <= quantizer(50) {
+		t.Error("lower quality must mean coarser quantizer")
+	}
+	if quantizer(-5) != quantizer(1) || quantizer(500) != quantizer(100) {
+		t.Error("quantizer must clamp out-of-range quality")
+	}
+}
+
+func TestYUV420InputAvoidsConversion(t *testing.T) {
+	rgb := testScene(3, 32, 32, 9)
+	yuv := make([]*frame.Frame, len(rgb))
+	for i, f := range rgb {
+		yuv[i] = f.Convert(frame.YUV420)
+	}
+	data, _, err := EncodeGOP(yuv, H264, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeGOP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := quality.FramesPSNR(yuv, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 40 {
+		t.Errorf("yuv420 round trip PSNR %.1f < 40", p)
+	}
+}
+
+func TestSingleFrameGOP(t *testing.T) {
+	frames := testScene(1, 32, 32, 10)
+	data, st, err := EncodeGOP(frames, HEVC, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IFrames != 1 || st.PFrames != 0 {
+		t.Errorf("single-frame GOP stats %+v", st)
+	}
+	dec, _, err := DecodeGOP(data)
+	if err != nil || len(dec) != 1 {
+		t.Fatalf("decode: %v, %d frames", err, len(dec))
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if IFrame.String() != "I" || PFrame.String() != "P" {
+		t.Error("FrameType string")
+	}
+}
+
+func TestIDValid(t *testing.T) {
+	for _, id := range []ID{Raw, H264, HEVC} {
+		if !id.Valid() {
+			t.Errorf("%s should be valid", id)
+		}
+	}
+	if ID("av1").Valid() {
+		t.Error("av1 should not be valid")
+	}
+	if Raw.Compressed() || !H264.Compressed() || !HEVC.Compressed() {
+		t.Error("Compressed() wrong")
+	}
+}

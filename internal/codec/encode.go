@@ -1,0 +1,215 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+
+	"repro/internal/frame"
+)
+
+// plane is a single 8-bit sample plane with its own dimensions (chroma
+// planes are subsampled relative to luma).
+type plane struct {
+	w, h int
+	pix  []byte
+}
+
+// yuvPlanes splits a YUV420 frame into its three planes.
+func yuvPlanes(f *frame.Frame) [3]plane {
+	ys := f.Width * f.Height
+	cw, ch := f.Width/2, f.Height/2
+	cs := cw * ch
+	return [3]plane{
+		{f.Width, f.Height, f.Data[:ys]},
+		{cw, ch, f.Data[ys : ys+cs]},
+		{cw, ch, f.Data[ys+cs : ys+2*cs]},
+	}
+}
+
+// zigzagAppend writes one residual using the variable-length byte code:
+// values with zigzag < 255 take one byte; larger values take three.
+func zigzagAppend(buf []byte, r int) []byte {
+	z := uint32(r<<1) ^ uint32(r>>31)
+	if z < 255 {
+		return append(buf, byte(z))
+	}
+	return append(buf, 255, byte(z), byte(z>>8))
+}
+
+// quantize rounds residual r to the nearest multiple of q and returns the
+// quantized index.
+func quantize(r, q int) int {
+	if q <= 1 {
+		return r
+	}
+	if r >= 0 {
+		return (r + q/2) / q
+	}
+	return -((-r + q/2) / q)
+}
+
+// encodeLossyGOP encodes frames with one of the predictive profiles. Input
+// frames are converted to YUV420; dimensions must be even (the storage
+// layer guarantees this; synthetic generators emit even sizes, as real
+// camera pipelines do).
+func encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
+	var st Stats
+	w, h := frames[0].Width, frames[0].Height
+	if w%2 != 0 || h%2 != 0 {
+		return nil, st, fmt.Errorf("codec: %s requires even dimensions, got %dx%d", codec, w, h)
+	}
+	prof := profiles[codec]
+	q := quantizer(quality)
+
+	types := make([]FrameType, len(frames))
+	payloads := make([][]byte, len(frames))
+	var recon [3]plane // reconstructed previous frame (decoder state mirror)
+
+	for i, f := range frames {
+		src := f
+		if f.Format != frame.YUV420 {
+			src = f.Convert(frame.YUV420)
+		}
+		planes := yuvPlanes(src)
+		var stream []byte
+		if i == 0 {
+			types[i] = IFrame
+			st.IFrames++
+			next := [3]plane{}
+			for p := 0; p < 3; p++ {
+				var res []byte
+				res, next[p] = encodeIntraPlane(planes[p], q, prof.intra2D)
+				stream = append(stream, res...)
+			}
+			recon = next
+		} else {
+			types[i] = PFrame
+			st.PFrames++
+			// Motion vectors are estimated on luma and halved for chroma.
+			mvs := estimateMotion(planes[0], recon[0], prof)
+			stream = append(stream, encodeMVs(mvs, prof)...)
+			next := [3]plane{}
+			for p := 0; p < 3; p++ {
+				bs := prof.blockSize
+				scale := 1
+				if p > 0 {
+					bs /= 2
+					scale = 2
+				}
+				var res []byte
+				res, next[p] = encodeInterPlane(planes[p], recon[p], mvs, bs, scale, q)
+				stream = append(stream, res...)
+			}
+			recon = next
+		}
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, prof.flateLevel)
+		if err != nil {
+			return nil, st, fmt.Errorf("codec: %w", err)
+		}
+		if _, err := zw.Write(stream); err != nil {
+			return nil, st, fmt.Errorf("codec: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, st, fmt.Errorf("codec: %w", err)
+		}
+		payloads[i] = buf.Bytes()
+	}
+
+	data := writeContainer(codec, frame.YUV420, quality, w, h, types, payloads)
+	st.Bytes = len(data)
+	st.BitsPerPixel = float64(len(data)) * 8 / float64(w*h*len(frames))
+	return data, st, nil
+}
+
+// encodeIntraPlane codes a plane with spatial DPCM prediction: each sample
+// is predicted from its reconstructed left neighbor (h264 profile) or the
+// average of left and top (hevc profile), quantized, and entropy coded.
+// Returns the residual stream and the reconstructed plane the next frame
+// predicts from.
+func encodeIntraPlane(p plane, q int, intra2D bool) ([]byte, plane) {
+	rec := plane{p.w, p.h, make([]byte, len(p.pix))}
+	res := make([]byte, 0, len(p.pix))
+	for y := 0; y < p.h; y++ {
+		row := y * p.w
+		for x := 0; x < p.w; x++ {
+			pred := intraPredict(rec, x, y, intra2D)
+			r := int(p.pix[row+x]) - pred
+			qr := quantize(r, q)
+			res = zigzagAppend(res, qr)
+			rec.pix[row+x] = clampU8(pred + qr*q)
+		}
+	}
+	return res, rec
+}
+
+// intraPredict returns the spatial prediction for sample (x, y) given the
+// already-reconstructed samples of the same plane.
+func intraPredict(rec plane, x, y int, intra2D bool) int {
+	left, top := -1, -1
+	if x > 0 {
+		left = int(rec.pix[y*rec.w+x-1])
+	}
+	if y > 0 {
+		top = int(rec.pix[(y-1)*rec.w+x])
+	}
+	switch {
+	case intra2D && left >= 0 && top >= 0:
+		return (left + top + 1) / 2
+	case left >= 0:
+		return left
+	case top >= 0:
+		return top
+	default:
+		return 128
+	}
+}
+
+// encodeInterPlane codes a plane against the previous reconstructed plane
+// using per-block motion vectors (scaled down by `scale` for chroma).
+func encodeInterPlane(p, ref plane, mvs []mv, bs, scale, q int) ([]byte, plane) {
+	rec := plane{p.w, p.h, make([]byte, len(p.pix))}
+	res := make([]byte, 0, len(p.pix))
+	bw := (p.w + bs - 1) / bs
+	for y := 0; y < p.h; y++ {
+		row := y * p.w
+		by := y / bs
+		for x := 0; x < p.w; x++ {
+			m := mvs[by*bw+x/bs]
+			pred := refSample(ref, x+m.dx/scale, y+m.dy/scale)
+			r := int(p.pix[row+x]) - pred
+			qr := quantize(r, q)
+			res = zigzagAppend(res, qr)
+			rec.pix[row+x] = clampU8(pred + qr*q)
+		}
+	}
+	return res, rec
+}
+
+// refSample samples the reference plane with edge clamping.
+func refSample(ref plane, x, y int) int {
+	if x < 0 {
+		x = 0
+	}
+	if x >= ref.w {
+		x = ref.w - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= ref.h {
+		y = ref.h - 1
+	}
+	return int(ref.pix[y*ref.w+x])
+}
+
+func clampU8(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

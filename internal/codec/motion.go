@@ -1,0 +1,129 @@
+package codec
+
+// Motion estimation for the hevc profile: per-block diamond search over the
+// previous reconstructed luma plane. The h264 profile uses zero-motion
+// prediction (searchRadius 0), mirroring the compute/ratio gap between the
+// real codecs that the paper's cost model calibrates against.
+
+// mv is a per-block motion vector in luma pixels.
+type mv struct {
+	dx, dy int
+}
+
+// estimateMotion returns one motion vector per block of the luma plane.
+func estimateMotion(cur, ref plane, prof profile) []mv {
+	bs := prof.blockSize
+	bw := (cur.w + bs - 1) / bs
+	bh := (cur.h + bs - 1) / bs
+	mvs := make([]mv, bw*bh)
+	if prof.searchRadius == 0 {
+		return mvs // zero-motion profile
+	}
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			mvs[by*bw+bx] = diamondSearch(cur, ref, bx*bs, by*bs, bs, prof.searchRadius)
+		}
+	}
+	return mvs
+}
+
+// diamondSearch finds a low-SAD motion vector for the block with top-left
+// (x0, y0) using a coarse-to-fine diamond pattern bounded by radius.
+func diamondSearch(cur, ref plane, x0, y0, bs, radius int) mv {
+	best := mv{0, 0}
+	bestSAD := blockSAD(cur, ref, x0, y0, bs, 0, 0, 1<<30)
+	if bestSAD == 0 {
+		return best
+	}
+	for step := radius; step >= 1; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [4]mv{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+				cand := mv{best.dx + d.dx, best.dy + d.dy}
+				if cand.dx < -radius || cand.dx > radius || cand.dy < -radius || cand.dy > radius {
+					continue
+				}
+				sad := blockSAD(cur, ref, x0, y0, bs, cand.dx, cand.dy, bestSAD)
+				if sad < bestSAD {
+					bestSAD, best = sad, cand
+					improved = true
+				}
+			}
+			if bestSAD == 0 {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// blockSAD computes the sum of absolute differences between the current
+// block and the reference block displaced by (dx, dy), early-exiting once
+// the running sum exceeds limit.
+func blockSAD(cur, ref plane, x0, y0, bs, dx, dy, limit int) int {
+	sum := 0
+	for y := y0; y < y0+bs && y < cur.h; y++ {
+		row := y * cur.w
+		ry := y + dy
+		if ry < 0 {
+			ry = 0
+		}
+		if ry >= ref.h {
+			ry = ref.h - 1
+		}
+		rrow := ry * ref.w
+		for x := x0; x < x0+bs && x < cur.w; x++ {
+			rx := x + dx
+			if rx < 0 {
+				rx = 0
+			}
+			if rx >= ref.w {
+				rx = ref.w - 1
+			}
+			d := int(cur.pix[row+x]) - int(ref.pix[rrow+rx])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= limit {
+			return sum
+		}
+	}
+	return sum
+}
+
+// encodeMVs serializes motion vectors as offset bytes (mv+128). The stream
+// is later deflate-compressed with the residuals, so runs of zero vectors
+// cost almost nothing.
+func encodeMVs(mvs []mv, prof profile) []byte {
+	if prof.searchRadius == 0 {
+		return nil // zero-motion profiles carry no MV table
+	}
+	out := make([]byte, 0, len(mvs)*2)
+	for _, m := range mvs {
+		out = append(out, byte(m.dx+128), byte(m.dy+128))
+	}
+	return out
+}
+
+// decodeMVs reads the MV table for a plane of the given luma dimensions,
+// returning the vectors and the number of bytes consumed.
+func decodeMVs(stream []byte, lumaW, lumaH int, prof profile) ([]mv, int, error) {
+	bs := prof.blockSize
+	bw := (lumaW + bs - 1) / bs
+	bh := (lumaH + bs - 1) / bs
+	n := bw * bh
+	if prof.searchRadius == 0 {
+		return make([]mv, n), 0, nil
+	}
+	if len(stream) < n*2 {
+		return nil, 0, errTruncated
+	}
+	mvs := make([]mv, n)
+	for i := 0; i < n; i++ {
+		mvs[i] = mv{int(stream[i*2]) - 128, int(stream[i*2+1]) - 128}
+	}
+	return mvs, n * 2, nil
+}

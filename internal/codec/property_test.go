@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+	"repro/internal/quality"
+)
+
+// TestGOPIndependence verifies the property VSS's whole design rests on:
+// a GOP decodes identically regardless of what was encoded before or
+// after it, because no data dependencies cross GOP boundaries.
+func TestGOPIndependence(t *testing.T) {
+	sceneA := testScene(8, 48, 32, 90)
+	sceneB := testScene(8, 48, 32, 91)
+	for _, id := range []ID{H264, HEVC} {
+		// Encode B alone, and B after A (separate calls, as the writer
+		// produces them).
+		alone, _, err := EncodeGOP(sceneB, id, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = EncodeGOP(sceneA, id, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, _, err := EncodeGOP(sceneB, id, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alone) != len(after) {
+			t.Fatalf("%s: GOP encoding depends on encoder history", id)
+		}
+		for i := range alone {
+			if alone[i] != after[i] {
+				t.Fatalf("%s: byte %d differs across encodes", id, i)
+			}
+		}
+	}
+}
+
+// TestDecodePrefixConsistency: decoding [0, k) yields the same frames as
+// the prefix of a full decode, for every k — the invariant DecodeRange's
+// look-back implementation relies on.
+func TestDecodePrefixConsistency(t *testing.T) {
+	frames := testScene(6, 48, 32, 92)
+	data, _, err := EncodeGOP(frames, HEVC, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := DecodeGOP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(frames); k++ {
+		part, _, err := DecodeRange(data, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			for j := range part[i].Data {
+				if part[i].Data[j] != full[i].Data[j] {
+					t.Fatalf("prefix decode [0,%d) frame %d differs", k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeDecodePropertyRandomScenes: for arbitrary smooth scenes and
+// quality presets, decode(encode(x)) preserves dimensions, frame count,
+// and the analytic quality bound within a tolerance.
+func TestEncodeDecodePropertyRandomScenes(t *testing.T) {
+	prop := func(seed int64, q8 uint8) bool {
+		qual := 50 + int(q8%51) // 50..100
+		n := 3
+		frames := testScene(n, 32, 24, seed)
+		data, st, err := EncodeGOP(frames, H264, qual)
+		if err != nil {
+			return false
+		}
+		if st.BitsPerPixel <= 0 {
+			return false
+		}
+		dec, hd, err := DecodeGOP(data)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		if hd.Width != 32 || hd.Height != 24 || hd.Quality != qual {
+			return false
+		}
+		ref := make([]*frame.Frame, n)
+		for i, f := range frames {
+			ref[i] = f.Convert(frame.YUV420)
+		}
+		p, err := quality.FramesPSNR(ref, dec)
+		if err != nil {
+			return false
+		}
+		// The analytic bound is MSE <= Q^2/12-ish; allow generous slack
+		// for prediction drift on the moving content.
+		bound := quality.PSNRFromMSE(ExpectedMSE(qual)*4 + 1)
+		return p >= bound-6
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(93))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMSEMonotone(t *testing.T) {
+	prev := 1e18
+	for q := 10; q <= 100; q += 10 {
+		m := ExpectedMSE(q)
+		if m > prev {
+			t.Errorf("ExpectedMSE not monotone at q=%d: %f > %f", q, m, prev)
+		}
+		prev = m
+	}
+	if ExpectedMSE(100) != 0 {
+		t.Error("quality 100 must be residual-lossless")
+	}
+}
+
+// TestExpectedMSETracksMeasured cross-checks the analytic estimate against
+// measured distortion — the property that lets it stand in for the
+// paper's vbench-derived quality table.
+func TestExpectedMSETracksMeasured(t *testing.T) {
+	frames := testScene(6, 64, 48, 94)
+	ref := make([]*frame.Frame, len(frames))
+	for i, f := range frames {
+		ref[i] = f.Convert(frame.YUV420)
+	}
+	for _, q := range []int{40, 60, 80} {
+		data, _, err := EncodeGOP(frames, H264, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := DecodeGOP(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := quality.FramesPSNR(ref, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := quality.PSNRFromMSE(ExpectedMSE(q))
+		diff := measured - predicted
+		if diff < -3 || diff > 6 {
+			t.Errorf("q=%d: predicted %.1f dB, measured %.1f dB", q, predicted, measured)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// TestSolverNeverWorseThanGreedyProperty randomizes cache states and read
+// requests and checks the central §3.1 claim: the SMT plan's modeled cost
+// never exceeds the dependency-naive greedy plan's cost for the same
+// state and request.
+func TestSolverNeverWorseThanGreedyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized ablation in -short mode")
+	}
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		dir := t.TempDir()
+		s, err := Open(dir, Options{GOPFrames: 8, BudgetMultiple: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Create("v", -1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(48, 64, 48, int64(trial))); err != nil {
+			t.Fatal(err)
+		}
+		// Random cache state.
+		for i := 0; i < 6; i++ {
+			t1 := float64(rng.Intn(9))
+			spec := ReadSpec{T: Temporal{Start: t1, End: t1 + 1 + float64(rng.Intn(3))}}
+			switch rng.Intn(3) {
+			case 0:
+				spec.P.Codec = codec.HEVC
+			case 1:
+				spec.P.Codec = codec.H264
+				spec.P.Quality = 70
+			}
+			if _, err := s.Read("v", spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+
+		// Compare planners on the frozen state across several requests.
+		for probe := 0; probe < 4; probe++ {
+			t1 := float64(rng.Intn(8))
+			req := ReadSpec{T: Temporal{Start: t1, End: t1 + 2 + float64(rng.Intn(3))}, P: Physical{Codec: codec.HEVC}}
+			var costs [2]float64
+			for i, greedy := range []bool{false, true} {
+				m, err := Open(dir, Options{GOPFrames: 8, DisableCache: true, DisableDeferred: true, GreedyPlanner: greedy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Read("v", req)
+				m.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				costs[i] = res.Stats.PlanCost
+			}
+			if costs[0] > costs[1]+1e-6 {
+				t.Errorf("trial %d probe %d: solver cost %.0f exceeds greedy %.0f", trial, probe, costs[0], costs[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/frame"
+	"repro/internal/index"
+	"repro/internal/vision"
+)
+
+// This file implements joint-compression candidate selection (Section
+// 5.1.3 and Figure 9): fragments are fingerprinted with color histograms,
+// clustered incrementally with BIRCH, and — tightest clusters first —
+// searched for pairs sharing many unambiguous feature correspondences.
+
+// Candidate selection parameters from the paper's prototype: a pair is
+// sufficiently related at m = 20 nearby, unambiguous correspondences.
+const (
+	candidateMinMatches = 20
+	fingerprintBins     = 8
+	fingerprintThumb    = 4
+	// clusterThreshold is the BIRCH radius bound in fingerprint space
+	// (histograms are unit-mass per channel, so distances live in [0, ~2]).
+	clusterThreshold = 0.35
+)
+
+// PairCandidate names two GOPs from different logical videos proposed for
+// joint compression.
+type PairCandidate struct {
+	A, B    GOPRef
+	Matches int
+}
+
+// JointStats summarizes a joint-compression sweep.
+type JointStats struct {
+	Scanned     int // GOPs fingerprinted
+	Pairs       int // candidate pairs proposed
+	Compressed  int
+	Duplicates  int
+	Aborted     int
+	BytesBefore int64
+	BytesAfter  int64
+}
+
+// FindJointCandidates runs the discovery pipeline over the original
+// physical videos of every logical video and returns proposed pairs. It
+// never proposes GOPs already jointly compressed or deduplicated.
+func (s *Store) FindJointCandidates() ([]PairCandidate, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.findJointCandidatesLocked()
+}
+
+func (s *Store) findJointCandidatesLocked() ([]PairCandidate, int, error) {
+	fp, err := index.NewFingerprints(clusterThreshold)
+	if err != nil {
+		return nil, 0, err
+	}
+	type gopInfo struct {
+		ref   GOPRef
+		first *frame.Frame
+	}
+	var infos []gopInfo
+	names := make([]string, 0, len(s.videos))
+	for name := range s.videos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := s.videos[name]
+		p := s.originalOf(name)
+		if p == nil {
+			continue
+		}
+		for i := range p.GOPs {
+			g := &p.GOPs[i]
+			if g.Joint != nil || g.DupOf != nil {
+				continue
+			}
+			first, err := s.firstFrameLocked(v, p, g)
+			if err != nil {
+				return nil, 0, err
+			}
+			id := len(infos)
+			infos = append(infos, gopInfo{GOPRef{name, p.ID, g.Seq}, first})
+			if err := fp.Add(id, vision.Fingerprint(first, fingerprintBins, fingerprintThumb)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	// Keypoints are computed lazily per GOP and cached for the sweep.
+	kps := make(map[int][]vision.Keypoint)
+	keypointsOf := func(id int) []vision.Keypoint {
+		if k, ok := kps[id]; ok {
+			return k
+		}
+		k := vision.DetectKeypoints(infos[id].first, 300)
+		kps[id] = k
+		return k
+	}
+
+	// Collect geometrically verified candidates within each cluster, then
+	// pair greedily by correspondence strength: a GOP joins at most one
+	// pair, and stronger matches claim their partners first.
+	type scored struct {
+		a, b    int
+		inliers int
+	}
+	var all []scored
+	rng := rand.New(rand.NewSource(97))
+	for _, group := range fp.CandidateGroups(2) {
+		sort.Ints(group)
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if infos[a].ref.Video == infos[b].ref.Video {
+					continue // joint compression crosses logical videos
+				}
+				ka, kb := keypointsOf(a), keypointsOf(b)
+				matches := vision.MatchKeypoints(ka, kb, vision.DefaultLoweRatio)
+				if len(matches) < candidateMinMatches {
+					continue
+				}
+				// Geometric verification: the correspondences must be
+				// consistent with a single homography, not merely similar
+				// in appearance (periodic textures match across unrelated
+				// scenes).
+				res, ok := vision.RANSACHomography(ka, kb, matches, 200, 3, candidateMinMatches, rng)
+				if !ok {
+					continue
+				}
+				all = append(all, scored{a, b, len(res.Inliers)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].inliers > all[j].inliers })
+	var pairs []PairCandidate
+	paired := make(map[int]bool)
+	for _, sc := range all {
+		if paired[sc.a] || paired[sc.b] {
+			continue
+		}
+		pairs = append(pairs, PairCandidate{A: infos[sc.a].ref, B: infos[sc.b].ref, Matches: sc.inliers})
+		paired[sc.a], paired[sc.b] = true, true
+	}
+	return pairs, len(infos), nil
+}
+
+// firstFrameLocked decodes just the first frame of a GOP (cheap: one
+// I-frame) for fingerprinting and feature detection.
+func (s *Store) firstFrameLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) (*frame.Frame, error) {
+	var stats ReadStats
+	frames, err := s.decodeGOPRangeLocked(v, p, g, 0, 1, &stats)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("core: empty GOP %s/%d/%d", v.Name, p.ID, g.Seq)
+	}
+	f := frames[0]
+	if f.Format != frame.RGB {
+		f = f.Convert(frame.RGB)
+	}
+	return f, nil
+}
+
+// FeatureMatchCheck runs the per-pair feature test in isolation: whether
+// two GOPs share enough unambiguous correspondences to be a joint
+// compression candidate. It is the unit of work the paper's Figure 11
+// charges to the random-sampling strategy.
+func (s *Store) FeatureMatchCheck(a, b GOPRef) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	va, pa, ga, err := s.resolveRef(a)
+	if err != nil {
+		return false, err
+	}
+	vb, pb, gb, err := s.resolveRef(b)
+	if err != nil {
+		return false, err
+	}
+	fa, err := s.firstFrameLocked(va, pa, ga)
+	if err != nil {
+		return false, err
+	}
+	fb, err := s.firstFrameLocked(vb, pb, gb)
+	if err != nil {
+		return false, err
+	}
+	matches := vision.MatchKeypoints(vision.DetectKeypoints(fa, 300), vision.DetectKeypoints(fb, 300), vision.DefaultLoweRatio)
+	return len(matches) >= candidateMinMatches, nil
+}
+
+// JointCompressAll runs the full pipeline — discovery then compression —
+// over the whole store, returning sweep statistics (the workflow of
+// Figure 9).
+func (s *Store) JointCompressAll(merge MergeMode) (JointStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st JointStats
+	pairs, scanned, err := s.findJointCandidatesLocked()
+	if err != nil {
+		return st, err
+	}
+	st.Scanned = scanned
+	st.Pairs = len(pairs)
+	for _, pc := range pairs {
+		res, err := s.jointCompressPairLocked(pc.A, pc.B, merge)
+		if err != nil {
+			return st, err
+		}
+		st.BytesBefore += res.BytesBefore
+		st.BytesAfter += res.BytesAfter
+		switch {
+		case res.Duplicate:
+			st.Duplicates++
+			st.Compressed++
+		case res.Compressed:
+			st.Compressed++
+		default:
+			st.Aborted++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/lossless"
+)
+
+// This file implements deferred compression (Section 5.2): when a video's
+// stored size exceeds a threshold fraction of its budget, uncompressed
+// cache entries are losslessly compressed — last-in-eviction-order first
+// (the entry least likely to be evicted) — at a level that scales linearly
+// with the remaining budget.
+
+// deferredPressureLocked performs one deferred-compression step if the
+// video is over its activation threshold. It is invoked by uncompressed
+// reads, after writes, and by the background maintenance loop.
+func (s *Store) deferredPressureLocked(v *VideoMeta) error {
+	if s.opts.DisableDeferred || v.Budget <= 0 {
+		return nil
+	}
+	used := s.totalBytesLocked(v.Name)
+	if float64(used) < s.opts.DeferredThreshold*float64(v.Budget) {
+		return nil
+	}
+	remaining := 1 - float64(used)/float64(v.Budget)
+	level := lossless.LevelForBudget(remaining)
+	_, err := s.compressOneLocked(v, level)
+	return err
+}
+
+// DeferredLevel reports the compression level the controller would use for
+// the video right now (Figure 13 instrumentation); 0 means deferred
+// compression is currently inactive.
+func (s *Store) DeferredLevel(video string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok || s.opts.DisableDeferred || v.Budget <= 0 {
+		return 0
+	}
+	used := s.totalBytesLocked(v.Name)
+	if float64(used) < s.opts.DeferredThreshold*float64(v.Budget) {
+		return 0
+	}
+	return lossless.LevelForBudget(1 - float64(used)/float64(v.Budget))
+}
+
+// compressOneLocked losslessly compresses the uncompressed GOP least
+// likely to be evicted (highest LRU_VSS score). Returns whether any entry
+// was compressed.
+func (s *Store) compressOneLocked(v *VideoMeta, level int) (bool, error) {
+	type cand struct {
+		phys  *PhysMeta
+		seq   int
+		score float64
+	}
+	var cands []cand
+	for _, p := range s.phys[v.Name] {
+		if p.Codec != codec.Raw {
+			continue
+		}
+		n := len(p.GOPs)
+		for i := range p.GOPs {
+			g := &p.GOPs[i]
+			if g.Lossless != 0 || g.Joint != nil || g.DupOf != nil {
+				continue // already compressed or marked incompressible
+			}
+			pos := i
+			if n-1-i < pos {
+				pos = n - 1 - i
+			}
+			score := float64(g.LRU) + s.opts.Gamma*float64(pos) - s.opts.Zeta*float64(s.redundancyLocked(v, p, g))
+			cands = append(cands, cand{p, g.Seq, score})
+		}
+	}
+	if len(cands) == 0 {
+		return false, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	c := cands[0]
+	g := findGOP(c.phys, c.seq)
+	data, err := s.files.ReadGOP(v.Name, c.phys.Dir, g.Seq)
+	if err != nil {
+		return false, err
+	}
+	block, err := lossless.Compress(data, level)
+	if err != nil {
+		return false, err
+	}
+	if len(block) >= len(data) {
+		// Incompressible; mark with level so it is not retried forever.
+		g.Lossless = -1
+		return false, s.savePhys(v.Name, c.phys)
+	}
+	if err := s.files.WriteGOP(v.Name, c.phys.Dir, g.Seq, block); err != nil {
+		return false, err
+	}
+	g.Lossless = level
+	g.Bytes = int64(len(block))
+	return true, s.savePhys(v.Name, c.phys)
+}
+
+// Maintain runs one background maintenance pass over every video:
+// deferred compression pressure and physical video compaction. The paper
+// runs these "in a background thread when no other requests are being
+// executed" and "periodically and non-quiescently".
+func (s *Store) Maintain() error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.videos))
+	for name := range s.videos {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	for _, name := range names {
+		s.mu.Lock()
+		v, ok := s.videos[name]
+		if ok {
+			if err := s.deferredPressureLocked(v); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if _, err := s.compactLocked(v); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// StartBackground launches the maintenance loop at the given interval and
+// returns a stop function.
+func (s *Store) StartBackground(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				// Maintenance is best-effort; errors surface on the next
+				// foreground operation.
+				_ = s.Maintain()
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/lossless"
+	"repro/internal/quality"
+)
+
+// ReadStats reports how a read was executed.
+type ReadStats struct {
+	PlanCost    float64
+	PlanRuns    int
+	PlanMethod  string
+	GOPsDecoded int
+	BytesRead   int64
+	Admitted    bool // result cached as a new physical video
+}
+
+// ReadResult is the answer to a read operation. Raw reads return decoded
+// Frames in the requested layout; compressed reads return encoded GOPs.
+type ReadResult struct {
+	Frames []*frame.Frame
+	GOPs   [][]byte
+	Width  int // output frame width (of the ROI region)
+	Height int
+	FPS    int
+	Stats  ReadStats
+}
+
+// FrameCount returns the number of output frames.
+func (r *ReadResult) FrameCount() int {
+	if len(r.Frames) > 0 {
+		return len(r.Frames)
+	}
+	n := 0
+	for _, g := range r.GOPs {
+		if hd, err := codec.DecodeHeader(g); err == nil {
+			n += hd.FrameCount
+		}
+	}
+	return n
+}
+
+// Read executes a read operation per Section 3: it resolves the request,
+// selects a minimal-cost fragment set over the cached materialized views,
+// decodes and converts the data, optionally caches the result, and returns
+// it in the requested spatial/temporal/physical configuration.
+func (s *Store) Read(video string, spec ReadSpec) (*ReadResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	r, err := s.resolve(v, spec)
+	if err != nil {
+		return nil, err
+	}
+	// One LRU tick per read operation: every page the read touches shares
+	// the same sequence number, so the position and redundancy offsets of
+	// LRU_VSS break ties within an operation (Section 4).
+	s.tick(v)
+	plan, err := s.plan(v, r)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ReadResult{Width: r.roiW, Height: r.roiH, FPS: r.outFPS}
+	out.Stats.PlanCost = plan.Cost
+	out.Stats.PlanRuns = plan.Runs
+	out.Stats.PlanMethod = plan.Method
+
+	var parentMSE float64
+	for _, st := range plan.steps {
+		if m := useMSE(st.phys, r); m > parentMSE {
+			parentMSE = m
+		}
+	}
+
+	var frames []*frame.Frame
+	var encoded [][]byte
+	var mbpp float64
+	if r.codec.Compressed() {
+		// Mixed execution: runs whose fragment already matches the output
+		// configuration are served as stored bitstreams (no decode); only
+		// the remainder is transcoded. This is where the planner's cost
+		// savings become wall-clock savings (Figures 10 and 12).
+		encoded, mbpp, err = s.executeCompressed(v, r, plan, &out.Stats)
+		if err != nil {
+			return nil, err
+		}
+		out.GOPs = encoded
+	} else {
+		frames, err = s.executePlan(v, r, plan, &out.Stats)
+		if err != nil {
+			return nil, err
+		}
+		outFmt := frame.PixelFormat(r.pixfmt)
+		conv := make([]*frame.Frame, len(frames))
+		for i, f := range frames {
+			if f.Format == outFmt {
+				conv[i] = f
+			} else {
+				conv[i] = f.Convert(outFmt)
+			}
+		}
+		out.Frames = conv
+	}
+
+	if admitted, err := s.admitLocked(v, r, plan, frames, encoded, parentMSE, mbpp); err != nil {
+		return nil, err
+	} else {
+		out.Stats.Admitted = admitted
+	}
+	if !r.codec.Compressed() {
+		// Uncompressed reads drive deferred compression (Section 5.2).
+		if err := s.deferredPressureLocked(v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// executeCompressed serves a compressed-output read with mixed execution:
+// runs of the plan whose fragment is already in the output configuration
+// are emitted as stored bitstreams without decoding (whole aligned GOPs)
+// — only run edges and format-mismatched runs pay decode + re-encode.
+// This is why VSS's same-format reads stay within a small constant of the
+// raw file system (Figure 14), and why a populated cache cuts long-read
+// time (Figure 10) rather than only planner cost.
+func (s *Store) executeCompressed(v *VideoMeta, r resolvedSpec, plan *Plan, stats *ReadStats) ([][]byte, float64, error) {
+	type runSeg struct {
+		phys *PhysMeta
+		a, b float64
+	}
+	var runs []runSeg
+	for _, st := range plan.steps {
+		if n := len(runs); n > 0 && runs[n-1].phys.ID == st.phys.ID {
+			runs[n-1].b = st.b
+			continue
+		}
+		runs = append(runs, runSeg{st.phys, st.a, st.b})
+	}
+
+	var gops [][]byte
+	var totalBytes, totalPixels int64
+	var pending []*frame.Frame
+	flush := func() error {
+		for i := 0; i < len(pending); i += s.opts.GOPFrames {
+			j := i + s.opts.GOPFrames
+			if j > len(pending) {
+				j = len(pending)
+			}
+			data, _, err := codec.EncodeGOP(pending[i:j], r.codec, r.quality)
+			if err != nil {
+				return err
+			}
+			gops = append(gops, data)
+			totalBytes += int64(len(data))
+			totalPixels += int64(r.roiW * r.roiH * (j - i))
+		}
+		pending = pending[:0]
+		return nil
+	}
+
+	touched := map[int]*PhysMeta{}
+	for _, rn := range runs {
+		p := rn.phys
+		touched[p.ID] = p
+		if matchesOutput(p, r) {
+			fps := float64(p.FPS)
+			for i := range p.GOPs {
+				g := &p.GOPs[i]
+				ga, gb := p.gopSpan(g)
+				if gb <= rn.a+timeEps || ga >= rn.b-timeEps {
+					continue
+				}
+				aligned := ga >= rn.a-timeEps && gb <= rn.b+timeEps &&
+					g.Joint == nil && g.DupOf == nil && g.Lossless == 0
+				if aligned {
+					if err := flush(); err != nil {
+						return nil, 0, err
+					}
+					data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
+					if err != nil {
+						return nil, 0, err
+					}
+					stats.BytesRead += int64(len(data))
+					totalBytes += int64(len(data))
+					totalPixels += int64(r.roiW * r.roiH * g.Frames)
+					gops = append(gops, data)
+					g.LRU = v.Clock
+					continue
+				}
+				// Partial or indirect GOP: decode only the needed frames.
+				from := int(math.Round((rn.a - ga) * fps))
+				if from < 0 {
+					from = 0
+				}
+				to := g.Frames - int(math.Round((gb-rn.b)*fps))
+				if to > g.Frames {
+					to = g.Frames
+				}
+				if to <= from {
+					continue
+				}
+				fr, err := s.decodeGOPRangeLocked(v, p, g, from, to, stats)
+				if err != nil {
+					return nil, 0, err
+				}
+				g.LRU = v.Clock
+				for _, f := range fr {
+					cf, err := s.convertFrame(f, p, r)
+					if err != nil {
+						return nil, 0, err
+					}
+					pending = append(pending, cf)
+				}
+			}
+			continue
+		}
+		// Format mismatch: transcode the run.
+		fr, err := s.assembleRun(v, p, rn.a, rn.b, r, stats)
+		if err != nil {
+			return nil, 0, err
+		}
+		pending = append(pending, fr...)
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	for _, p := range touched {
+		if err := s.savePhys(v.Name, p); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := s.saveVideo(v); err != nil {
+		return nil, 0, err
+	}
+	var mbpp float64
+	if totalPixels > 0 {
+		mbpp = float64(totalBytes) * 8 / float64(totalPixels)
+	}
+	return gops, mbpp, nil
+}
+
+// assembleRun decodes and converts the output frames for one plan run.
+func (s *Store) assembleRun(v *VideoMeta, p *PhysMeta, a, b float64, r resolvedSpec, stats *ReadStats) ([]*frame.Frame, error) {
+	nOut := int(math.Round((b - a) * float64(r.outFPS)))
+	if nOut < 1 {
+		nOut = 1
+	}
+	decoded := make(map[int][]*frame.Frame)
+	out := make([]*frame.Frame, 0, nOut)
+	for k := 0; k < nOut; k++ {
+		tk := a + (float64(k)+0.5)/float64(r.outFPS)
+		local := int((tk - p.Start) * float64(p.FPS))
+		g := gopContaining(p, local)
+		if g == nil {
+			return nil, fmt.Errorf("core: no GOP for t=%f in phys %d", tk, p.ID)
+		}
+		gf, ok := decoded[g.Seq]
+		if !ok {
+			var err error
+			gf, err = s.decodeGOPLocked(v, p, g, stats)
+			if err != nil {
+				return nil, err
+			}
+			decoded[g.Seq] = gf
+			g.LRU = v.Clock
+		}
+		idx := local - g.StartFrame
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(gf) {
+			idx = len(gf) - 1
+		}
+		f, err := s.convertFrame(gf[idx], p, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// executePlan decodes the planned fragments and assembles output frames
+// in RGB at the requested ROI resolution (the raw-output path).
+func (s *Store) executePlan(v *VideoMeta, r resolvedSpec, plan *Plan, stats *ReadStats) ([]*frame.Frame, error) {
+	var out []*frame.Frame
+	seen := map[int]bool{}
+	for i := 0; i < len(plan.steps); {
+		// Group contiguous steps on the same fragment into one run.
+		j := i
+		for j+1 < len(plan.steps) && plan.steps[j+1].phys.ID == plan.steps[i].phys.ID {
+			j++
+		}
+		st := plan.steps[i]
+		fr, err := s.assembleRun(v, st.phys, st.a, plan.steps[j].b, r, stats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fr...)
+		seen[st.phys.ID] = true
+		i = j + 1
+	}
+	for _, stp := range plan.steps {
+		if seen[stp.phys.ID] {
+			seen[stp.phys.ID] = false
+			if err := s.savePhys(v.Name, stp.phys); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.saveVideo(v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gopContaining finds the GOP holding a local frame index.
+func gopContaining(p *PhysMeta, local int) *GOPMeta {
+	for i := range p.GOPs {
+		g := &p.GOPs[i]
+		if local >= g.StartFrame && local < g.StartFrame+g.Frames {
+			return g
+		}
+	}
+	// Tolerate edge rounding: return the last GOP if local is just past
+	// the end.
+	if n := len(p.GOPs); n > 0 && local >= p.GOPs[n-1].StartFrame {
+		return &p.GOPs[n-1]
+	}
+	return nil
+}
+
+// decodeGOPLocked loads and decodes one GOP, resolving duplicate pointers,
+// deferred-compression wrappers, and joint-compression reconstruction.
+func (s *Store) decodeGOPLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta, stats *ReadStats) ([]*frame.Frame, error) {
+	if g.DupOf != nil {
+		dv, dp, dg, err := s.resolveRef(*g.DupOf)
+		if err != nil {
+			return nil, err
+		}
+		return s.decodeGOPLocked(dv, dp, dg, stats)
+	}
+	if g.Joint != nil {
+		return s.decodeJointGOPLocked(v, p, g, stats)
+	}
+	data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
+	if err != nil {
+		return nil, err
+	}
+	stats.BytesRead += int64(len(data))
+	if g.Lossless > 0 || lossless.IsCompressed(data) {
+		data, err = lossless.Decompress(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	frames, _, err := codec.DecodeGOP(data)
+	if err != nil {
+		return nil, err
+	}
+	stats.GOPsDecoded++
+	return frames, nil
+}
+
+// decodeGOPRangeLocked decodes only frames [from, to) of a GOP, paying the
+// real look-back cost for mid-GOP entry. Joint and duplicate GOPs fall
+// back to full reconstruction.
+func (s *Store) decodeGOPRangeLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta, from, to int, stats *ReadStats) ([]*frame.Frame, error) {
+	if g.DupOf != nil || g.Joint != nil {
+		frames, err := s.decodeGOPLocked(v, p, g, stats)
+		if err != nil {
+			return nil, err
+		}
+		if to < 0 || to > len(frames) {
+			to = len(frames)
+		}
+		if from < 0 || from > to {
+			return nil, fmt.Errorf("core: bad GOP range [%d,%d)", from, to)
+		}
+		return frames[from:to], nil
+	}
+	data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
+	if err != nil {
+		return nil, err
+	}
+	stats.BytesRead += int64(len(data))
+	if g.Lossless > 0 || lossless.IsCompressed(data) {
+		data, err = lossless.Decompress(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	frames, _, err := codec.DecodeRange(data, from, to)
+	if err != nil {
+		return nil, err
+	}
+	stats.GOPsDecoded++
+	return frames, nil
+}
+
+// resolveRef resolves a GOPRef to live metadata.
+func (s *Store) resolveRef(ref GOPRef) (*VideoMeta, *PhysMeta, *GOPMeta, error) {
+	v, ok := s.videos[ref.Video]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to video %s", ref.Video)
+	}
+	p := s.physByID(ref.Video, ref.Phys)
+	if p == nil {
+		return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to phys %d", ref.Phys)
+	}
+	for i := range p.GOPs {
+		if p.GOPs[i].Seq == ref.Seq {
+			return v, p, &p.GOPs[i], nil
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to seq %d", ref.Seq)
+}
+
+// convertFrame maps a decoded source frame into the requested output
+// space: RGB conversion, ROI crop, and resolution resampling.
+func (s *Store) convertFrame(src *frame.Frame, p *PhysMeta, r resolvedSpec) (*frame.Frame, error) {
+	rgb := src
+	if src.Format != frame.RGB {
+		rgb = src.Convert(frame.RGB)
+	}
+	// Map the requested normalized ROI into p's pixel space (p may itself
+	// be an ROI view of the source frame).
+	pw, ph := float64(p.Width), float64(p.Height)
+	rx := (r.roi.X0 - p.ROI.X0) / (p.ROI.X1 - p.ROI.X0)
+	ry := (r.roi.Y0 - p.ROI.Y0) / (p.ROI.Y1 - p.ROI.Y0)
+	rx1 := (r.roi.X1 - p.ROI.X0) / (p.ROI.X1 - p.ROI.X0)
+	ry1 := (r.roi.Y1 - p.ROI.Y0) / (p.ROI.Y1 - p.ROI.Y0)
+	crop := frame.Rect{
+		X0: int(rx*pw + 0.5), Y0: int(ry*ph + 0.5),
+		X1: int(rx1*pw + 0.5), Y1: int(ry1*ph + 0.5),
+	}
+	if crop.Dx() < 1 {
+		crop.X1 = crop.X0 + 1
+	}
+	if crop.Dy() < 1 {
+		crop.Y1 = crop.Y0 + 1
+	}
+	cropped := rgb
+	if crop != frame.FullRect(p.Width, p.Height) {
+		var err error
+		cropped, err = rgb.Crop(crop)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cropped.Width != r.roiW || cropped.Height != r.roiH {
+		cropped = cropped.Resize(r.roiW, r.roiH)
+	}
+	return cropped, nil
+}
+
+// encodeOutput packs output frames into GOPs with the requested codec,
+// returning the encoded GOPs and the mean bits per pixel.
+func (s *Store) encodeOutput(frames []*frame.Frame, r resolvedSpec) ([][]byte, float64, error) {
+	var gops [][]byte
+	var bytes, pixels int64
+	for i := 0; i < len(frames); i += s.opts.GOPFrames {
+		j := i + s.opts.GOPFrames
+		if j > len(frames) {
+			j = len(frames)
+		}
+		data, st, err := codec.EncodeGOP(frames[i:j], r.codec, r.quality)
+		if err != nil {
+			return nil, 0, err
+		}
+		gops = append(gops, data)
+		bytes += int64(st.Bytes)
+		pixels += int64(r.roiW * r.roiH * (j - i))
+	}
+	mbpp := float64(bytes) * 8 / float64(pixels)
+	return gops, mbpp, nil
+}
+
+// estimateStepMSE estimates the quality loss introduced by this read's
+// compression step (Section 3.2). The primary estimate is the codec's
+// analytic quantizer distortion (our substitute for the vbench-seeded
+// MBPP->PSNR table); the sampling-refined estimator serves as a secondary
+// signal once enough exact observations accumulate.
+func (s *Store) estimateStepMSE(r resolvedSpec, mbpp float64) float64 {
+	if !r.codec.Compressed() {
+		return 0
+	}
+	step := codec.ExpectedMSE(r.quality)
+	if est := quality.MSEFromPSNR(s.est.Estimate(mbpp)); est > step && s.est.Len() > len(quality.DefaultRatePoints)+4 {
+		// The refined estimator has seen enough real samples to override
+		// the analytic bound when it reports worse quality.
+		step = est
+	}
+	return step
+}
+
+// resampleMSE measures the round-trip error of the resolution change from
+// src (a source-resolution RGB frame) to the output resolution.
+func resampleMSE(src *frame.Frame, outW, outH int) float64 {
+	if src.Width == outW && src.Height == outH {
+		return 0
+	}
+	down := src.Resize(outW, outH)
+	back := down.Resize(src.Width, src.Height)
+	m, err := quality.MSE(src, back)
+	if err != nil {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// findGOPFile locates one on-disk GOP file of the store.
+func findGOPFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	filepath.Walk(filepath.Join(dir, "data"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".gop" && found == "" {
+			found = path
+		}
+		return nil
+	})
+	if found == "" {
+		t.Fatal("no GOP files on disk")
+	}
+	return found
+}
+
+func TestCorruptGOPFileSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Create("v", -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 60)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a stored GOP behind the store's back.
+	path := findGOPFile(t, dir)
+	if err := os.WriteFile(path, []byte("corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("v", ReadSpec{}); err == nil {
+		t.Error("read over corrupt GOP should error, not return garbage")
+	}
+}
+
+func TestMissingGOPFileSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Create("v", -1)
+	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(findGOPFile(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("v", ReadSpec{}); err == nil {
+		t.Error("read over missing GOP should error")
+	}
+}
+
+func TestReopenAfterUncleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Create("v", -1)
+	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(16, 64, 48, 62)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Close; the catalog WAL was flushed per commit,
+	// so a new instance must recover the full state.
+	s2, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res, err := s2.Read("v", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 16 {
+		t.Errorf("recovered read %d frames, want 16", len(res.Frames))
+	}
+}
+
+func TestOrphanedTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Create("v", -1)
+	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 63)); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-WriteGOP leaves a .tmp file; it must not disturb reads.
+	gop := findGOPFile(t, dir)
+	os.WriteFile(gop+".tmp", []byte("partial"), 0o644)
+	if _, err := s.Read("v", ReadSpec{}); err != nil {
+		t.Errorf("orphan temp file broke reads: %v", err)
+	}
+}
+
+func TestDeleteWhileOtherVideosRemain(t *testing.T) {
+	s := newStore(t, Options{})
+	writeVideo(t, s, "keep", scene(8, 64, 48, 64), 4, codec.H264)
+	writeVideo(t, s, "drop", scene(8, 64, 48, 65), 4, codec.H264)
+	if err := s.Delete("drop"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Read("keep", ReadSpec{})
+	if err != nil || len(res.Frames) != 8 {
+		t.Fatalf("surviving video broken: %v %d", err, len(res.Frames))
+	}
+}
+
+func TestJointPartnerDeletionSurfacesError(t *testing.T) {
+	// Deleting a logical video whose GOPs hold the shared overlap of a
+	// joint pair leaves the partner unreadable for those GOPs — the read
+	// must fail loudly rather than fabricate frames.
+	s := newStore(t, Options{GOPFrames: 8})
+	writePair(t, s, pairCfg(0.5, 0, 66), 8)
+	res, err := s.JointCompressPair(GOPRef{"cam-left", 0, 0}, GOPRef{"cam-right", 0, 0}, MergeUnprojected)
+	if err != nil || !res.Compressed {
+		t.Skipf("pair not compressed: %+v %v", res, err)
+	}
+	if err := s.Delete("cam-left"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("cam-right", ReadSpec{T: Temporal{Start: 0, End: 1}}); err == nil {
+		t.Error("right stream readable after its overlap partner was deleted")
+	}
+}

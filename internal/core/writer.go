@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/storage"
+)
+
+// Writer is a streaming write handle. Frames appended to it accumulate
+// into GOPs; each completed GOP is persisted and immediately visible to
+// readers, so applications may query prefixes of video still being written
+// (Section 2: "writes to VSS are non-blocking and users may query prefixes
+// of ingested video data").
+type Writer struct {
+	s     *Store
+	video string
+	spec  WriteSpec
+	phys  *PhysMeta
+	buf   []*frame.Frame
+	gopN  int // frames per GOP for this writer
+	err   error
+}
+
+// Write stores frames as (or appended to) the video's original physical
+// representation, blocking until all GOPs are durable. It is shorthand for
+// OpenWriter + Append + Close.
+func (s *Store) Write(video string, spec WriteSpec, frames []*frame.Frame) error {
+	w, err := s.OpenWriter(video, spec)
+	if err != nil {
+		return err
+	}
+	if err := w.Append(frames...); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// WriteEncoded ingests already-compressed GOPs as-is (the paper: "VSS
+// accepts as-is ingested compressed GOP sizes"). Each element must be a
+// valid encoded GOP with a consistent configuration.
+func (s *Store) WriteEncoded(video string, fps int, gops [][]byte) error {
+	if len(gops) == 0 {
+		return fmt.Errorf("core: no GOPs to write")
+	}
+	hd0, err := codec.DecodeHeader(gops[0])
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[video]
+	if !ok {
+		return ErrNotFound
+	}
+	p, err := s.ensureOriginalLocked(v, WriteSpec{FPS: fps, Codec: hd0.Codec, Quality: hd0.Quality}, hd0.Width, hd0.Height, hd0.PixFmt)
+	if err != nil {
+		return err
+	}
+	for _, gop := range gops {
+		hd, err := codec.DecodeHeader(gop)
+		if err != nil {
+			return err
+		}
+		if hd.Codec != hd0.Codec || hd.Width != hd0.Width || hd.Height != hd0.Height {
+			return fmt.Errorf("core: inconsistent GOP configuration in encoded write")
+		}
+		if err := s.appendGOPLocked(v, p, gop, hd.FrameCount); err != nil {
+			return err
+		}
+	}
+	return s.finishWriteLocked(v, p)
+}
+
+// OpenWriter starts a streaming write. The first writer on a video
+// establishes its original physical representation m0; later writers
+// append to it (the prototype adopts the paper's no-overwrite policy, so
+// the configuration must match).
+func (s *Store) OpenWriter(video string, spec WriteSpec) (*Writer, error) {
+	if spec.FPS <= 0 {
+		return nil, fmt.Errorf("core: write requires a positive fps")
+	}
+	if spec.Codec == "" {
+		spec.Codec = codec.Raw
+	}
+	if !spec.Codec.Valid() {
+		return nil, fmt.Errorf("core: unknown codec %q", spec.Codec)
+	}
+	spec.Quality = effectiveQuality(spec.Quality)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.videos[video]; !ok {
+		return nil, ErrNotFound
+	}
+	return &Writer{s: s, video: video, spec: spec}, nil
+}
+
+// ensureOriginalLocked finds or creates the original physical video m0.
+func (s *Store) ensureOriginalLocked(v *VideoMeta, spec WriteSpec, w, h int, pixfmt frame.PixelFormat) (*PhysMeta, error) {
+	if p := s.originalOf(v.Name); p != nil {
+		if p.Codec != spec.Codec || p.Width != w || p.Height != h || p.FPS != spec.FPS {
+			return nil, fmt.Errorf("core: video %s already written as %dx%dr%d.%s; writes must append in the same configuration (no-overwrite policy)",
+				v.Name, p.Width, p.Height, p.FPS, p.Codec)
+		}
+		return p, nil
+	}
+	id := s.allocPhys(v)
+	p := &PhysMeta{
+		ID:      id,
+		Dir:     storage.PhysicalDirName(id, w, h, spec.FPS, string(spec.Codec)),
+		Width:   w,
+		Height:  h,
+		FPS:     spec.FPS,
+		Codec:   spec.Codec,
+		PixFmt:  pixfmt,
+		Quality: spec.Quality,
+		ROI:     FullNRect(),
+		Orig:    true,
+	}
+	v.Original = id
+	v.FPS = spec.FPS
+	v.Width = w
+	v.Height = h
+	s.phys[v.Name][id] = p
+	if err := s.saveVideo(v); err != nil {
+		return nil, err
+	}
+	return p, s.savePhys(v.Name, p)
+}
+
+// appendGOPLocked persists one encoded GOP and registers it.
+func (s *Store) appendGOPLocked(v *VideoMeta, p *PhysMeta, data []byte, frames int) error {
+	seq := len(p.GOPs)
+	start := 0
+	if seq > 0 {
+		last := p.GOPs[seq-1]
+		start = last.StartFrame + last.Frames
+	}
+	if err := s.files.WriteGOP(v.Name, p.Dir, seq, data); err != nil {
+		return err
+	}
+	p.GOPs = append(p.GOPs, GOPMeta{
+		Seq:        seq,
+		StartFrame: start,
+		Frames:     frames,
+		Bytes:      int64(len(data)),
+		LRU:        s.tick(v),
+	})
+	return s.savePhys(v.Name, p)
+}
+
+// finishWriteLocked settles bookkeeping after a write burst: duration,
+// default budget, eviction, and deferred compression pressure.
+func (s *Store) finishWriteLocked(v *VideoMeta, p *PhysMeta) error {
+	if end := p.End(); p.Orig && end > v.Duration {
+		v.Duration = end
+	}
+	if v.Budget == 0 && p.Orig && s.opts.BudgetMultiple > 0 {
+		v.Budget = int64(float64(p.Bytes()) * s.opts.BudgetMultiple)
+	}
+	if err := s.saveVideo(v); err != nil {
+		return err
+	}
+	if err := s.evictLocked(v); err != nil {
+		return err
+	}
+	return s.deferredPressureLocked(v)
+}
+
+// Append buffers frames, flushing complete GOPs.
+func (w *Writer) Append(frames ...*frame.Frame) error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, f := range frames {
+		if err := w.append(f); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) append(f *frame.Frame) error {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	v, ok := w.s.videos[w.video]
+	if !ok {
+		return ErrNotFound
+	}
+	if w.phys == nil {
+		pixfmt := f.Format
+		if w.spec.Codec.Compressed() {
+			pixfmt = frame.YUV420
+		}
+		p, err := w.s.ensureOriginalLocked(v, w.spec, f.Width, f.Height, pixfmt)
+		if err != nil {
+			return err
+		}
+		w.phys = p
+		w.gopN = w.gopFrames(f)
+	}
+	if f.Width != w.phys.Width || f.Height != w.phys.Height {
+		return fmt.Errorf("core: frame %dx%d does not match video %dx%d", f.Width, f.Height, w.phys.Width, w.phys.Height)
+	}
+	w.buf = append(w.buf, f)
+	if len(w.buf) >= w.gopN {
+		return w.flushLocked(v)
+	}
+	return nil
+}
+
+// gopFrames picks the GOP length: the configured frame count for
+// compressed video, or a byte-bounded block for raw (paper: blocks of at
+// most 25MB, or a single frame beyond that).
+func (w *Writer) gopFrames(f *frame.Frame) int {
+	if w.spec.Codec.Compressed() {
+		return w.s.opts.GOPFrames
+	}
+	frameBytes := int64(f.Format.Size(f.Width, f.Height))
+	if frameBytes >= w.s.opts.RawBlockBytes {
+		return 1
+	}
+	n := int(w.s.opts.RawBlockBytes / frameBytes)
+	if n > w.s.opts.GOPFrames {
+		n = w.s.opts.GOPFrames
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// flushLocked encodes and persists the buffered GOP.
+func (w *Writer) flushLocked(v *VideoMeta) error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	data, _, err := codec.EncodeGOP(w.buf, w.spec.Codec, w.spec.Quality)
+	if err != nil {
+		return err
+	}
+	n := len(w.buf)
+	w.buf = w.buf[:0]
+	return w.s.appendGOPLocked(v, w.phys, data, n)
+}
+
+// Flush persists any buffered partial GOP, making all appended frames
+// readable.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	v, ok := w.s.videos[w.video]
+	if !ok {
+		return ErrNotFound
+	}
+	if w.phys == nil {
+		return nil
+	}
+	if err := w.flushLocked(v); err != nil {
+		w.err = err
+		return err
+	}
+	return w.s.finishWriteLocked(v, w.phys)
+}
+
+// Close flushes and finalizes the write. Per the paper's prototype, writes
+// are only guaranteed visible once the writer is closed; in this
+// implementation every whole GOP is already visible earlier.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.err = fmt.Errorf("core: writer closed")
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+func TestOpenWriterValidation(t *testing.T) {
+	s := newStore(t, Options{})
+	if err := s.Create("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenWriter("v", WriteSpec{FPS: 0, Codec: codec.H264}); err == nil {
+		t.Error("zero fps accepted")
+	}
+	if _, err := s.OpenWriter("v", WriteSpec{FPS: 8, Codec: "av1"}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := s.OpenWriter("missing", WriteSpec{FPS: 8, Codec: codec.H264}); err != ErrNotFound {
+		t.Error("missing video accepted")
+	}
+	// Empty codec defaults to raw.
+	w, err := s.OpenWriter("v", WriteSpec{FPS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(frame.New(32, 24, frame.RGB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, phys, _ := s.Info("v")
+	if phys[0].Codec != codec.Raw {
+		t.Errorf("default codec %s", phys[0].Codec)
+	}
+}
+
+func TestWriterRejectsDimensionChange(t *testing.T) {
+	s := newStore(t, Options{})
+	s.Create("v", 0)
+	w, _ := s.OpenWriter("v", WriteSpec{FPS: 8, Codec: codec.H264})
+	if err := w.Append(frame.New(32, 24, frame.RGB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(frame.New(64, 48, frame.RGB)); err == nil {
+		t.Error("dimension change mid-stream accepted")
+	}
+}
+
+func TestWriterRawBlockSizing(t *testing.T) {
+	// A raw write with a tiny block cap must split GOPs by bytes.
+	s := newStore(t, Options{RawBlockBytes: int64(frame.RGB.Size(32, 24)) * 2, GOPFrames: 30})
+	if err := s.Create("v", -1); err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]*frame.Frame, 6)
+	for i := range frames {
+		frames[i] = frame.New(32, 24, frame.RGB)
+	}
+	if err := s.Write("v", WriteSpec{FPS: 2, Codec: codec.Raw}, frames); err != nil {
+		t.Fatal(err)
+	}
+	_, phys, _ := s.Info("v")
+	if len(phys[0].GOPs) != 3 { // 2 frames per block
+		t.Errorf("raw GOPs %d, want 3", len(phys[0].GOPs))
+	}
+}
+
+func TestWriterSingleFrameBlocksForHugeFrames(t *testing.T) {
+	// Frames above the block cap are stored one per GOP (the paper: "a
+	// single frame for resolutions that exceed this threshold").
+	s := newStore(t, Options{RawBlockBytes: 100, GOPFrames: 30})
+	if err := s.Create("v", -1); err != nil {
+		t.Fatal(err)
+	}
+	frames := []*frame.Frame{frame.New(32, 24, frame.RGB), frame.New(32, 24, frame.RGB)}
+	if err := s.Write("v", WriteSpec{FPS: 2, Codec: codec.Raw}, frames); err != nil {
+		t.Fatal(err)
+	}
+	_, phys, _ := s.Info("v")
+	if len(phys[0].GOPs) != 2 {
+		t.Errorf("GOPs %d, want one per frame", len(phys[0].GOPs))
+	}
+}
+
+func TestWriteEncodedValidation(t *testing.T) {
+	s := newStore(t, Options{})
+	s.Create("v", 0)
+	if err := s.WriteEncoded("v", 8, nil); err == nil {
+		t.Error("empty encoded write accepted")
+	}
+	if err := s.WriteEncoded("v", 8, [][]byte{[]byte("junk")}); err == nil {
+		t.Error("junk GOP accepted")
+	}
+	good, _, _ := codec.EncodeGOP(scene(4, 32, 32, 95), codec.H264, 80)
+	bad, _, _ := codec.EncodeGOP(scene(4, 64, 48, 96), codec.H264, 80)
+	if err := s.WriteEncoded("v", 8, [][]byte{good, bad}); err == nil {
+		t.Error("mixed-resolution encoded write accepted")
+	}
+	if err := s.WriteEncoded("missing", 8, [][]byte{good}); err != ErrNotFound {
+		t.Errorf("missing video: %v", err)
+	}
+}
+
+func TestWriterMultipleFlushes(t *testing.T) {
+	s := newStore(t, Options{GOPFrames: 4})
+	s.Create("v", 0)
+	w, _ := s.OpenWriter("v", WriteSpec{FPS: 4, Codec: codec.H264})
+	frames := scene(10, 32, 32, 97)
+	for _, f := range frames {
+		if err := w.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil { // idempotent with empty buffer
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Read("v", ReadSpec{})
+	if err != nil || len(res.Frames) != 10 {
+		t.Fatalf("read: %v, %d frames", err, len(res.Frames))
+	}
+	// GOP structure: 4+4+2.
+	_, phys, _ := s.Info("v")
+	if len(phys[0].GOPs) != 3 {
+		t.Errorf("GOPs %d, want 3", len(phys[0].GOPs))
+	}
+}

@@ -1,0 +1,105 @@
+// Package datasets defines the evaluation datasets of Table 1 as
+// synthetic stand-ins. The paper evaluates on two real capture datasets
+// (Oxford RobotCar stereo pairs with very high overlap, and a Waymo Open
+// segment with ~15% overlap) plus five Visual Road configurations. The
+// real footage is not redistributable and not required: every experiment
+// consumes only the datasets' structural properties — resolution class,
+// frame count, and inter-camera overlap — which these generators
+// reproduce at CPU-friendly scale.
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/visualroad"
+)
+
+// Dataset names one evaluation dataset.
+type Dataset struct {
+	Name string
+	// Class is the paper's resolution label ("1K", "2K", "4K", or the
+	// dataset's native class).
+	Class string
+	// Width, Height are the scaled working resolutions used here.
+	Width, Height int
+	// Frames is the scaled frame count.
+	Frames int
+	// FPS is the nominal frame rate.
+	FPS int
+	// Overlap is the horizontal overlap between the two cameras (0 for
+	// single-stream use).
+	Overlap float64
+	// Perspective is the inter-camera perspective difference.
+	Perspective float64
+	// Seed fixes the generated content.
+	Seed int64
+}
+
+// scale reduces the paper's frame counts so experiments finish on one
+// CPU; all comparisons in the evaluation are relative, so shapes survive.
+const frameScale = 0.002 // 108k frames -> ~216
+
+// All returns the Table 1 datasets. The paper's resolutions map onto
+// scaled equivalents (1K=240x136, 2K=480x272, 4K=960x544) with the same
+// 2x-per-step geometry; frame counts scale by frameScale.
+func All() []Dataset {
+	return []Dataset{
+		{Name: "Robotcar", Class: "1280x960", Width: 320, Height: 240, Frames: scaleFrames(7494), FPS: 30, Overlap: 0.8, Perspective: 0.3, Seed: 101},
+		{Name: "Waymo", Class: "1920x1280", Width: 480, Height: 320, Frames: 120, FPS: 20, Overlap: 0.15, Perspective: 0.5, Seed: 102},
+		{Name: "VisualRoad-1K-30%", Class: "1K", Width: 240, Height: 136, Frames: scaleFrames(108000), FPS: 30, Overlap: 0.30, Perspective: 0.4, Seed: 103},
+		{Name: "VisualRoad-1K-50%", Class: "1K", Width: 240, Height: 136, Frames: scaleFrames(108000), FPS: 30, Overlap: 0.50, Perspective: 0.4, Seed: 104},
+		{Name: "VisualRoad-1K-75%", Class: "1K", Width: 240, Height: 136, Frames: scaleFrames(108000), FPS: 30, Overlap: 0.75, Perspective: 0.4, Seed: 105},
+		{Name: "VisualRoad-2K-30%", Class: "2K", Width: 480, Height: 272, Frames: scaleFrames(108000), FPS: 30, Overlap: 0.30, Perspective: 0.4, Seed: 106},
+		{Name: "VisualRoad-4K-30%", Class: "4K", Width: 960, Height: 544, Frames: scaleFrames(108000), FPS: 30, Overlap: 0.30, Perspective: 0.4, Seed: 107},
+	}
+}
+
+// ByName looks a dataset up.
+func ByName(name string) (Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+func scaleFrames(n int) int {
+	s := int(float64(n) * frameScale)
+	if s < 60 {
+		s = 60
+	}
+	return s
+}
+
+// Config converts the dataset into a Visual Road generator configuration.
+func (d Dataset) Config() visualroad.Config {
+	return visualroad.Config{
+		Width:       d.Width,
+		Height:      d.Height,
+		FPS:         d.FPS,
+		Seed:        d.Seed,
+		Overlap:     d.Overlap,
+		Perspective: d.Perspective,
+	}
+}
+
+// Generate renders the single-camera (left) stream, optionally truncated
+// to maxFrames (<= 0 means the dataset's full scaled length).
+func (d Dataset) Generate(maxFrames int) []*frame.Frame {
+	n := d.Frames
+	if maxFrames > 0 && maxFrames < n {
+		n = maxFrames
+	}
+	return visualroad.Generate(d.Config(), n)
+}
+
+// GeneratePair renders both camera streams.
+func (d Dataset) GeneratePair(maxFrames int) (left, right []*frame.Frame) {
+	n := d.Frames
+	if maxFrames > 0 && maxFrames < n {
+		n = maxFrames
+	}
+	return visualroad.GeneratePair(d.Config(), n)
+}

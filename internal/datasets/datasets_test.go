@@ -1,0 +1,82 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("expected the paper's 7 datasets, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, d := range all {
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %s", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Width%2 != 0 || d.Height%2 != 0 {
+			t.Errorf("%s: odd dimensions %dx%d break the lossy codec", d.Name, d.Width, d.Height)
+		}
+		if d.Frames < 60 || d.FPS <= 0 {
+			t.Errorf("%s: implausible frames=%d fps=%d", d.Name, d.Frames, d.FPS)
+		}
+		if d.Overlap < 0 || d.Overlap > 0.95 {
+			t.Errorf("%s: overlap %f", d.Name, d.Overlap)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Waymo")
+	if err != nil || d.Name != "Waymo" {
+		t.Fatalf("ByName: %v %s", err, d.Name)
+	}
+	if d.Overlap != 0.15 {
+		t.Errorf("Waymo overlap %f, want the paper's ~15%%", d.Overlap)
+	}
+	if _, err := ByName("kitti"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestGenerateRespectsCap(t *testing.T) {
+	d, _ := ByName("VisualRoad-1K-30%")
+	frames := d.Generate(10)
+	if len(frames) != 10 {
+		t.Errorf("capped generate returned %d frames", len(frames))
+	}
+	if frames[0].Width != d.Width || frames[0].Height != d.Height {
+		t.Errorf("frame %dx%d", frames[0].Width, frames[0].Height)
+	}
+}
+
+func TestGeneratePairOverlap(t *testing.T) {
+	d, _ := ByName("VisualRoad-1K-50%")
+	left, right := d.GeneratePair(2)
+	if len(left) != 2 || len(right) != 2 {
+		t.Fatalf("pair lengths %d/%d", len(left), len(right))
+	}
+	// Distinct cameras: frames must differ.
+	same := true
+	for i := range left[0].Data {
+		if left[0].Data[i] != right[0].Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("left and right cameras produced identical frames")
+	}
+}
+
+func TestResolutionClassGeometry(t *testing.T) {
+	// The scaled classes must preserve the paper's 2x-per-step geometry so
+	// per-resolution comparisons keep their relative meaning.
+	oneK, _ := ByName("VisualRoad-1K-30%")
+	twoK, _ := ByName("VisualRoad-2K-30%")
+	fourK, _ := ByName("VisualRoad-4K-30%")
+	if twoK.Width != 2*oneK.Width || fourK.Width != 4*oneK.Width {
+		t.Errorf("width geometry broken: %d, %d, %d", oneK.Width, twoK.Width, fourK.Width)
+	}
+}

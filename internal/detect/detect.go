@@ -1,0 +1,162 @@
+// Package detect implements the automobile detector used by the
+// end-to-end application experiment (Section 6.4). The paper runs YOLOv4
+// through OpenCV; this stdlib-only reproduction substitutes a color/shape
+// blob detector over the synthetic Visual Road scenes — the storage-layer
+// claims under evaluation depend only on the decode-heavy per-frame
+// inference pattern, not on detector quality.
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/frame"
+	"repro/internal/visualroad"
+)
+
+// Detection is one detected vehicle.
+type Detection struct {
+	Box frame.Rect
+	// Color is the dominant RGB inside the box — the largest bin of a
+	// coarse color histogram, matching the paper's search rule ("the
+	// Euclidean distance between the largest bin and the search color").
+	Color [3]float64
+}
+
+// minArea filters specks; maxAspect filters implausible shapes.
+const (
+	minArea   = 12
+	maxAspect = 6.0
+)
+
+// Vehicles detects vehicle-colored blobs in an RGB frame via palette
+// matching and connected components.
+func Vehicles(f *frame.Frame) []Detection {
+	src := f
+	if f.Format != frame.RGB {
+		src = f.Convert(frame.RGB)
+	}
+	w, h := src.Width, src.Height
+	mask := make([]bool, w*h)
+	for i := 0; i < w*h; i++ {
+		r := int(src.Data[i*3])
+		g := int(src.Data[i*3+1])
+		b := int(src.Data[i*3+2])
+		if isVehicleColor(r, g, b) {
+			mask[i] = true
+		}
+	}
+	labels := make([]int32, w*h)
+	var boxes []frame.Rect
+	var stack []int
+	for i := 0; i < w*h; i++ {
+		if !mask[i] || labels[i] != 0 {
+			continue
+		}
+		label := int32(len(boxes) + 1)
+		box := frame.Rect{X0: w, Y0: h, X1: 0, Y1: 0}
+		stack = append(stack[:0], i)
+		labels[i] = label
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			px, py := p%w, p/w
+			if px < box.X0 {
+				box.X0 = px
+			}
+			if py < box.Y0 {
+				box.Y0 = py
+			}
+			if px+1 > box.X1 {
+				box.X1 = px + 1
+			}
+			if py+1 > box.Y1 {
+				box.Y1 = py + 1
+			}
+			for _, q := range [4]int{p - 1, p + 1, p - w, p + w} {
+				if q < 0 || q >= w*h {
+					continue
+				}
+				if (q == p-1 && px == 0) || (q == p+1 && px == w-1) {
+					continue
+				}
+				if mask[q] && labels[q] == 0 {
+					labels[q] = label
+					stack = append(stack, q)
+				}
+			}
+		}
+		boxes = append(boxes, box)
+	}
+	var out []Detection
+	for _, box := range boxes {
+		if box.Area() < minArea {
+			continue
+		}
+		aspect := float64(box.Dx()) / float64(box.Dy())
+		if aspect > maxAspect || aspect < 1/maxAspect {
+			continue
+		}
+		out = append(out, Detection{Box: box, Color: dominantColor(src, box)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Box.X0 < out[j].Box.X0 })
+	return out
+}
+
+// isVehicleColor matches the saturated palette vehicles are drawn in,
+// rejecting the scene's grays, greens, and sky blues.
+func isVehicleColor(r, g, b int) bool {
+	for _, p := range visualroad.VehiclePalette {
+		dr, dg, db := r-int(p[0]), g-int(p[1]), b-int(p[2])
+		if dr*dr+dg*dg+db*db < 48*48 {
+			return true
+		}
+	}
+	return false
+}
+
+// dominantColor computes a coarse 3D color histogram (4 levels per
+// channel) over the box and returns the mean color of the fullest cell —
+// the vehicle body color, undiluted by windows and wheels.
+func dominantColor(f *frame.Frame, box frame.Rect) [3]float64 {
+	const levels = 4
+	var count [levels * levels * levels]int
+	var sum [levels * levels * levels][3]float64
+	for y := box.Y0; y < box.Y1; y++ {
+		for x := box.X0; x < box.X1; x++ {
+			i := (y*f.Width + x) * 3
+			r, g, b := int(f.Data[i]), int(f.Data[i+1]), int(f.Data[i+2])
+			cell := (r/64)*levels*levels + (g/64)*levels + b/64
+			count[cell]++
+			sum[cell][0] += float64(r)
+			sum[cell][1] += float64(g)
+			sum[cell][2] += float64(b)
+		}
+	}
+	best := 0
+	for c := 1; c < len(count); c++ {
+		if count[c] > count[best] {
+			best = c
+		}
+	}
+	if count[best] == 0 {
+		return [3]float64{}
+	}
+	return [3]float64{
+		sum[best][0] / float64(count[best]),
+		sum[best][1] / float64(count[best]),
+		sum[best][2] / float64(count[best]),
+	}
+}
+
+// ColorDistance returns the Euclidean distance between a detection's mean
+// color and a query color; the end-to-end app considers a detection a
+// match when this is <= 50 (Section 6.4).
+func ColorDistance(c [3]float64, query [3]float64) float64 {
+	var s float64
+	for i := range c {
+		d := c[i] - query[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

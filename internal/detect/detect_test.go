@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/visualroad"
+)
+
+func TestDetectsVehiclesInScene(t *testing.T) {
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: 8, Seed: 11, Vehicles: 6}, 1)
+	dets := Vehicles(frames[0])
+	if len(dets) < 2 {
+		t.Fatalf("detected %d vehicles, want >= 2", len(dets))
+	}
+	for _, d := range dets {
+		if d.Box.Empty() {
+			t.Error("empty detection box")
+		}
+	}
+}
+
+func TestNoDetectionsOnEmptyRoad(t *testing.T) {
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: 8, Seed: 12, Vehicles: 1}, 1)
+	// Blank the frame to pure road gray: no vehicles must be found.
+	f := frames[0]
+	for i := 0; i < f.Width*f.Height; i++ {
+		f.Data[i*3], f.Data[i*3+1], f.Data[i*3+2] = 70, 70, 74
+	}
+	if dets := Vehicles(f); len(dets) != 0 {
+		t.Errorf("detected %d vehicles on blank road", len(dets))
+	}
+}
+
+func TestDetectionColorMatchesDrawnVehicle(t *testing.T) {
+	f := frame.New(64, 48, frame.RGB)
+	for i := 0; i < 64*48; i++ {
+		f.Data[i*3], f.Data[i*3+1], f.Data[i*3+2] = 70, 70, 74
+	}
+	// Draw a red "vehicle".
+	for y := 20; y < 28; y++ {
+		for x := 10; x < 26; x++ {
+			f.SetRGB(x, y, 210, 40, 40)
+		}
+	}
+	dets := Vehicles(f)
+	if len(dets) != 1 {
+		t.Fatalf("detections: %d", len(dets))
+	}
+	if d := ColorDistance(dets[0].Color, [3]float64{210, 40, 40}); d > 30 {
+		t.Errorf("color distance %f", d)
+	}
+	if !dets[0].Box.Contains(frame.Rect{X0: 12, Y0: 22, X1: 24, Y1: 26}) {
+		t.Errorf("box %+v misses the vehicle", dets[0].Box)
+	}
+}
+
+func TestAspectFilterRejectsStripes(t *testing.T) {
+	f := frame.New(128, 48, frame.RGB)
+	// A 100x2 stripe in vehicle red: aspect 50, must be rejected.
+	for y := 10; y < 12; y++ {
+		for x := 10; x < 110; x++ {
+			f.SetRGB(x, y, 210, 40, 40)
+		}
+	}
+	if dets := Vehicles(f); len(dets) != 0 {
+		t.Errorf("stripe detected as vehicle: %d", len(dets))
+	}
+}
+
+func TestYUVInputConverted(t *testing.T) {
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: 8, Seed: 13, Vehicles: 6}, 1)
+	yuv := frames[0].Convert(frame.YUV420)
+	if dets := Vehicles(yuv); len(dets) < 1 {
+		t.Errorf("no detections through yuv conversion: %d", len(dets))
+	}
+}

@@ -1,0 +1,143 @@
+package frame
+
+// Color conversion uses the BT.601 studio-swing matrix, the same transform
+// family used by the codecs VSS simulates. Conversions between subsampled
+// chroma formats pass through per-pixel YUV with box filtering on the chroma
+// planes.
+
+// rgbToYUV converts a single pixel.
+func rgbToYUV(r, g, b byte) (y, u, v byte) {
+	ri, gi, bi := int(r), int(g), int(b)
+	yy := (77*ri + 150*gi + 29*bi) >> 8
+	uu := ((-43*ri - 85*gi + 128*bi) >> 8) + 128
+	vv := ((128*ri - 107*gi - 21*bi) >> 8) + 128
+	return clampU8(yy), clampU8(uu), clampU8(vv)
+}
+
+// yuvToRGB converts a single pixel.
+func yuvToRGB(y, u, v byte) (r, g, b byte) {
+	yi := int(y)
+	ui := int(u) - 128
+	vi := int(v) - 128
+	rr := yi + ((359 * vi) >> 8)
+	gg := yi - ((88*ui + 183*vi) >> 8)
+	bb := yi + ((454 * ui) >> 8)
+	return clampU8(rr), clampU8(gg), clampU8(bb)
+}
+
+// Convert returns the frame converted to the target pixel format. The
+// original frame is unmodified; if the format already matches, a deep copy
+// is returned so callers may mutate the result freely.
+func (f *Frame) Convert(target PixelFormat) *Frame {
+	if f.Format == target {
+		return f.Clone()
+	}
+	switch f.Format {
+	case RGB:
+		switch target {
+		case Gray:
+			return f.rgbToGray()
+		default:
+			return f.rgbToPlanar(target)
+		}
+	case Gray:
+		// Promote gray to RGB first, then onward if needed.
+		rgb := f.grayToRGB()
+		if target == RGB {
+			return rgb
+		}
+		return rgb.Convert(target)
+	default: // planar YUV source
+		rgb := f.planarToRGB()
+		if target == RGB {
+			return rgb
+		}
+		return rgb.Convert(target)
+	}
+}
+
+func (f *Frame) rgbToGray() *Frame {
+	out := New(f.Width, f.Height, Gray)
+	for i, j := 0, 0; i < len(f.Data); i, j = i+3, j+1 {
+		y, _, _ := rgbToYUV(f.Data[i], f.Data[i+1], f.Data[i+2])
+		out.Data[j] = y
+	}
+	return out
+}
+
+func (f *Frame) grayToRGB() *Frame {
+	out := New(f.Width, f.Height, RGB)
+	for i, j := 0, 0; i < len(f.Data); i, j = i+1, j+3 {
+		out.Data[j], out.Data[j+1], out.Data[j+2] = f.Data[i], f.Data[i], f.Data[i]
+	}
+	return out
+}
+
+// rgbToPlanar converts RGB to YUV420 or YUV422. Odd trailing rows/columns
+// are unreachable because Validate enforces parity at allocation time.
+func (f *Frame) rgbToPlanar(target PixelFormat) *Frame {
+	// Frames with odd dimensions cannot be represented in subsampled
+	// formats; pad by cropping to even dimensions first.
+	w, h := f.Width, f.Height
+	if target == YUV420 && (w%2 != 0 || h%2 != 0) {
+		c, _ := f.Crop(Rect{0, 0, w &^ 1, h &^ 1})
+		return c.rgbToPlanar(target)
+	}
+	if target == YUV422 && w%2 != 0 {
+		c, _ := f.Crop(Rect{0, 0, w &^ 1, h})
+		return c.rgbToPlanar(target)
+	}
+	out := New(w, h, target)
+	yp, up, vp := out.planes()
+	// Full-resolution Y plane plus accumulators for chroma box filtering.
+	cw := w / 2
+	var ch int
+	if target == YUV420 {
+		ch = h / 2
+	} else {
+		ch = h
+	}
+	uAcc := make([]int, cw*ch)
+	vAcc := make([]int, cw*ch)
+	cnt := make([]int, cw*ch)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y*w + x) * 3
+			yy, uu, vv := rgbToYUV(f.Data[i], f.Data[i+1], f.Data[i+2])
+			yp[y*w+x] = yy
+			cx := x / 2
+			cy := y
+			if target == YUV420 {
+				cy = y / 2
+			}
+			ci := cy*cw + cx
+			uAcc[ci] += int(uu)
+			vAcc[ci] += int(vv)
+			cnt[ci]++
+		}
+	}
+	for i := range uAcc {
+		up[i] = clampU8(uAcc[i] / cnt[i])
+		vp[i] = clampU8(vAcc[i] / cnt[i])
+	}
+	return out
+}
+
+func (f *Frame) planarToRGB() *Frame {
+	out := New(f.Width, f.Height, RGB)
+	yp, up, vp := f.planes()
+	cw := f.Width / 2
+	for y := 0; y < f.Height; y++ {
+		cy := y
+		if f.Format == YUV420 {
+			cy = y / 2
+		}
+		for x := 0; x < f.Width; x++ {
+			ci := cy*cw + x/2
+			r, g, b := yuvToRGB(yp[y*f.Width+x], up[ci], vp[ci])
+			i := (y*f.Width + x) * 3
+			out.Data[i], out.Data[i+1], out.Data[i+2] = r, g, b
+		}
+	}
+	return out
+}

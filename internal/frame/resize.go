@@ -1,0 +1,72 @@
+package frame
+
+// Resize returns the frame resampled to tw x th using bilinear
+// interpolation. Resampling is one of the two quality-loss mechanisms VSS
+// tracks (the other is lossy compression); callers record the resulting MSE
+// via internal/quality.
+//
+// Planar sources are converted through RGB, matching the decode pipeline:
+// VSS resamples decoded pictures, not compressed bitstreams.
+func (f *Frame) Resize(tw, th int) *Frame {
+	if tw == f.Width && th == f.Height {
+		return f.Clone()
+	}
+	switch f.Format {
+	case RGB:
+		return f.resizeInterleaved(tw, th, 3)
+	case Gray:
+		return f.resizeInterleaved(tw, th, 1)
+	default:
+		return f.Convert(RGB).resizeInterleaved(tw, th, 3).Convert(f.Format)
+	}
+}
+
+// resizeInterleaved performs bilinear resampling over an interleaved buffer
+// with bpp bytes per pixel. Fixed-point 16.16 arithmetic keeps the inner
+// loop free of float conversions.
+func (f *Frame) resizeInterleaved(tw, th, bpp int) *Frame {
+	out := New(tw, th, f.Format)
+	const shift = 16
+	const one = 1 << shift
+	// Scale factors map output pixel centers onto source coordinates.
+	sx := ((f.Width - 1) << shift) / maxInt(tw-1, 1)
+	sy := ((f.Height - 1) << shift) / maxInt(th-1, 1)
+	for oy := 0; oy < th; oy++ {
+		fy := oy * sy
+		y0 := fy >> shift
+		wy := fy & (one - 1)
+		y1 := y0 + 1
+		if y1 >= f.Height {
+			y1 = f.Height - 1
+		}
+		row0 := y0 * f.Width * bpp
+		row1 := y1 * f.Width * bpp
+		outRow := oy * tw * bpp
+		for ox := 0; ox < tw; ox++ {
+			fx := ox * sx
+			x0 := fx >> shift
+			wx := fx & (one - 1)
+			x1 := x0 + 1
+			if x1 >= f.Width {
+				x1 = f.Width - 1
+			}
+			for c := 0; c < bpp; c++ {
+				p00 := int(f.Data[row0+x0*bpp+c])
+				p01 := int(f.Data[row0+x1*bpp+c])
+				p10 := int(f.Data[row1+x0*bpp+c])
+				p11 := int(f.Data[row1+x1*bpp+c])
+				top := p00 + ((p01-p00)*wx)>>shift
+				bot := p10 + ((p11-p10)*wx)>>shift
+				out.Data[outRow+ox*bpp+c] = clampU8(top + ((bot-top)*wy)>>shift)
+			}
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

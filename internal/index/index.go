@@ -1,0 +1,129 @@
+// Package index provides VSS's two index structures: the non-clustered
+// temporal index that maps time to the GOP files containing the associated
+// visual information (Figure 2 of the paper), and the fingerprint index
+// used to find joint-compression candidates (Section 5.1.3).
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Span maps a GOP (by sequence number within its physical video) to the
+// half-open time interval [Start, End) it covers, in seconds on the
+// logical video's timeline.
+type Span struct {
+	Seq   int
+	Start float64
+	End   float64
+}
+
+// Temporal is the per-physical-video time index. Spans are contiguous and
+// ascending; lookup is binary search.
+type Temporal struct {
+	spans []Span
+}
+
+// NewTemporal builds a temporal index. Spans must be sorted by Start,
+// non-empty intervals, and non-overlapping.
+func NewTemporal(spans []Span) (*Temporal, error) {
+	for i, s := range spans {
+		if s.End <= s.Start {
+			return nil, fmt.Errorf("index: span %d empty [%f, %f)", i, s.Start, s.End)
+		}
+		if i > 0 && s.Start < spans[i-1].End {
+			return nil, fmt.Errorf("index: span %d overlaps predecessor", i)
+		}
+	}
+	return &Temporal{spans: append([]Span(nil), spans...)}, nil
+}
+
+// Len returns the number of spans.
+func (t *Temporal) Len() int { return len(t.spans) }
+
+// At returns the span containing time `at`, if any.
+func (t *Temporal) At(at float64) (Span, bool) {
+	i := sort.Search(len(t.spans), func(i int) bool { return t.spans[i].End > at })
+	if i < len(t.spans) && t.spans[i].Start <= at {
+		return t.spans[i], true
+	}
+	return Span{}, false
+}
+
+// Covering returns the spans intersecting [t1, t2), in order.
+func (t *Temporal) Covering(t1, t2 float64) []Span {
+	if t2 <= t1 {
+		return nil
+	}
+	i := sort.Search(len(t.spans), func(i int) bool { return t.spans[i].End > t1 })
+	var out []Span
+	for ; i < len(t.spans) && t.spans[i].Start < t2; i++ {
+		out = append(out, t.spans[i])
+	}
+	return out
+}
+
+// Bounds returns the overall [start, end) covered by the index.
+func (t *Temporal) Bounds() (float64, float64) {
+	if len(t.spans) == 0 {
+		return 0, 0
+	}
+	return t.spans[0].Start, t.spans[len(t.spans)-1].End
+}
+
+// Fingerprints is the incremental fingerprint index over video fragments:
+// a BIRCH CF-tree of feature vectors (color histograms plus thumbnails,
+// computed by internal/vision) keyed by caller-assigned fragment ids. VSS
+// uses it to propose joint compression candidates without any camera
+// metadata.
+type Fingerprints struct {
+	tree    *cluster.Tree
+	vectors map[int][]float64
+}
+
+// NewFingerprints creates an index; threshold is the BIRCH radius bound in
+// fingerprint space.
+func NewFingerprints(threshold float64) (*Fingerprints, error) {
+	tree, err := cluster.NewTree(threshold, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Fingerprints{tree: tree, vectors: make(map[int][]float64)}, nil
+}
+
+// Add inserts a fragment fingerprint.
+func (f *Fingerprints) Add(id int, vec []float64) error {
+	if _, dup := f.vectors[id]; dup {
+		return fmt.Errorf("index: duplicate fragment id %d", id)
+	}
+	if _, err := f.tree.Insert(id, vec); err != nil {
+		return err
+	}
+	f.vectors[id] = vec
+	return nil
+}
+
+// Len reports the number of indexed fragments.
+func (f *Fingerprints) Len() int { return len(f.vectors) }
+
+// Vector returns the stored fingerprint for a fragment.
+func (f *Fingerprints) Vector(id int) ([]float64, bool) {
+	v, ok := f.vectors[id]
+	return v, ok
+}
+
+// CandidateGroups returns clusters of fragment ids ordered tightest-first,
+// restricted to clusters with at least minItems members. These are the
+// groups within which VSS searches for overlapping pairs.
+func (f *Fingerprints) CandidateGroups(minItems int) [][]int {
+	if minItems < 2 {
+		minItems = 2
+	}
+	var out [][]int
+	for _, e := range f.tree.ClustersByRadius(minItems) {
+		out = append(out, append([]int(nil), e.Items...))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package index
+
+import (
+	"testing"
+)
+
+func spans3() []Span {
+	return []Span{
+		{Seq: 0, Start: 0, End: 1},
+		{Seq: 1, Start: 1, End: 3},
+		{Seq: 2, Start: 3, End: 6},
+	}
+}
+
+func TestNewTemporalValidates(t *testing.T) {
+	if _, err := NewTemporal([]Span{{0, 1, 1}}); err == nil {
+		t.Error("empty span should error")
+	}
+	if _, err := NewTemporal([]Span{{0, 0, 2}, {1, 1, 3}}); err == nil {
+		t.Error("overlapping spans should error")
+	}
+	if _, err := NewTemporal(spans3()); err != nil {
+		t.Errorf("valid spans: %v", err)
+	}
+	if _, err := NewTemporal(nil); err != nil {
+		t.Errorf("empty index: %v", err)
+	}
+}
+
+func TestAt(t *testing.T) {
+	idx, _ := NewTemporal(spans3())
+	cases := []struct {
+		at   float64
+		seq  int
+		want bool
+	}{
+		{0, 0, true},
+		{0.99, 0, true},
+		{1, 1, true},
+		{2.5, 1, true},
+		{5.999, 2, true},
+		{6, 0, false},
+		{-0.1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := idx.At(c.at)
+		if ok != c.want {
+			t.Errorf("At(%f) ok = %v, want %v", c.at, ok, c.want)
+			continue
+		}
+		if ok && got.Seq != c.seq {
+			t.Errorf("At(%f) = seq %d, want %d", c.at, got.Seq, c.seq)
+		}
+	}
+}
+
+func TestCovering(t *testing.T) {
+	idx, _ := NewTemporal(spans3())
+	got := idx.Covering(0.5, 3.5)
+	if len(got) != 3 {
+		t.Fatalf("covering [0.5,3.5): %d spans", len(got))
+	}
+	got = idx.Covering(1, 3)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("covering [1,3): %+v", got)
+	}
+	if got := idx.Covering(10, 20); got != nil {
+		t.Errorf("out of range covering: %+v", got)
+	}
+	if got := idx.Covering(3, 3); got != nil {
+		t.Errorf("empty interval covering: %+v", got)
+	}
+	// Boundary: [3, 3.0001) touches only span 2.
+	got = idx.Covering(3, 3.0001)
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Errorf("boundary covering: %+v", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	idx, _ := NewTemporal(spans3())
+	s, e := idx.Bounds()
+	if s != 0 || e != 6 {
+		t.Errorf("bounds [%f, %f)", s, e)
+	}
+	empty, _ := NewTemporal(nil)
+	if s, e := empty.Bounds(); s != 0 || e != 0 {
+		t.Errorf("empty bounds [%f, %f)", s, e)
+	}
+	if empty.Len() != 0 {
+		t.Error("empty len")
+	}
+}
+
+func TestTemporalGapAllowed(t *testing.T) {
+	// Non-contiguous spans are legal (evicted middle GOPs leave gaps).
+	idx, err := NewTemporal([]Span{{0, 0, 1}, {2, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx.At(3); ok {
+		t.Error("gap time should not resolve")
+	}
+	got := idx.Covering(0, 10)
+	if len(got) != 2 {
+		t.Errorf("covering across gap: %+v", got)
+	}
+}
+
+func TestFingerprints(t *testing.T) {
+	fp, err := NewFingerprints(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tight groups of fragments.
+	for i := 0; i < 4; i++ {
+		if err := fp.Add(i, []float64{0.1 * float64(i%2), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 14; i++ {
+		fp.Add(i, []float64{5 + 0.1*float64(i%2), 0})
+	}
+	if fp.Len() != 8 {
+		t.Errorf("len %d", fp.Len())
+	}
+	groups := fp.CandidateGroups(2)
+	if len(groups) < 2 {
+		t.Fatalf("groups: %v", groups)
+	}
+	for _, g := range groups {
+		low, high := false, false
+		for _, id := range g {
+			if id < 10 {
+				low = true
+			} else {
+				high = true
+			}
+		}
+		if low && high {
+			t.Error("candidate group mixes distant fragments")
+		}
+	}
+	if err := fp.Add(0, []float64{0, 0}); err == nil {
+		t.Error("duplicate id should error")
+	}
+	if v, ok := fp.Vector(1); !ok || len(v) != 2 {
+		t.Error("vector lookup failed")
+	}
+	if _, ok := fp.Vector(999); ok {
+		t.Error("missing vector reported present")
+	}
+}

@@ -1,0 +1,146 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("video frame data "), 100)
+	for _, level := range []int{1, 5, 10, 19} {
+		block, err := Compress(data, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		got, err := Decompress(block)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("level %d: round trip mismatch", level)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(data []byte, lvl uint8) bool {
+		level := int(lvl%MaxLevel) + 1
+		block, err := Compress(data, level)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(block)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	block, err := Compress(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty output, got %d bytes", len(got))
+	}
+}
+
+func TestLevelRecorded(t *testing.T) {
+	block, err := Compress([]byte("x"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := Level(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 7 {
+		t.Errorf("recorded level %d, want 7", lvl)
+	}
+}
+
+func TestLevelClamped(t *testing.T) {
+	block, _ := Compress([]byte("x"), 100)
+	if lvl, _ := Level(block); lvl != MaxLevel {
+		t.Errorf("level %d, want clamp to %d", lvl, MaxLevel)
+	}
+	block, _ = Compress([]byte("x"), -3)
+	if lvl, _ := Level(block); lvl != MinLevel {
+		t.Errorf("level %d, want clamp to %d", lvl, MinLevel)
+	}
+}
+
+func TestHigherLevelNoWorseRatio(t *testing.T) {
+	// Compressible data: redundant synthetic "frame" content.
+	rng := rand.New(rand.NewSource(9))
+	row := make([]byte, 512)
+	for i := range row {
+		row[i] = byte(rng.Intn(8) * 32)
+	}
+	data := bytes.Repeat(row, 64)
+	lo, _ := Compress(data, 1)
+	hi, _ := Compress(data, 19)
+	if len(hi) > len(lo) {
+		t.Errorf("level 19 (%d bytes) worse than level 1 (%d bytes)", len(hi), len(lo))
+	}
+}
+
+func TestIsCompressed(t *testing.T) {
+	block, _ := Compress([]byte("hello"), 3)
+	if !IsCompressed(block) {
+		t.Error("block should be recognized")
+	}
+	if IsCompressed([]byte("plainly raw data")) {
+		t.Error("raw data misrecognized")
+	}
+	if IsCompressed(nil) {
+		t.Error("nil misrecognized")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, err := Decompress([]byte("garbage")); err == nil {
+		t.Error("expected header error")
+	}
+	block, _ := Compress(bytes.Repeat([]byte("a"), 1000), 5)
+	if _, err := Decompress(block[:len(block)/2]); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestLevelForBudget(t *testing.T) {
+	if got := LevelForBudget(1.0); got != MinLevel {
+		t.Errorf("full budget -> level %d, want %d", got, MinLevel)
+	}
+	if got := LevelForBudget(0.0); got != MaxLevel {
+		t.Errorf("exhausted budget -> level %d, want %d", got, MaxLevel)
+	}
+	mid := LevelForBudget(0.5)
+	if mid <= MinLevel || mid >= MaxLevel {
+		t.Errorf("half budget -> level %d, want interior", mid)
+	}
+	// Monotone: less remaining budget, higher (or equal) level.
+	prev := 0
+	for f := 1.0; f >= 0; f -= 0.05 {
+		l := LevelForBudget(f)
+		if l < prev {
+			t.Errorf("level not monotone at fraction %f: %d < %d", f, l, prev)
+		}
+		prev = l
+	}
+	// Out-of-range inputs clamp.
+	if LevelForBudget(-1) != MaxLevel || LevelForBudget(2) != MinLevel {
+		t.Error("out-of-range fractions should clamp")
+	}
+}

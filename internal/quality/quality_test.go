@@ -1,0 +1,220 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+)
+
+func TestMSEIdentical(t *testing.T) {
+	f := frame.New(8, 8, frame.RGB)
+	m, err := MSE(f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Errorf("MSE of identical frames = %f", m)
+	}
+	if p, _ := PSNR(f, f); p != InfPSNR {
+		t.Errorf("PSNR of identical frames = %f, want %f", p, InfPSNR)
+	}
+}
+
+func TestMSEKnownValue(t *testing.T) {
+	a := frame.New(2, 2, frame.Gray)
+	b := frame.New(2, 2, frame.Gray)
+	b.Data[0] = 10 // one pixel differs by 10 across 4 pixels: MSE = 100/4
+	m, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 25 {
+		t.Errorf("MSE = %f, want 25", m)
+	}
+}
+
+func TestMSEShapeMismatch(t *testing.T) {
+	a := frame.New(4, 4, frame.Gray)
+	b := frame.New(4, 5, frame.Gray)
+	if _, err := MSE(a, b); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+	c := frame.New(4, 4, frame.RGB)
+	if _, err := MSE(a, c); err == nil {
+		t.Error("expected format mismatch error")
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	a := frame.New(8, 8, frame.Gray)
+	prev := math.Inf(1)
+	for _, noise := range []int{1, 5, 20, 80} {
+		b := a.Clone()
+		for i := range b.Data {
+			b.Data[i] = byte(noise)
+		}
+		p, err := PSNR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("PSNR not monotone: noise %d gave %f >= %f", noise, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPSNRMSEInverse(t *testing.T) {
+	for _, mse := range []float64{0.5, 1, 10, 100, 1000} {
+		p := PSNRFromMSE(mse)
+		back := MSEFromPSNR(p)
+		if math.Abs(back-mse)/mse > 1e-9 {
+			t.Errorf("inverse mismatch: mse %f -> psnr %f -> %f", mse, p, back)
+		}
+	}
+	if MSEFromPSNR(InfPSNR) != 0 {
+		t.Error("MSEFromPSNR(InfPSNR) should be 0")
+	}
+}
+
+func TestPSNR40dBNotion(t *testing.T) {
+	// MSE that yields exactly 40dB: 255^2 / 10^4 = 6.50.
+	p := PSNRFromMSE(6.50)
+	if math.Abs(p-Lossless) > 0.01 {
+		t.Errorf("PSNR(6.50) = %f, want ~40", p)
+	}
+}
+
+func TestComposeMSEBoundHolds(t *testing.T) {
+	// The paper's bound: MSE(f0,f2) <= 2*(MSE(f0,f1)+MSE(f1,f2)). Verify
+	// empirically on random resampling chains.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		f0 := frame.New(32, 32, frame.Gray)
+		for i := range f0.Data {
+			f0.Data[i] = byte(rng.Intn(256))
+		}
+		f1 := f0.Resize(16, 16).Resize(32, 32) // lossy step 1
+		f2 := f1.Resize(8, 8).Resize(32, 32)   // lossy step 2
+		m01, _ := MSE(f0, f1)
+		m12, _ := MSE(f1, f2)
+		m02, _ := MSE(f0, f2)
+		if bound := ComposeMSE(m01, m12); m02 > bound+1e-9 {
+			t.Errorf("trial %d: bound violated: MSE02=%f > 2*(%f+%f)=%f", trial, m02, m01, m12, bound)
+		}
+	}
+}
+
+func TestComposeMSEBoundProperty(t *testing.T) {
+	// Property form over arbitrary frame triples (not just resampling
+	// chains): the bound follows from (a-c)^2 <= 2((a-b)^2 + (b-c)^2).
+	rng := rand.New(rand.NewSource(8))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() *frame.Frame {
+			f := frame.New(8, 8, frame.Gray)
+			for i := range f.Data {
+				f.Data[i] = byte(r.Intn(256))
+			}
+			return f
+		}
+		f0, f1, f2 := mk(), mk(), mk()
+		m01, _ := MSE(f0, f1)
+		m12, _ := MSE(f1, f2)
+		m02, _ := MSE(f0, f2)
+		return m02 <= ComposeMSE(m01, m12)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeChain(t *testing.T) {
+	if got := ComposeChain(nil); got != 0 {
+		t.Errorf("empty chain = %f", got)
+	}
+	if got := ComposeChain([]float64{5}); got != 5 {
+		t.Errorf("single chain = %f", got)
+	}
+	// ((5,3) -> 16, (16,2) -> 36)
+	if got := ComposeChain([]float64{5, 3, 2}); got != 36 {
+		t.Errorf("chain = %f, want 36", got)
+	}
+}
+
+func TestFramesPSNR(t *testing.T) {
+	a := []*frame.Frame{frame.New(4, 4, frame.Gray), frame.New(4, 4, frame.Gray)}
+	b := []*frame.Frame{a[0].Clone(), a[1].Clone()}
+	p, err := FramesPSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != InfPSNR {
+		t.Errorf("identical sequences PSNR = %f", p)
+	}
+	if _, err := FramesPSNR(a, b[:1]); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestEstimatorInterpolation(t *testing.T) {
+	e := NewEstimator(map[float64]float64{1: 30, 3: 40})
+	if got := e.Estimate(2); math.Abs(got-35) > 1e-9 {
+		t.Errorf("midpoint = %f, want 35", got)
+	}
+	if got := e.Estimate(0.1); got != 30 {
+		t.Errorf("below range = %f, want clamp to 30", got)
+	}
+	if got := e.Estimate(10); got != 40 {
+		t.Errorf("above range = %f, want clamp to 40", got)
+	}
+}
+
+func TestEstimatorDefaultMonotone(t *testing.T) {
+	e := NewEstimator(nil)
+	prev := -1.0
+	for _, m := range []float64{0.01, 0.05, 0.1, 0.3, 0.7, 1.5, 3, 5} {
+		p := e.Estimate(m)
+		if p < prev {
+			t.Errorf("default curve not monotone at mbpp=%f: %f < %f", m, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEstimatorObserveRefines(t *testing.T) {
+	e := NewEstimator(map[float64]float64{1: 30})
+	e.Observe(1.0, 40) // close to existing point: EMA update
+	got := e.Estimate(1.0)
+	if got <= 30 || got >= 40 {
+		t.Errorf("EMA refinement = %f, want between 30 and 40", got)
+	}
+	n := e.Len()
+	e.Observe(5.0, 45) // far away: inserts
+	if e.Len() != n+1 {
+		t.Errorf("expected insertion, len %d -> %d", n, e.Len())
+	}
+	e.Observe(0, 10) // invalid rate ignored
+	if e.Len() != n+1 {
+		t.Error("zero-mbpp observation should be ignored")
+	}
+}
+
+func TestEstimatorConcurrentSafe(t *testing.T) {
+	e := NewEstimator(nil)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			e.Observe(float64(i%10)+0.5, 35)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		e.Estimate(float64(i % 10))
+	}
+	<-done
+}

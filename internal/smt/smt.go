@@ -1,0 +1,318 @@
+// Package smt implements the small constraint optimizer VSS uses to select
+// materialized-view fragments for read execution (Section 3.1 of the
+// paper). The paper embeds fragment selection into Z3; this stdlib-only
+// reproduction provides an equivalent weighted boolean optimizer:
+// DPLL-style branch-and-bound with forced-assignment propagation and an
+// admissible lower bound, returning certified-optimal solutions for the
+// same encoding (exactly-one choice groups, implication and exclusion
+// constraints, linear costs plus non-negative pairwise interaction costs
+// that model look-back dependencies between adjacent choices).
+//
+// The solver is deliberately general — the read planner (internal/core) is
+// just one client; tests encode unrelated problems against it.
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Var identifies a boolean decision variable.
+type Var int
+
+// ErrNodeBudget is returned when optimization exceeds the node budget;
+// callers fall back to a heuristic (the paper's greedy baseline).
+var ErrNodeBudget = errors.New("smt: node budget exhausted")
+
+// ErrUnsat is returned when the constraints admit no assignment.
+var ErrUnsat = errors.New("smt: unsatisfiable")
+
+// Solver accumulates variables, constraints, and objective terms, then
+// minimizes. Every variable must belong to exactly one ExactlyOne group;
+// this matches the planner's encoding (one fragment choice per time slice)
+// and keeps the search space well-defined.
+type Solver struct {
+	names   []string
+	groups  [][]Var   // exactly-one groups, branched in order
+	groupOf []int     // var -> group index (-1 = ungrouped)
+	unary   []float64 // selection cost per var
+	pair    map[[2]Var]float64
+	implies [][]Var // v true -> all of implies[v] true
+	forbids [][]Var // v true -> all of forbids[v] false
+
+	// NodeBudget bounds branch-and-bound nodes; 0 means DefaultNodeBudget.
+	NodeBudget int
+}
+
+// DefaultNodeBudget bounds the search for pathological inputs; read plans
+// are small (tens of groups) and never approach it.
+const DefaultNodeBudget = 2_000_000
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{pair: make(map[[2]Var]float64)}
+}
+
+// Bool introduces a fresh variable. The name is used in diagnostics only.
+func (s *Solver) Bool(name string) Var {
+	v := Var(len(s.names))
+	s.names = append(s.names, name)
+	s.groupOf = append(s.groupOf, -1)
+	s.unary = append(s.unary, 0)
+	s.implies = append(s.implies, nil)
+	s.forbids = append(s.forbids, nil)
+	return v
+}
+
+// NumVars reports the number of declared variables.
+func (s *Solver) NumVars() int { return len(s.names) }
+
+// ExactlyOne constrains exactly one of vars to be true. Groups are
+// branched in the order they are declared; clients should declare them in
+// the order that makes pairwise costs apply to already-decided variables
+// (temporal order, for the read planner).
+func (s *Solver) ExactlyOne(vars ...Var) error {
+	if len(vars) == 0 {
+		return errors.New("smt: empty exactly-one group")
+	}
+	g := len(s.groups)
+	for _, v := range vars {
+		if int(v) >= len(s.groupOf) {
+			return fmt.Errorf("smt: unknown variable %d", v)
+		}
+		if s.groupOf[v] != -1 {
+			return fmt.Errorf("smt: variable %s already grouped", s.names[v])
+		}
+		s.groupOf[v] = g
+	}
+	s.groups = append(s.groups, append([]Var(nil), vars...))
+	return nil
+}
+
+// Cost adds c to the objective when v is selected.
+func (s *Solver) Cost(v Var, c float64) { s.unary[v] += c }
+
+// PairCost adds c to the objective when both a and b are selected. c must
+// be non-negative: the lower bound assumes interaction costs only add.
+func (s *Solver) PairCost(a, b Var, c float64) error {
+	if c < 0 {
+		return fmt.Errorf("smt: negative pair cost %f", c)
+	}
+	if a == b {
+		return fmt.Errorf("smt: pair cost requires distinct variables")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	s.pair[[2]Var{a, b}] += c
+	return nil
+}
+
+// Implies requires b to be true whenever a is true.
+func (s *Solver) Implies(a, b Var) { s.implies[a] = append(s.implies[a], b) }
+
+// Forbid disallows a and b from both being true.
+func (s *Solver) Forbid(a, b Var) {
+	s.forbids[a] = append(s.forbids[a], b)
+	s.forbids[b] = append(s.forbids[b], a)
+}
+
+// Solution is an optimal assignment.
+type Solution struct {
+	Cost     float64
+	Selected []Var // the true variables, one per group, in group order
+	Nodes    int   // branch-and-bound nodes explored (diagnostics)
+}
+
+// IsSelected reports whether v is true in the solution.
+func (sol *Solution) IsSelected(v Var) bool {
+	for _, u := range sol.Selected {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize finds the minimum-cost assignment satisfying all constraints.
+func (s *Solver) Minimize() (*Solution, error) {
+	for v, g := range s.groupOf {
+		if g == -1 {
+			return nil, fmt.Errorf("smt: variable %s belongs to no exactly-one group", s.names[v])
+		}
+	}
+	if len(s.groups) == 0 {
+		return &Solution{}, nil
+	}
+	budget := s.NodeBudget
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+
+	// Precompute per-group minimum unary cost for the admissible bound:
+	// suffixMin[i] = sum over groups i.. of min unary cost in the group.
+	suffixMin := make([]float64, len(s.groups)+1)
+	for i := len(s.groups) - 1; i >= 0; i-- {
+		mn := math.Inf(1)
+		for _, v := range s.groups[i] {
+			if s.unary[v] < mn {
+				mn = s.unary[v]
+			}
+		}
+		suffixMin[i] = suffixMin[i+1] + mn
+	}
+
+	// Adjacency view of pairwise costs for O(degree) marginal-cost updates.
+	pairAdj := make([][]pairTerm, len(s.names))
+	for key, c := range s.pair {
+		pairAdj[key[0]] = append(pairAdj[key[0]], pairTerm{key[1], c})
+		pairAdj[key[1]] = append(pairAdj[key[1]], pairTerm{key[0], c})
+	}
+
+	st := &searchState{
+		s:        s,
+		budget:   budget,
+		suffix:   suffixMin,
+		pairAdj:  pairAdj,
+		bestCost: math.Inf(1),
+		value:    make([]int8, len(s.names)), // 0 unknown, 1 true, -1 false
+		chosen:   make([]Var, len(s.groups)),
+	}
+	st.branch(0, 0)
+	if st.err != nil {
+		return nil, st.err
+	}
+	if math.IsInf(st.bestCost, 1) {
+		return nil, ErrUnsat
+	}
+	return &Solution{Cost: st.bestCost, Selected: st.best, Nodes: st.nodes}, nil
+}
+
+type pairTerm struct {
+	other Var
+	c     float64
+}
+
+type searchState struct {
+	s        *Solver
+	budget   int
+	nodes    int
+	suffix   []float64
+	pairAdj  [][]pairTerm
+	bestCost float64
+	best     []Var
+	value    []int8
+	chosen   []Var
+	err      error
+}
+
+// branch explores group g with accumulated cost acc.
+func (st *searchState) branch(g int, acc float64) {
+	if st.err != nil {
+		return
+	}
+	if acc+st.suffix[g] >= st.bestCost {
+		return // admissible bound: remaining groups cost at least suffix[g]
+	}
+	if g == len(st.s.groups) {
+		st.bestCost = acc
+		st.best = append(st.best[:0:0], st.chosen...)
+		return
+	}
+	for _, v := range st.s.groups[g] {
+		st.nodes++
+		if st.nodes > st.budget {
+			st.err = ErrNodeBudget
+			return
+		}
+		if st.value[v] == -1 {
+			continue // excluded by an earlier choice
+		}
+		// A forced-true variable elsewhere in this group means v (which is
+		// not it) cannot be chosen: exactly-one would be violated.
+		if forced := st.forcedInGroup(g); forced >= 0 && forced != int(v) {
+			continue
+		}
+		trail, cost, ok := st.assign(v)
+		if ok {
+			st.chosen[g] = v
+			st.branch(g+1, acc+cost)
+		}
+		st.undo(trail)
+		if st.err != nil {
+			return
+		}
+	}
+}
+
+// forcedInGroup returns the variable already forced true in group g, or -1.
+func (st *searchState) forcedInGroup(g int) int {
+	for _, v := range st.s.groups[g] {
+		if st.value[v] == 1 {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// assign sets v true, propagates implications and exclusions, and returns
+// the trail of touched variables, the marginal cost (unary + pairwise with
+// already-true variables), and whether the assignment is consistent.
+func (st *searchState) assign(v Var) ([]Var, float64, bool) {
+	var trail []Var
+	var cost float64
+	var queue []Var
+	setTrue := func(u Var) bool {
+		switch st.value[u] {
+		case 1:
+			return true
+		case -1:
+			return false
+		}
+		// Charge pairwise terms against variables that became true before
+		// u; each pair is charged exactly once, when its second endpoint
+		// turns true.
+		for _, pt := range st.pairAdj[u] {
+			if st.value[pt.other] == 1 {
+				cost += pt.c
+			}
+		}
+		st.value[u] = 1
+		trail = append(trail, u)
+		cost += st.s.unary[u]
+		queue = append(queue, u)
+		return true
+	}
+	ok := setTrue(v)
+	for ok && len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range st.s.implies[u] {
+			if !setTrue(w) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		for _, w := range st.s.forbids[u] {
+			if st.value[w] == 1 {
+				ok = false
+				break
+			}
+			if st.value[w] == 0 {
+				st.value[w] = -1
+				trail = append(trail, w)
+			}
+		}
+	}
+	return trail, cost, ok
+}
+
+func (st *searchState) undo(trail []Var) {
+	for _, v := range trail {
+		st.value[v] = 0
+	}
+}

@@ -1,0 +1,314 @@
+package smt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleGroupPicksCheapest(t *testing.T) {
+	s := New()
+	a, b, c := s.Bool("a"), s.Bool("b"), s.Bool("c")
+	if err := s.ExactlyOne(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	s.Cost(a, 5)
+	s.Cost(b, 2)
+	s.Cost(c, 9)
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 2 || !sol.IsSelected(b) {
+		t.Errorf("cost %f selected %v", sol.Cost, sol.Selected)
+	}
+}
+
+func TestPairCostChangesOptimum(t *testing.T) {
+	// Two groups; unary optimum (a1, b1) carries a large interaction cost,
+	// so the solver must switch one choice.
+	s := New()
+	a1, a2 := s.Bool("a1"), s.Bool("a2")
+	b1, b2 := s.Bool("b1"), s.Bool("b2")
+	s.ExactlyOne(a1, a2)
+	s.ExactlyOne(b1, b2)
+	s.Cost(a1, 1)
+	s.Cost(a2, 2)
+	s.Cost(b1, 1)
+	s.Cost(b2, 2)
+	if err := s.PairCost(a1, b1, 10); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 3 {
+		t.Errorf("cost %f, want 3 (avoid the interaction)", sol.Cost)
+	}
+	if sol.IsSelected(a1) && sol.IsSelected(b1) {
+		t.Error("selected the penalized pair")
+	}
+}
+
+func TestPairCostChargedOnce(t *testing.T) {
+	s := New()
+	a := s.Bool("a")
+	b := s.Bool("b")
+	s.ExactlyOne(a)
+	s.ExactlyOne(b)
+	s.PairCost(a, b, 7)
+	s.Cost(a, 1)
+	s.Cost(b, 2)
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 10 {
+		t.Errorf("cost %f, want 1+2+7=10", sol.Cost)
+	}
+}
+
+func TestImpliesPropagates(t *testing.T) {
+	// Choosing a1 forces b1 even though b2 is cheaper.
+	s := New()
+	a1, a2 := s.Bool("a1"), s.Bool("a2")
+	b1, b2 := s.Bool("b1"), s.Bool("b2")
+	s.ExactlyOne(a1, a2)
+	s.ExactlyOne(b1, b2)
+	s.Cost(a1, 0)
+	s.Cost(a2, 100)
+	s.Cost(b1, 50)
+	s.Cost(b2, 0)
+	s.Implies(a1, b1)
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options: a1 forces b1 => 0+50 = 50; or a2 with b2 => 100. Optimum 50.
+	if sol.Cost != 50 || !sol.IsSelected(b1) {
+		t.Errorf("cost %f selected %v", sol.Cost, sol.Selected)
+	}
+}
+
+func TestImplicationChainWithPairCosts(t *testing.T) {
+	// Implication fires transitively and pair costs charged once even when
+	// both endpoints become true in the same propagation batch.
+	s := New()
+	a := s.Bool("a")
+	b := s.Bool("b")
+	c := s.Bool("c")
+	s.ExactlyOne(a)
+	s.ExactlyOne(b)
+	s.ExactlyOne(c)
+	s.Implies(a, b)
+	s.Implies(a, c)
+	s.PairCost(b, c, 5)
+	s.Cost(a, 1)
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 6 {
+		t.Errorf("cost %f, want 1+5", sol.Cost)
+	}
+}
+
+func TestForbidExcludes(t *testing.T) {
+	s := New()
+	a1, a2 := s.Bool("a1"), s.Bool("a2")
+	b1, b2 := s.Bool("b1"), s.Bool("b2")
+	s.ExactlyOne(a1, a2)
+	s.ExactlyOne(b1, b2)
+	s.Cost(a1, 0)
+	s.Cost(a2, 10)
+	s.Cost(b1, 0)
+	s.Cost(b2, 10)
+	s.Forbid(a1, b1)
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 10 {
+		t.Errorf("cost %f, want 10", sol.Cost)
+	}
+	if sol.IsSelected(a1) && sol.IsSelected(b1) {
+		t.Error("forbidden pair selected")
+	}
+}
+
+func TestUnsat(t *testing.T) {
+	s := New()
+	a := s.Bool("a")
+	b := s.Bool("b")
+	s.ExactlyOne(a)
+	s.ExactlyOne(b)
+	s.Forbid(a, b)
+	if _, err := s.Minimize(); err != ErrUnsat {
+		t.Errorf("err = %v, want ErrUnsat", err)
+	}
+}
+
+func TestUngroupedVariableRejected(t *testing.T) {
+	s := New()
+	s.Bool("floating")
+	if _, err := s.Minimize(); err == nil {
+		t.Error("ungrouped variable should be rejected")
+	}
+}
+
+func TestDoubleGroupingRejected(t *testing.T) {
+	s := New()
+	a := s.Bool("a")
+	if err := s.ExactlyOne(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExactlyOne(a); err == nil {
+		t.Error("double grouping should error")
+	}
+	if err := s.ExactlyOne(); err == nil {
+		t.Error("empty group should error")
+	}
+}
+
+func TestNegativePairCostRejected(t *testing.T) {
+	s := New()
+	a, b := s.Bool("a"), s.Bool("b")
+	if err := s.PairCost(a, b, -1); err == nil {
+		t.Error("negative pair cost should error")
+	}
+	if err := s.PairCost(a, a, 1); err == nil {
+		t.Error("self pair cost should error")
+	}
+}
+
+func TestEmptySolver(t *testing.T) {
+	s := New()
+	sol, err := s.Minimize()
+	if err != nil || sol.Cost != 0 {
+		t.Errorf("empty solver: %v, cost %f", err, sol.Cost)
+	}
+}
+
+func TestNodeBudgetExhaustion(t *testing.T) {
+	s := New()
+	// 12 groups x 4 vars with random interactions; budget of 3 nodes must
+	// trip immediately.
+	rng := rand.New(rand.NewSource(41))
+	var prev []Var
+	for g := 0; g < 12; g++ {
+		var vars []Var
+		for k := 0; k < 4; k++ {
+			v := s.Bool("v")
+			s.Cost(v, rng.Float64())
+			vars = append(vars, v)
+		}
+		s.ExactlyOne(vars...)
+		for _, p := range prev {
+			for _, v := range vars {
+				s.PairCost(p, v, rng.Float64())
+			}
+		}
+		prev = vars
+	}
+	s.NodeBudget = 3
+	if _, err := s.Minimize(); err != ErrNodeBudget {
+		t.Errorf("err = %v, want ErrNodeBudget", err)
+	}
+}
+
+// bruteForce enumerates every combination for cross-checking.
+func bruteForce(groups [][]Var, unary map[Var]float64, pair map[[2]Var]float64) float64 {
+	best := math.Inf(1)
+	var rec func(g int, sel []Var, acc float64)
+	rec = func(g int, sel []Var, acc float64) {
+		if g == len(groups) {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for _, v := range groups[g] {
+			c := unary[v]
+			for _, u := range sel {
+				k := [2]Var{u, v}
+				if u > v {
+					k = [2]Var{v, u}
+				}
+				c += pair[k]
+			}
+			rec(g+1, append(sel, v), acc+c)
+		}
+	}
+	rec(0, nil, 0)
+	return best
+}
+
+func TestMatchesBruteForceRandom(t *testing.T) {
+	// Property: on random chain-structured instances (the planner's
+	// shape), the solver equals exhaustive enumeration.
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		s := New()
+		nGroups := 2 + rng.Intn(4)
+		var groups [][]Var
+		unary := map[Var]float64{}
+		pair := map[[2]Var]float64{}
+		var prev []Var
+		for g := 0; g < nGroups; g++ {
+			var vars []Var
+			n := 1 + rng.Intn(3)
+			for k := 0; k < n; k++ {
+				v := s.Bool("v")
+				c := math.Round(rng.Float64()*20) / 2
+				s.Cost(v, c)
+				unary[v] = c
+				vars = append(vars, v)
+			}
+			s.ExactlyOne(vars...)
+			groups = append(groups, vars)
+			for _, p := range prev {
+				for _, v := range vars {
+					if rng.Intn(2) == 0 {
+						c := math.Round(rng.Float64()*10) / 2
+						s.PairCost(p, v, c)
+						k := [2]Var{p, v}
+						if p > v {
+							k = [2]Var{v, p}
+						}
+						pair[k] += c
+					}
+				}
+			}
+			prev = vars
+		}
+		want := bruteForce(groups, unary, pair)
+		sol, err := s.Minimize()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Cost-want) > 1e-9 {
+			t.Errorf("trial %d: solver %f, brute force %f", trial, sol.Cost, want)
+		}
+	}
+}
+
+func TestSolutionOnePerGroup(t *testing.T) {
+	s := New()
+	for g := 0; g < 5; g++ {
+		a, b := s.Bool("a"), s.Bool("b")
+		s.ExactlyOne(a, b)
+		s.Cost(a, float64(g))
+		s.Cost(b, float64(5-g))
+	}
+	sol, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 5 {
+		t.Errorf("selected %d vars, want 5", len(sol.Selected))
+	}
+	if sol.Nodes <= 0 {
+		t.Error("node count not reported")
+	}
+}

@@ -1,0 +1,182 @@
+// Package storage manages the on-disk layout of VSS physical video data.
+// Following Figure 2 of the paper, each logical video owns a directory;
+// each physical video (materialized view) is a subdirectory of GOP files:
+//
+//	<root>/<video>/p<id>-<WxH>r<fps>.<codec>/<seq>.gop
+//
+// GOP files are written atomically (temp file + rename) so a crash never
+// exposes a torn GOP; the catalog (internal/catalog) is the source of
+// truth for which GOPs exist. Hard links support compaction and
+// duplicate-GOP deduplication without copying bytes.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Store provides file operations under a root directory.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// PhysicalDirName renders the directory name for a physical video, e.g.
+// "p000002-960x540r30.hevc".
+func PhysicalDirName(id, w, h, fps int, codecName string) string {
+	return fmt.Sprintf("p%06d-%dx%dr%d.%s", id, w, h, fps, codecName)
+}
+
+// gopPath returns the path of one GOP file.
+func (s *Store) gopPath(video, physDir string, seq int) string {
+	return filepath.Join(s.root, video, physDir, fmt.Sprintf("%d.gop", seq))
+}
+
+// WriteGOP atomically writes one GOP file.
+func (s *Store) WriteGOP(video, physDir string, seq int, data []byte) error {
+	path := s.gopPath(video, physDir, seq)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// ReadGOP reads one GOP file.
+func (s *Store) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	data, err := os.ReadFile(s.gopPath(video, physDir, seq))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return data, nil
+}
+
+// GOPSize returns the on-disk size of one GOP file.
+func (s *Store) GOPSize(video, physDir string, seq int) (int64, error) {
+	fi, err := os.Stat(s.gopPath(video, physDir, seq))
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// DeleteGOP removes one GOP file. Missing files are not an error: eviction
+// and crash recovery may race.
+func (s *Store) DeleteGOP(video, physDir string, seq int) error {
+	err := os.Remove(s.gopPath(video, physDir, seq))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// LinkGOP hard-links a GOP into another physical video, the mechanism
+// behind compaction (Section 5.3: "creating hard links from the second
+// into the first") and duplicate-GOP pointers. Falls back to a copy on
+// filesystems without hard links.
+func (s *Store) LinkGOP(video, srcDir string, srcSeq int, dstVideo, dstDir string, dstSeq int) error {
+	src := s.gopPath(video, srcDir, srcSeq)
+	dst := s.gopPath(dstVideo, dstDir, dstSeq)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return s.WriteGOP(dstVideo, dstDir, dstSeq, data)
+}
+
+// DeletePhysical removes a physical video directory and its GOPs.
+func (s *Store) DeletePhysical(video, physDir string) error {
+	if err := os.RemoveAll(filepath.Join(s.root, video, physDir)); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// DeleteVideo removes a logical video directory entirely.
+func (s *Store) DeleteVideo(video string) error {
+	if err := os.RemoveAll(filepath.Join(s.root, video)); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// VideoSize returns the total bytes stored under a logical video,
+// counting hard-linked files once per link (the paper's budget is an
+// upper bound on storage, and link-sharing only reduces true usage).
+func (s *Store) VideoSize(video string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(filepath.Join(s.root, video), func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += fi.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return total, nil
+}
+
+// WriteBlob and ReadBlob store auxiliary per-physical-video artifacts
+// (joint compression sidecars) under the physical directory.
+func (s *Store) WriteBlob(video, physDir, name string, data []byte) error {
+	path := filepath.Join(s.root, video, physDir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// ReadBlob reads an auxiliary artifact.
+func (s *Store) ReadBlob(video, physDir, name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, video, physDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadGOP(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("gop payload")
+	if err := s.WriteGOP("traffic", "p000001-640x360r30.h264", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadGOP("traffic", "p000001-640x360r30.h264", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	sz, err := s.GOPSize("traffic", "p000001-640x360r30.h264", 0)
+	if err != nil || sz != int64(len(data)) {
+		t.Errorf("size %d err %v", sz, err)
+	}
+}
+
+func TestWriteGOPAtomicNoTemp(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.WriteGOP("v", "p1", 0, []byte("x"))
+	entries, _ := os.ReadDir(filepath.Join(s.Root(), "v", "p1"))
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Error("temp file left behind")
+		}
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.ReadGOP("v", "p1", 7); err == nil {
+		t.Error("missing GOP should error")
+	}
+	if _, err := s.GOPSize("v", "p1", 7); err == nil {
+		t.Error("missing GOP size should error")
+	}
+}
+
+func TestDeleteGOPIdempotent(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.WriteGOP("v", "p1", 0, []byte("x"))
+	if err := s.DeleteGOP("v", "p1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteGOP("v", "p1", 0); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestLinkGOP(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.WriteGOP("v", "p1", 3, []byte("shared"))
+	if err := s.LinkGOP("v", "p1", 3, "v", "p2", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadGOP("v", "p2", 0)
+	if err != nil || string(got) != "shared" {
+		t.Fatalf("linked read: %v %q", err, got)
+	}
+	// Deleting the source must not break the link target.
+	s.DeleteGOP("v", "p1", 3)
+	if _, err := s.ReadGOP("v", "p2", 0); err != nil {
+		t.Errorf("link target lost after source delete: %v", err)
+	}
+}
+
+func TestDeletePhysicalAndVideo(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.WriteGOP("v", "p1", 0, []byte("a"))
+	s.WriteGOP("v", "p2", 0, []byte("b"))
+	if err := s.DeletePhysical("v", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadGOP("v", "p1", 0); err == nil {
+		t.Error("physical still readable")
+	}
+	if _, err := s.ReadGOP("v", "p2", 0); err != nil {
+		t.Error("unrelated physical removed")
+	}
+	if err := s.DeleteVideo("v"); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := s.VideoSize("v"); sz != 0 {
+		t.Errorf("deleted video size %d", sz)
+	}
+}
+
+func TestVideoSize(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.WriteGOP("v", "p1", 0, make([]byte, 100))
+	s.WriteGOP("v", "p1", 1, make([]byte, 50))
+	s.WriteGOP("v", "p2", 0, make([]byte, 25))
+	sz, err := s.VideoSize("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 175 {
+		t.Errorf("size %d, want 175", sz)
+	}
+	if sz, _ := s.VideoSize("missing"); sz != 0 {
+		t.Errorf("missing video size %d", sz)
+	}
+}
+
+func TestBlobs(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.WriteBlob("v", "p1", "joint.meta", []byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadBlob("v", "p1", "joint.meta")
+	if err != nil || string(got) != "meta" {
+		t.Fatalf("blob: %v %q", err, got)
+	}
+	if _, err := s.ReadBlob("v", "p1", "nope"); err == nil {
+		t.Error("missing blob should error")
+	}
+}
+
+func TestPhysicalDirName(t *testing.T) {
+	got := PhysicalDirName(2, 960, 540, 30, "hevc")
+	if got != "p000002-960x540r30.hevc" {
+		t.Errorf("dir name %q", got)
+	}
+}

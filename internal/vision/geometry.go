@@ -1,0 +1,228 @@
+// Package vision implements the computer-vision substrate VSS's joint
+// compression optimization depends on (Section 5.1 of the paper): keypoint
+// detection and description, Lowe-ratio feature matching, robust homography
+// estimation (normalized DLT inside RANSAC), perspective warping, and the
+// color-histogram fingerprints used for candidate clustering.
+//
+// The paper's prototype uses OpenCV (SIFT features per Lowe [31, 32]).
+// This stdlib-only reproduction substitutes Harris corners with normalized
+// patch descriptors — a simpler pipeline with the same structure and the
+// same failure modes (bad homographies are detected downstream by the
+// quality model and joint compression is aborted).
+package vision
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2D image coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// Homography is a row-major 3x3 projective transform. Applying H to a
+// point (x, y) yields homogeneous coordinates that are dehomogenized by the
+// third component, exactly the `transform` function of Algorithm 1.
+type Homography [9]float64
+
+// Identity returns the identity transform.
+func Identity() Homography {
+	return Homography{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}
+
+// Apply maps the point (x, y) through the homography.
+func (h Homography) Apply(x, y float64) (float64, float64) {
+	w := h[6]*x + h[7]*y + h[8]
+	if w == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	return (h[0]*x + h[1]*y + h[2]) / w, (h[3]*x + h[4]*y + h[5]) / w
+}
+
+// Mul returns the composition h∘o (apply o first, then h).
+func (h Homography) Mul(o Homography) Homography {
+	var out Homography
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += h[r*3+k] * o[k*3+c]
+			}
+			out[r*3+c] = s
+		}
+	}
+	return out
+}
+
+// Inverse returns the inverse transform. Projective transforms used by VSS
+// are invertible; a singular matrix yields an error, which joint
+// compression treats as "no homography found".
+func (h Homography) Inverse() (Homography, error) {
+	a, b, c := h[0], h[1], h[2]
+	d, e, f := h[3], h[4], h[5]
+	g, i, j := h[6], h[7], h[8]
+	det := a*(e*j-f*i) - b*(d*j-f*g) + c*(d*i-e*g)
+	if math.Abs(det) < 1e-12 {
+		return Homography{}, fmt.Errorf("vision: singular homography")
+	}
+	inv := Homography{
+		e*j - f*i, c*i - b*j, b*f - c*e,
+		f*g - d*j, a*j - c*g, c*d - a*f,
+		d*i - e*g, b*g - a*i, a*e - b*d,
+	}
+	for k := range inv {
+		inv[k] /= det
+	}
+	return inv, nil
+}
+
+// Normalize scales the homography so h[8] = 1 when possible, giving a
+// canonical form for comparisons such as the duplicate-frame check.
+func (h Homography) Normalize() Homography {
+	if h[8] == 0 || h[8] == 1 {
+		return h
+	}
+	var out Homography
+	for i := range h {
+		out[i] = h[i] / h[8]
+	}
+	return out
+}
+
+// DistanceFromIdentity returns ||H - I||_2 (Frobenius), the quantity
+// Algorithm 1 compares against ε to detect duplicate frames.
+func (h Homography) DistanceFromIdentity() float64 {
+	n := h.Normalize()
+	id := Identity()
+	var s float64
+	for i := range n {
+		d := n[i] - id[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// solveLinear solves the n x n system A x = b in place using Gaussian
+// elimination with partial pivoting. A is row-major.
+func solveLinear(a []float64, b []float64, n int) ([]float64, error) {
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		pivot := col
+		best := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("vision: singular linear system")
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		// Eliminate below.
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r*n+col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r*n+c] -= factor * a[col*n+c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r*n+c] * x[c]
+		}
+		x[r] = s / a[r*n+r]
+	}
+	return x, nil
+}
+
+// EstimateHomography computes the homography mapping src[i] -> dst[i] by
+// normalized direct linear transform. At least 4 correspondences are
+// required; with more, the least-squares solution is returned (via the
+// normal equations of the 2n x 8 DLT system with h33 fixed to 1).
+func EstimateHomography(src, dst []Point) (Homography, error) {
+	if len(src) != len(dst) || len(src) < 4 {
+		return Homography{}, fmt.Errorf("vision: need >= 4 correspondences, got %d/%d", len(src), len(dst))
+	}
+	// Hartley normalization: translate centroids to origin, scale mean
+	// distance to sqrt(2). Dramatically improves conditioning.
+	tSrc, nSrc := normalizePoints(src)
+	tDst, nDst := normalizePoints(dst)
+
+	// Build normal equations AtA h = Atb for the 8 unknowns.
+	ata := make([]float64, 64)
+	atb := make([]float64, 8)
+	var row [8]float64
+	accumulate := func(row []float64, rhs float64) {
+		for i := 0; i < 8; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < 8; j++ {
+				ata[i*8+j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * rhs
+		}
+	}
+	for k := range nSrc {
+		x, y := nSrc[k].X, nSrc[k].Y
+		u, v := nDst[k].X, nDst[k].Y
+		// u = (h0 x + h1 y + h2) / (h6 x + h7 y + 1)
+		row = [8]float64{x, y, 1, 0, 0, 0, -u * x, -u * y}
+		accumulate(row[:], u)
+		row = [8]float64{0, 0, 0, x, y, 1, -v * x, -v * y}
+		accumulate(row[:], v)
+	}
+	h8, err := solveLinear(ata, atb, 8)
+	if err != nil {
+		return Homography{}, err
+	}
+	hn := Homography{h8[0], h8[1], h8[2], h8[3], h8[4], h8[5], h8[6], h8[7], 1}
+
+	// Denormalize: H = tDst^-1 * Hn * tSrc.
+	tDstInv, err := tDst.Inverse()
+	if err != nil {
+		return Homography{}, err
+	}
+	return tDstInv.Mul(hn).Mul(tSrc).Normalize(), nil
+}
+
+// normalizePoints returns the similarity transform T and the transformed
+// points such that the centroid is at the origin with mean distance √2.
+func normalizePoints(pts []Point) (Homography, []Point) {
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(pts))
+	cy /= float64(len(pts))
+	var meanDist float64
+	for _, p := range pts {
+		meanDist += math.Hypot(p.X-cx, p.Y-cy)
+	}
+	meanDist /= float64(len(pts))
+	s := math.Sqrt2
+	if meanDist > 1e-12 {
+		s = math.Sqrt2 / meanDist
+	}
+	t := Homography{s, 0, -s * cx, 0, s, -s * cy, 0, 0, 1}
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point{s * (p.X - cx), s * (p.Y - cy)}
+	}
+	return t, out
+}

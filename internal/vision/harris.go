@@ -1,0 +1,168 @@
+package vision
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/frame"
+)
+
+// Keypoint is a detected interest point with its descriptor: a normalized
+// spatial patch characterizing the "interesting region", playing the role
+// of the paper's SIFT features.
+type Keypoint struct {
+	X, Y     int
+	Response float64
+	Desc     []float32
+}
+
+// DescSize is the descriptor edge length: descriptors are DescSize^2
+// samples taken on a 2px grid around the keypoint.
+const DescSize = 8
+
+// descSupport is the half-width of the image patch a descriptor covers.
+const descSupport = DescSize // 2px spacing * DescSize / 2 * 2
+
+// DetectKeypoints finds up to maxN Harris corners in the frame (converted
+// to grayscale as needed) and computes a descriptor for each. Keypoints too
+// close to the border to support a descriptor are discarded.
+func DetectKeypoints(f *frame.Frame, maxN int) []Keypoint {
+	gray := f
+	if f.Format != frame.Gray {
+		gray = f.Convert(frame.Gray)
+	}
+	w, h := gray.Width, gray.Height
+	if w < 2*descSupport+3 || h < 2*descSupport+3 {
+		return nil
+	}
+	resp := harrisResponse(gray)
+
+	// Non-maximum suppression over a 5x5 neighborhood, skipping a border
+	// wide enough to extract descriptors.
+	border := descSupport + 1
+	type cand struct {
+		x, y int
+		r    float64
+	}
+	var cands []cand
+	for y := border; y < h-border; y++ {
+		for x := border; x < w-border; x++ {
+			r := resp[y*w+x]
+			if r <= 0 {
+				continue
+			}
+			isMax := true
+			for dy := -2; dy <= 2 && isMax; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if resp[(y+dy)*w+x+dx] > r {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				cands = append(cands, cand{x, y, r})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].r > cands[j].r })
+	if maxN > 0 && len(cands) > maxN {
+		cands = cands[:maxN]
+	}
+	kps := make([]Keypoint, 0, len(cands))
+	for _, c := range cands {
+		desc := describe(gray, c.x, c.y)
+		if desc == nil {
+			continue
+		}
+		kps = append(kps, Keypoint{X: c.x, Y: c.y, Response: c.r, Desc: desc})
+	}
+	return kps
+}
+
+// harrisResponse computes the Harris corner response R = det(M) - k tr(M)^2
+// with a 3x3 box-filtered structure tensor and Sobel gradients.
+func harrisResponse(gray *frame.Frame) []float64 {
+	w, h := gray.Width, gray.Height
+	pix := gray.Data
+	ix := make([]float64, w*h)
+	iy := make([]float64, w*h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			// Sobel kernels.
+			gx := -int(pix[i-w-1]) + int(pix[i-w+1]) +
+				-2*int(pix[i-1]) + 2*int(pix[i+1]) +
+				-int(pix[i+w-1]) + int(pix[i+w+1])
+			gy := -int(pix[i-w-1]) - 2*int(pix[i-w]) - int(pix[i-w+1]) +
+				int(pix[i+w-1]) + 2*int(pix[i+w]) + int(pix[i+w+1])
+			ix[i] = float64(gx) / 8
+			iy[i] = float64(gy) / 8
+		}
+	}
+	resp := make([]float64, w*h)
+	const k = 0.05
+	for y := 2; y < h-2; y++ {
+		for x := 2; x < w-2; x++ {
+			var sxx, syy, sxy float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					i := (y+dy)*w + x + dx
+					sxx += ix[i] * ix[i]
+					syy += iy[i] * iy[i]
+					sxy += ix[i] * iy[i]
+				}
+			}
+			det := sxx*syy - sxy*sxy
+			tr := sxx + syy
+			resp[y*w+x] = det - k*tr*tr
+		}
+	}
+	return resp
+}
+
+// describe extracts a normalized DescSize x DescSize patch sampled at 2px
+// spacing, zero-meaned and scaled to unit L2 norm. Normalization buys
+// invariance to brightness and contrast shifts between cameras.
+func describe(gray *frame.Frame, cx, cy int) []float32 {
+	w := gray.Width
+	desc := make([]float32, DescSize*DescSize)
+	var mean float64
+	idx := 0
+	for dy := -DescSize / 2; dy < DescSize/2; dy++ {
+		for dx := -DescSize / 2; dx < DescSize/2; dx++ {
+			v := float64(gray.Data[(cy+dy*2)*w+cx+dx*2])
+			desc[idx] = float32(v)
+			mean += v
+			idx++
+		}
+	}
+	mean /= float64(len(desc))
+	var norm float64
+	for i := range desc {
+		d := float64(desc[i]) - mean
+		desc[i] = float32(d)
+		norm += d * d
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-6 {
+		return nil // flat patch: not a usable descriptor
+	}
+	for i := range desc {
+		desc[i] = float32(float64(desc[i]) / norm)
+	}
+	return desc
+}
+
+// DescDistance returns the squared Euclidean distance between descriptors.
+func DescDistance(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package vision
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// ColorHistogram computes a normalized per-channel color histogram with
+// `bins` buckets per channel (3*bins values for RGB, bins for Gray). These
+// are the fingerprints VSS clusters to prune the joint-compression pair
+// search (Section 5.1.3): fragments with very different histograms are
+// unlikely to overlap.
+func ColorHistogram(f *frame.Frame, bins int) []float64 {
+	if bins <= 0 {
+		bins = 8
+	}
+	src := f
+	if f.Format != frame.RGB && f.Format != frame.Gray {
+		src = f.Convert(frame.RGB)
+	}
+	var channels int
+	if src.Format == frame.RGB {
+		channels = 3
+	} else {
+		channels = 1
+	}
+	hist := make([]float64, channels*bins)
+	step := 256 / bins
+	n := src.Width * src.Height
+	for i := 0; i < n; i++ {
+		for c := 0; c < channels; c++ {
+			v := int(src.Data[i*channels+c]) / step
+			if v >= bins {
+				v = bins - 1
+			}
+			hist[c*bins+v]++
+		}
+	}
+	total := float64(n)
+	for i := range hist {
+		hist[i] /= total
+	}
+	return hist
+}
+
+// HistogramDistance returns the Euclidean distance between two histograms
+// of equal length.
+func HistogramDistance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Fingerprint produces a compact feature vector robustly characterizing a
+// frame: its color histogram concatenated with a coarse luma thumbnail.
+// The thumbnail term separates frames that share a palette but differ in
+// composition; the histogram term is cheap and dominates clustering.
+func Fingerprint(f *frame.Frame, bins, thumb int) []float64 {
+	if thumb <= 0 {
+		thumb = 4
+	}
+	hist := ColorHistogram(f, bins)
+	small := f.Convert(frame.Gray).Resize(thumb, thumb)
+	out := make([]float64, 0, len(hist)+thumb*thumb)
+	out = append(out, hist...)
+	for _, v := range small.Data {
+		out = append(out, float64(v)/255)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package vision
+
+import "math/rand"
+
+// Match pairs keypoint indices between two keypoint sets.
+type Match struct {
+	A, B int
+	Dist float64
+}
+
+// DefaultLoweRatio is the nearest/second-nearest distance ratio below
+// which a match is considered unambiguous, per Lowe [32] as used in
+// Section 5.1.3 of the paper ("disambiguates using Lowe's ratio").
+const DefaultLoweRatio = 0.8
+
+// MatchKeypoints matches descriptors from a to b by brute-force nearest
+// neighbor, keeping only unambiguous matches: the best distance must be
+// below ratio^2 times the second best (squared distances), and each target
+// keypoint may be claimed at most once (ties keep the closer match). This
+// implements the paper's rejection of ambiguous correspondences.
+func MatchKeypoints(a, b []Keypoint, ratio float64) []Match {
+	if ratio <= 0 {
+		ratio = DefaultLoweRatio
+	}
+	r2 := ratio * ratio
+	var matches []Match
+	claimed := make(map[int]int) // b index -> matches index
+	for i := range a {
+		best, second := -1, -1
+		bestD, secondD := 1e18, 1e18
+		for j := range b {
+			d := DescDistance(a[i].Desc, b[j].Desc)
+			if d < bestD {
+				second, secondD = best, bestD
+				best, bestD = j, d
+			} else if d < secondD {
+				second, secondD = j, d
+			}
+		}
+		_ = second
+		if best < 0 || bestD > r2*secondD {
+			continue // ambiguous or no candidates
+		}
+		if prev, ok := claimed[best]; ok {
+			if matches[prev].Dist <= bestD {
+				continue
+			}
+			// Replace the earlier, worse claim.
+			matches[prev] = Match{A: i, B: best, Dist: bestD}
+			continue
+		}
+		claimed[best] = len(matches)
+		matches = append(matches, Match{A: i, B: best, Dist: bestD})
+	}
+	return matches
+}
+
+// RANSACResult carries a robustly estimated homography and its support.
+type RANSACResult struct {
+	H       Homography
+	Inliers []Match
+}
+
+// RANSACHomography robustly estimates the homography mapping keypoints of
+// a onto keypoints of b from the given matches. iters RANSAC rounds sample
+// minimal 4-match subsets; inliers are matches whose reprojection error is
+// below threshold pixels. The final model is re-estimated by least squares
+// over the best inlier set. Returns ok=false when no model with at least
+// minInliers support exists — the "no homography found" branch of
+// Algorithm 1.
+func RANSACHomography(a, b []Keypoint, matches []Match, iters int, threshold float64, minInliers int, rng *rand.Rand) (RANSACResult, bool) {
+	if minInliers < 4 {
+		minInliers = 4
+	}
+	if len(matches) < minInliers {
+		return RANSACResult{}, false
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	t2 := threshold * threshold
+	bestInliers := []int(nil)
+	for it := 0; it < iters; it++ {
+		idx := sample4(len(matches), rng)
+		src := make([]Point, 4)
+		dst := make([]Point, 4)
+		for k, mi := range idx {
+			m := matches[mi]
+			src[k] = Point{float64(a[m.A].X), float64(a[m.A].Y)}
+			dst[k] = Point{float64(b[m.B].X), float64(b[m.B].Y)}
+		}
+		h, err := EstimateHomography(src, dst)
+		if err != nil {
+			continue
+		}
+		var inliers []int
+		for mi, m := range matches {
+			x, y := h.Apply(float64(a[m.A].X), float64(a[m.A].Y))
+			dx := x - float64(b[m.B].X)
+			dy := y - float64(b[m.B].Y)
+			if dx*dx+dy*dy <= t2 {
+				inliers = append(inliers, mi)
+			}
+		}
+		if len(inliers) > len(bestInliers) {
+			bestInliers = inliers
+		}
+	}
+	if len(bestInliers) < minInliers {
+		return RANSACResult{}, false
+	}
+	// Refine on all inliers.
+	src := make([]Point, len(bestInliers))
+	dst := make([]Point, len(bestInliers))
+	out := make([]Match, len(bestInliers))
+	for k, mi := range bestInliers {
+		m := matches[mi]
+		src[k] = Point{float64(a[m.A].X), float64(a[m.A].Y)}
+		dst[k] = Point{float64(b[m.B].X), float64(b[m.B].Y)}
+		out[k] = m
+	}
+	h, err := EstimateHomography(src, dst)
+	if err != nil {
+		return RANSACResult{}, false
+	}
+	return RANSACResult{H: h, Inliers: out}, true
+}
+
+// sample4 draws 4 distinct indices in [0, n).
+func sample4(n int, rng *rand.Rand) [4]int {
+	var out [4]int
+	for i := 0; i < 4; i++ {
+	retry:
+		v := rng.Intn(n)
+		for j := 0; j < i; j++ {
+			if out[j] == v {
+				goto retry
+			}
+		}
+		out[i] = v
+	}
+	return out
+}

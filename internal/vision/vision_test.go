@@ -1,0 +1,399 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestHomographyIdentity(t *testing.T) {
+	h := Identity()
+	x, y := h.Apply(12.5, -3)
+	if x != 12.5 || y != -3 {
+		t.Errorf("identity apply = (%f, %f)", x, y)
+	}
+	if d := h.DistanceFromIdentity(); d != 0 {
+		t.Errorf("identity distance = %f", d)
+	}
+}
+
+func TestHomographyTranslationAndInverse(t *testing.T) {
+	h := Homography{1, 0, 10, 0, 1, -5, 0, 0, 1}
+	x, y := h.Apply(1, 2)
+	if x != 11 || y != -3 {
+		t.Errorf("translate = (%f, %f)", x, y)
+	}
+	inv, err := h.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y = inv.Apply(11, -3)
+	if math.Abs(x-1) > 1e-9 || math.Abs(y-2) > 1e-9 {
+		t.Errorf("inverse = (%f, %f)", x, y)
+	}
+}
+
+func TestHomographyMulComposition(t *testing.T) {
+	a := Homography{1, 0, 1, 0, 1, 2, 0, 0, 1} // translate (1,2)
+	b := Homography{2, 0, 0, 0, 2, 0, 0, 0, 1} // scale 2
+	ab := a.Mul(b)                             // scale then translate
+	x, y := ab.Apply(3, 4)
+	if x != 7 || y != 10 {
+		t.Errorf("composition = (%f, %f), want (7, 10)", x, y)
+	}
+}
+
+func TestHomographyInverseSingular(t *testing.T) {
+	var h Homography // all zeros
+	if _, err := h.Inverse(); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestHomographyRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		h := Homography{
+			1 + rng.Float64()*0.2, rng.Float64() * 0.1, rng.Float64() * 20,
+			rng.Float64() * 0.1, 1 + rng.Float64()*0.2, rng.Float64() * 20,
+			rng.Float64() * 1e-4, rng.Float64() * 1e-4, 1,
+		}
+		inv, err := h.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0, y0 := rng.Float64()*100, rng.Float64()*100
+		x1, y1 := h.Apply(x0, y0)
+		x2, y2 := inv.Apply(x1, y1)
+		if math.Abs(x2-x0) > 1e-6 || math.Abs(y2-y0) > 1e-6 {
+			t.Errorf("round trip (%f,%f) -> (%f,%f)", x0, y0, x2, y2)
+		}
+	}
+}
+
+func TestEstimateHomographyExact(t *testing.T) {
+	want := Homography{1.1, 0.02, 5, -0.01, 0.95, -3, 1e-4, -2e-4, 1}
+	src := []Point{{0, 0}, {100, 0}, {0, 80}, {100, 80}, {50, 40}}
+	dst := make([]Point, len(src))
+	for i, p := range src {
+		x, y := want.Apply(p.X, p.Y)
+		dst[i] = Point{x, y}
+	}
+	got, err := EstimateHomography(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src {
+		gx, gy := got.Apply(p.X, p.Y)
+		if math.Abs(gx-dst[i].X) > 1e-6 || math.Abs(gy-dst[i].Y) > 1e-6 {
+			t.Errorf("point %d: (%f, %f) want (%f, %f)", i, gx, gy, dst[i].X, dst[i].Y)
+		}
+	}
+}
+
+func TestEstimateHomographyDegenerate(t *testing.T) {
+	if _, err := EstimateHomography([]Point{{0, 0}}, []Point{{0, 0}}); err == nil {
+		t.Error("too few points should error")
+	}
+	// Collinear points are degenerate.
+	src := []Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	if _, err := EstimateHomography(src, src); err == nil {
+		t.Error("collinear points should error")
+	}
+}
+
+func TestDistanceFromIdentityScaleInvariant(t *testing.T) {
+	h := Identity()
+	scaled := h
+	for i := range scaled {
+		scaled[i] *= 5
+	}
+	if d := scaled.DistanceFromIdentity(); d > 1e-9 {
+		t.Errorf("scaled identity should normalize, distance = %f", d)
+	}
+}
+
+// texturedFrame produces a frame with a random blocky texture that gives
+// strong, matchable corners.
+func texturedFrame(rng *rand.Rand, w, h int) *frame.Frame {
+	f := frame.New(w, h, frame.Gray)
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			v := byte(rng.Intn(256))
+			for y := by; y < by+8 && y < h; y++ {
+				for x := bx; x < bx+8 && x < w; x++ {
+					f.Data[y*w+x] = v
+				}
+			}
+		}
+	}
+	return f
+}
+
+func TestDetectKeypointsFindsCorners(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := texturedFrame(rng, 96, 96)
+	kps := DetectKeypoints(f, 50)
+	if len(kps) < 10 {
+		t.Fatalf("found only %d keypoints on textured frame", len(kps))
+	}
+	for _, kp := range kps {
+		if len(kp.Desc) != DescSize*DescSize {
+			t.Fatalf("descriptor length %d", len(kp.Desc))
+		}
+	}
+}
+
+func TestDetectKeypointsFlatFrame(t *testing.T) {
+	f := frame.New(64, 64, frame.Gray)
+	if kps := DetectKeypoints(f, 50); len(kps) != 0 {
+		t.Errorf("flat frame produced %d keypoints", len(kps))
+	}
+}
+
+func TestDetectKeypointsTinyFrame(t *testing.T) {
+	f := frame.New(8, 8, frame.Gray)
+	if kps := DetectKeypoints(f, 50); kps != nil {
+		t.Errorf("tiny frame should yield nil, got %d", len(kps))
+	}
+}
+
+func TestDescriptorBrightnessInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := texturedFrame(rng, 64, 64)
+	brighter := f.Clone()
+	for i := range brighter.Data {
+		v := int(brighter.Data[i]) + 40
+		if v > 255 {
+			v = 255
+		}
+		brighter.Data[i] = byte(v)
+	}
+	a := DetectKeypoints(f, 20)
+	b := DetectKeypoints(brighter, 20)
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no keypoints detected")
+	}
+	matches := MatchKeypoints(a, b, DefaultLoweRatio)
+	if len(matches) < len(a)/3 {
+		t.Errorf("brightness shift broke matching: %d matches of %d keypoints", len(matches), len(a))
+	}
+}
+
+func TestMatchKeypointsSelfIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	f := texturedFrame(rng, 96, 96)
+	kps := DetectKeypoints(f, 30)
+	if len(kps) < 5 {
+		t.Skip("not enough keypoints")
+	}
+	matches := MatchKeypoints(kps, kps, 0.99)
+	correct := 0
+	for _, m := range matches {
+		if m.A == m.B {
+			correct++
+		}
+	}
+	if correct < len(kps)*2/3 {
+		t.Errorf("self matching found %d/%d identity matches", correct, len(kps))
+	}
+}
+
+func TestMatchClaimsUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	f := texturedFrame(rng, 96, 96)
+	kps := DetectKeypoints(f, 30)
+	matches := MatchKeypoints(kps, kps, 0.99)
+	seen := map[int]bool{}
+	for _, m := range matches {
+		if seen[m.B] {
+			t.Fatalf("target keypoint %d claimed twice", m.B)
+		}
+		seen[m.B] = true
+	}
+}
+
+func TestRANSACRecoversTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	// Build synthetic keypoints related by a pure translation, plus
+	// outliers.
+	var a, b []Keypoint
+	var matches []Match
+	desc := func(seed int64) []float32 {
+		r := rand.New(rand.NewSource(seed))
+		d := make([]float32, DescSize*DescSize)
+		for i := range d {
+			d[i] = r.Float32()
+		}
+		return d
+	}
+	for i := 0; i < 30; i++ {
+		x, y := rng.Intn(200), rng.Intn(200)
+		d := desc(int64(i))
+		a = append(a, Keypoint{X: x, Y: y, Desc: d})
+		if i < 22 {
+			b = append(b, Keypoint{X: x + 15, Y: y - 7, Desc: d}) // inlier
+		} else {
+			b = append(b, Keypoint{X: rng.Intn(200), Y: rng.Intn(200), Desc: d}) // outlier
+		}
+		matches = append(matches, Match{A: i, B: i})
+	}
+	res, ok := RANSACHomography(a, b, matches, 300, 2, 10, rng)
+	if !ok {
+		t.Fatal("RANSAC failed")
+	}
+	x, y := res.H.Apply(100, 100)
+	if math.Abs(x-115) > 1 || math.Abs(y-93) > 1 {
+		t.Errorf("recovered transform maps (100,100) -> (%f, %f), want (115, 93)", x, y)
+	}
+	if len(res.Inliers) < 20 {
+		t.Errorf("only %d inliers", len(res.Inliers))
+	}
+}
+
+func TestRANSACRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	var a, b []Keypoint
+	var matches []Match
+	for i := 0; i < 20; i++ {
+		a = append(a, Keypoint{X: rng.Intn(100), Y: rng.Intn(100)})
+		b = append(b, Keypoint{X: rng.Intn(100), Y: rng.Intn(100)})
+		matches = append(matches, Match{A: i, B: i})
+	}
+	if _, ok := RANSACHomography(a, b, matches, 100, 1.0, 15, rng); ok {
+		t.Error("pure noise should not yield a 15-inlier model")
+	}
+	if _, ok := RANSACHomography(a, b, matches[:3], 100, 1.0, 4, rng); ok {
+		t.Error("3 matches cannot support a homography")
+	}
+}
+
+func TestWarpIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	f := texturedFrame(rng, 32, 32)
+	out, mask := Warp(f, Identity(), 32, 32)
+	for i := range f.Data {
+		if out.Data[i] != f.Data[i] {
+			t.Fatalf("identity warp changed pixel %d", i)
+		}
+		if !mask[i] {
+			t.Fatalf("identity warp masked pixel %d", i)
+		}
+	}
+}
+
+func TestWarpTranslationMask(t *testing.T) {
+	f := frame.New(16, 16, frame.Gray)
+	for i := range f.Data {
+		f.Data[i] = 200
+	}
+	// Output (x, y) samples f at (x+8, y): the right half has no source.
+	h := Homography{1, 0, 8, 0, 1, 0, 0, 0, 1}
+	out, mask := Warp(f, h, 16, 16)
+	if !mask[0] || out.Data[0] != 200 {
+		t.Error("left half should be valid")
+	}
+	if mask[15] {
+		t.Error("right edge should be masked out")
+	}
+}
+
+func TestWarpRGB(t *testing.T) {
+	f := frame.New(16, 16, frame.RGB)
+	f.SetRGB(5, 5, 10, 20, 30)
+	h := Homography{1, 0, 5, 0, 1, 5, 0, 0, 1}
+	out, _ := Warp(f, h, 8, 8)
+	r, g, b := out.AtRGB(0, 0)
+	if r != 10 || g != 20 || b != 30 {
+		t.Errorf("warped pixel (%d,%d,%d)", r, g, b)
+	}
+}
+
+func TestWarpInverseRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := texturedFrame(rng, 64, 64)
+	h := Homography{1, 0, 5, 0, 1, 3, 0, 0, 1}
+	inv, _ := h.Inverse()
+	warped, _ := Warp(f, h, 64, 64)
+	back, mask := Warp(warped, inv, 64, 64)
+	// Interior pixels covered in both directions must match.
+	var diff, n int
+	for y := 8; y < 56; y++ {
+		for x := 8; x < 56; x++ {
+			i := y*64 + x
+			if !mask[i] {
+				continue
+			}
+			n++
+			d := int(back.Data[i]) - int(f.Data[i])
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+	}
+	if n == 0 {
+		t.Fatal("no valid pixels")
+	}
+	if avg := float64(diff) / float64(n); avg > 2 {
+		t.Errorf("mean abs diff %f after warp round trip", avg)
+	}
+}
+
+func TestColorHistogramNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := frame.New(32, 32, frame.RGB)
+	rng.Read(f.Data)
+	hist := ColorHistogram(f, 8)
+	if len(hist) != 24 {
+		t.Fatalf("rgb histogram length %d", len(hist))
+	}
+	var sum float64
+	for _, v := range hist {
+		sum += v
+	}
+	if math.Abs(sum-3) > 1e-9 { // one unit mass per channel
+		t.Errorf("histogram mass %f, want 3", sum)
+	}
+}
+
+func TestHistogramDistance(t *testing.T) {
+	f := frame.New(16, 16, frame.RGB)
+	g := f.Clone()
+	for i := range g.Data {
+		g.Data[i] = 255
+	}
+	ha, hb := ColorHistogram(f, 8), ColorHistogram(g, 8)
+	if HistogramDistance(ha, ha) != 0 {
+		t.Error("distance to self should be 0")
+	}
+	if HistogramDistance(ha, hb) < 1 {
+		t.Error("black vs white should be far apart")
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	f := frame.New(32, 32, frame.RGB)
+	fp := Fingerprint(f, 8, 4)
+	if len(fp) != 24+16 {
+		t.Errorf("fingerprint length %d, want 40", len(fp))
+	}
+	for _, v := range fp {
+		if v < 0 || v > 1.0001 {
+			t.Errorf("fingerprint value %f out of [0,1]", v)
+		}
+	}
+}
+
+func TestColorHistogramGray(t *testing.T) {
+	f := frame.New(16, 16, frame.Gray)
+	hist := ColorHistogram(f, 4)
+	if len(hist) != 4 {
+		t.Fatalf("gray histogram length %d", len(hist))
+	}
+	if hist[0] != 1 {
+		t.Errorf("all-black gray frame: bin0 = %f", hist[0])
+	}
+}

@@ -1,0 +1,109 @@
+package vision
+
+import (
+	"repro/internal/frame"
+)
+
+// Warp resamples src through the homography: the output pixel (x, y) takes
+// the value of src at H·(x, y, 1), dehomogenized — the `transform` function
+// of Algorithm 1, implemented with bilinear sampling. The returned mask
+// marks output pixels whose source coordinates fell inside src; pixels
+// outside are left black and masked false.
+//
+// src must be RGB or Gray.
+func Warp(src *frame.Frame, h Homography, outW, outH int) (*frame.Frame, []bool) {
+	bpp := 1
+	if src.Format == frame.RGB {
+		bpp = 3
+	}
+	out := frame.New(outW, outH, src.Format)
+	mask := make([]bool, outW*outH)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			sx, sy := h.Apply(float64(x), float64(y))
+			if sx < 0 || sy < 0 || sx > float64(src.Width-1) || sy > float64(src.Height-1) {
+				continue
+			}
+			mask[y*outW+x] = true
+			x0, y0 := int(sx), int(sy)
+			fx, fy := sx-float64(x0), sy-float64(y0)
+			x1, y1 := x0+1, y0+1
+			if x1 >= src.Width {
+				x1 = src.Width - 1
+			}
+			if y1 >= src.Height {
+				y1 = src.Height - 1
+			}
+			for c := 0; c < bpp; c++ {
+				p00 := float64(src.Data[(y0*src.Width+x0)*bpp+c])
+				p01 := float64(src.Data[(y0*src.Width+x1)*bpp+c])
+				p10 := float64(src.Data[(y1*src.Width+x0)*bpp+c])
+				p11 := float64(src.Data[(y1*src.Width+x1)*bpp+c])
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				v := top + (bot-top)*fy
+				out.Data[(y*outW+x)*bpp+c] = clampU8(int(v + 0.5))
+			}
+		}
+	}
+	return out, mask
+}
+
+// WarpClamp is Warp with edge-clamped sampling: output pixels whose
+// source coordinates fall outside src take the nearest edge value instead
+// of black. Scene generators use it to avoid artificial black borders;
+// joint compression uses Warp, whose mask distinguishes invalid regions.
+func WarpClamp(src *frame.Frame, h Homography, outW, outH int) *frame.Frame {
+	bpp := 1
+	if src.Format == frame.RGB {
+		bpp = 3
+	}
+	out := frame.New(outW, outH, src.Format)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			sx, sy := h.Apply(float64(x), float64(y))
+			if sx < 0 {
+				sx = 0
+			}
+			if sy < 0 {
+				sy = 0
+			}
+			if sx > float64(src.Width-1) {
+				sx = float64(src.Width - 1)
+			}
+			if sy > float64(src.Height-1) {
+				sy = float64(src.Height - 1)
+			}
+			x0, y0 := int(sx), int(sy)
+			fx, fy := sx-float64(x0), sy-float64(y0)
+			x1, y1 := x0+1, y0+1
+			if x1 >= src.Width {
+				x1 = src.Width - 1
+			}
+			if y1 >= src.Height {
+				y1 = src.Height - 1
+			}
+			for c := 0; c < bpp; c++ {
+				p00 := float64(src.Data[(y0*src.Width+x0)*bpp+c])
+				p01 := float64(src.Data[(y0*src.Width+x1)*bpp+c])
+				p10 := float64(src.Data[(y1*src.Width+x0)*bpp+c])
+				p11 := float64(src.Data[(y1*src.Width+x1)*bpp+c])
+				top := p00 + (p01-p00)*fx
+				bot := p10 + (p11-p10)*fx
+				v := top + (bot-top)*fy
+				out.Data[(y*outW+x)*bpp+c] = clampU8(int(v + 0.5))
+			}
+		}
+	}
+	return out
+}
+
+func clampU8(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,339 @@
+// Package visualroad synthesizes the video workloads used by the paper's
+// evaluation. The paper generates data with the Visual Road benchmark (a
+// CARLA-based simulator); this stdlib-only reproduction renders a
+// deterministic procedural traffic scene: a panoramic world containing a
+// road, lane markings, textured buildings, and moving vehicles, sampled by
+// one or two cameras whose horizontal overlap (and optional perspective
+// difference and rotation) is configurable.
+//
+// The generator preserves the workload properties the experiments need:
+// controlled overlap percentage between camera pairs, strong temporal
+// redundancy for inter-frame codecs, feature-rich texture for homography
+// estimation, and detectable "vehicles" for the end-to-end application.
+package visualroad
+
+import (
+	"math/rand"
+
+	"repro/internal/frame"
+	"repro/internal/vision"
+)
+
+// Config parameterizes a scenario.
+type Config struct {
+	// Width, Height are the per-camera output resolution.
+	Width, Height int
+	// FPS is the nominal frame rate (affects vehicle motion per frame).
+	FPS int
+	// Seed makes the world deterministic.
+	Seed int64
+	// Overlap is the fraction of horizontal field shared by the two
+	// cameras (e.g. 0.3 for the paper's "30%" datasets).
+	Overlap float64
+	// Perspective tilts the right camera's image plane; 0 keeps the pair
+	// related by pure translation. Values around 0.2-1.0 are realistic.
+	Perspective float64
+	// Vehicles is the number of cars in the world (default 6).
+	Vehicles int
+	// RotateEvery pans the cameras every N frames (dynamic cameras per
+	// Section 5.1.2); 0 keeps them static.
+	RotateEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 240
+	}
+	if c.Height == 0 {
+		c.Height = 136
+	}
+	if c.FPS == 0 {
+		c.FPS = 30
+	}
+	if c.Vehicles == 0 {
+		c.Vehicles = 6
+	}
+	if c.Overlap < 0 {
+		c.Overlap = 0
+	}
+	if c.Overlap > 0.95 {
+		c.Overlap = 0.95
+	}
+	return c
+}
+
+func clamp8(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// vehicle is one moving car.
+type vehicle struct {
+	lane    int
+	x       float64 // world position
+	speed   float64 // pixels per frame
+	w, h    int
+	r, g, b byte
+}
+
+// World is a procedural panoramic scene.
+type World struct {
+	cfg        Config
+	worldW     int
+	background *frame.Frame
+	vehicles   []vehicle
+	laneY      []int
+}
+
+// VehiclePalette lists the saturated colors vehicles are drawn in; the
+// detector (internal/detect) keys on these.
+var VehiclePalette = [][3]byte{
+	{210, 40, 40},   // red
+	{40, 60, 200},   // blue
+	{230, 200, 40},  // yellow
+	{40, 180, 70},   // green
+	{230, 230, 230}, // white
+	{150, 60, 190},  // purple
+}
+
+// NewWorld builds the panoramic world backing a scenario. The panorama is
+// wide enough for two cameras at the configured overlap.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	worldW := cfg.Width*2 - int(float64(cfg.Width)*cfg.Overlap)
+	if worldW < cfg.Width {
+		worldW = cfg.Width
+	}
+	// Margin so vehicles enter and exit smoothly and dynamic cameras can
+	// pan.
+	worldW += cfg.Width / 2
+	w := &World{cfg: cfg, worldW: worldW}
+	w.renderBackground()
+	w.placeVehicles()
+	return w
+}
+
+// WorldWidth returns the panorama width in pixels.
+func (w *World) WorldWidth() int { return w.worldW }
+
+// renderBackground draws the static scene: sky, buildings with window
+// grids (texture for feature detection), road, and lane markings.
+func (w *World) renderBackground() {
+	cfg := w.cfg
+	h := cfg.Height
+	bg := frame.New(w.worldW, h, frame.RGB)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	skyH := h * 30 / 100
+	roadTop := h * 55 / 100
+	// Per-world tint: distinct scenes (different seeds) have visibly
+	// different palettes, as real locations do; the fingerprint index
+	// relies on this to cluster only related cameras together.
+	tintR := byte(rng.Intn(40))
+	tintG := byte(rng.Intn(40))
+	tintB := byte(rng.Intn(30))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w.worldW; x++ {
+			switch {
+			case y < skyH: // sky gradient
+				bg.SetRGB(x, y, clamp8(100+y*2+int(tintR)), clamp8(140+y+int(tintG)), clamp8(225+int(tintB)))
+			case y < roadTop: // ground strip
+				bg.SetRGB(x, y, 80+tintR, 110+tintG, 80+tintB)
+			default: // road
+				bg.SetRGB(x, y, 60+tintR, 60+tintG, 64+tintB)
+			}
+		}
+	}
+	// Buildings: textured blocks along the skyline.
+	for bx := 0; bx < w.worldW; {
+		bw := 14 + rng.Intn(26)
+		bh := skyH/2 + rng.Intn(roadTop-skyH/2-4)
+		base := byte(90 + rng.Intn(110))
+		top := roadTop - bh
+		for y := top; y < roadTop; y++ {
+			for x := bx; x < bx+bw && x < w.worldW; x++ {
+				c := base
+				// Window grid provides corners for the vision pipeline.
+				if (x-bx)%5 < 2 && (y-top)%6 < 3 {
+					c = byte(30 + rng.Intn(40))
+				}
+				bg.SetRGB(x, y, c, c, byte(int(c)*9/10))
+			}
+		}
+		bx += bw + 2 + rng.Intn(8)
+	}
+	// Lane markings.
+	laneCount := 3
+	w.laneY = w.laneY[:0]
+	for l := 0; l < laneCount; l++ {
+		ly := roadTop + (h-roadTop)*(2*l+1)/(2*laneCount)
+		w.laneY = append(w.laneY, ly)
+		if l > 0 {
+			my := roadTop + (h-roadTop)*l/laneCount
+			for x := 0; x < w.worldW; x++ {
+				if (x/8)%2 == 0 {
+					bg.SetRGB(x, my, 220, 220, 200)
+				}
+			}
+		}
+	}
+	w.background = bg
+}
+
+// placeVehicles seeds the moving cars.
+func (w *World) placeVehicles() {
+	rng := rand.New(rand.NewSource(w.cfg.Seed + 1))
+	scale := w.cfg.Height / 34
+	if scale < 1 {
+		scale = 1
+	}
+	for i := 0; i < w.cfg.Vehicles; i++ {
+		pal := VehiclePalette[i%len(VehiclePalette)]
+		lane := i % len(w.laneY)
+		speed := (0.5 + rng.Float64()*1.5) * float64(w.cfg.Width) / float64(w.cfg.FPS*4)
+		if lane%2 == 1 {
+			speed = -speed
+		}
+		w.vehicles = append(w.vehicles, vehicle{
+			lane:  lane,
+			x:     rng.Float64() * float64(w.worldW),
+			speed: speed,
+			w:     8 * scale,
+			h:     4 * scale,
+			r:     pal[0], g: pal[1], b: pal[2],
+		})
+	}
+}
+
+// Panorama renders the whole world at frame t.
+func (w *World) Panorama(t int) *frame.Frame {
+	f := w.background.Clone()
+	for _, v := range w.vehicles {
+		x := int(v.x + v.speed*float64(t))
+		x = ((x % w.worldW) + w.worldW) % w.worldW
+		y := w.laneY[v.lane] - v.h/2
+		drawVehicle(f, x, y, v)
+		// Wraparound copy when straddling the world edge.
+		if x+v.w > w.worldW {
+			drawVehicle(f, x-w.worldW, y, v)
+		}
+	}
+	return f
+}
+
+// drawVehicle renders a car body with darker windows and wheels.
+func drawVehicle(f *frame.Frame, x0, y0 int, v vehicle) {
+	for y := y0; y < y0+v.h; y++ {
+		if y < 0 || y >= f.Height {
+			continue
+		}
+		for x := x0; x < x0+v.w; x++ {
+			if x < 0 || x >= f.Width {
+				continue
+			}
+			r, g, b := v.r, v.g, v.b
+			// Window band.
+			if y-y0 < v.h/3 && x-x0 > v.w/5 && x-x0 < v.w*4/5 {
+				r, g, b = 40, 50, 60
+			}
+			// Wheels.
+			if y-y0 >= v.h-v.h/4 && ((x-x0 < v.w/4) || (x-x0 >= v.w*3/4)) {
+				r, g, b = 20, 20, 20
+			}
+			f.SetRGB(x, y, r, g, b)
+		}
+	}
+}
+
+// CameraOffsets returns the left and right camera world offsets at frame
+// t, honoring dynamic panning.
+func (w *World) CameraOffsets(t int) (int, int) {
+	cfg := w.cfg
+	pan := 0
+	if cfg.RotateEvery > 0 {
+		pan = (t / cfg.RotateEvery) % (cfg.Width / 4)
+	}
+	left := pan
+	right := pan + cfg.Width - int(float64(cfg.Width)*cfg.Overlap)
+	if right+cfg.Width > w.worldW {
+		right = w.worldW - cfg.Width
+	}
+	return left, right
+}
+
+// RightHomography returns the ground-truth transform from left-camera
+// coordinates to right-camera coordinates at frame t. The right camera is
+// rendered through this transform's inverse, so alignment is exact by
+// construction. Tests use it to validate the estimated homography; VSS
+// itself never sees it.
+func (w *World) RightHomography(t int) vision.Homography {
+	l, r := w.CameraOffsets(t)
+	base := vision.Homography{1, 0, float64(l - r), 0, 1, 0, 0, 0, 1}
+	if w.cfg.Perspective == 0 {
+		return base
+	}
+	p := w.cfg.Perspective * 2e-4
+	persp := vision.Homography{1, 0, 0, 0, 1, 0, p, 0, 1}
+	return persp.Mul(base)
+}
+
+// LeftFrame renders the left camera at frame t.
+func (w *World) LeftFrame(t int) *frame.Frame {
+	l, _ := w.CameraOffsets(t)
+	pano := w.Panorama(t)
+	out, _ := pano.Crop(frame.Rect{X0: l, Y0: 0, X1: l + w.cfg.Width, Y1: w.cfg.Height})
+	return out
+}
+
+// RightFrame renders the right camera at frame t, applying the configured
+// perspective difference: right pixel (u, v) samples the panorama at
+// T_l · H_gt^{-1} · (u, v), where H_gt is the declared ground-truth
+// left-to-right transform and T_l shifts left-camera coordinates into
+// panorama coordinates.
+func (w *World) RightFrame(t int) *frame.Frame {
+	l, r := w.CameraOffsets(t)
+	pano := w.Panorama(t)
+	if w.cfg.Perspective == 0 {
+		out, _ := pano.Crop(frame.Rect{X0: r, Y0: 0, X1: r + w.cfg.Width, Y1: w.cfg.Height})
+		return out
+	}
+	hInv, err := w.RightHomography(t).Inverse()
+	if err != nil {
+		out, _ := pano.Crop(frame.Rect{X0: r, Y0: 0, X1: r + w.cfg.Width, Y1: w.cfg.Height})
+		return out
+	}
+	shift := vision.Homography{1, 0, float64(l), 0, 1, 0, 0, 0, 1}
+	return vision.WarpClamp(pano, shift.Mul(hInv), w.cfg.Width, w.cfg.Height)
+}
+
+// Pair renders n frames from both cameras.
+func (w *World) Pair(n int) (left, right []*frame.Frame) {
+	left = make([]*frame.Frame, n)
+	right = make([]*frame.Frame, n)
+	for t := 0; t < n; t++ {
+		left[t] = w.LeftFrame(t)
+		right[t] = w.RightFrame(t)
+	}
+	return left, right
+}
+
+// Generate renders n frames from the left camera only — the single-stream
+// workload generator.
+func Generate(cfg Config, n int) []*frame.Frame {
+	w := NewWorld(cfg)
+	out := make([]*frame.Frame, n)
+	for t := 0; t < n; t++ {
+		out[t] = w.LeftFrame(t)
+	}
+	return out
+}
+
+// GeneratePair renders n frames from both cameras.
+func GeneratePair(cfg Config, n int) (left, right []*frame.Frame) {
+	return NewWorld(cfg).Pair(n)
+}

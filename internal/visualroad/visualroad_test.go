@@ -1,0 +1,137 @@
+package visualroad
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/quality"
+	"repro/internal/vision"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Width: 64, Height: 48, FPS: 8, Seed: 5}
+	a := Generate(cfg, 4)
+	b := Generate(cfg, 4)
+	for i := range a {
+		m, err := quality.MSE(a[i], b[i])
+		if err != nil || m != 0 {
+			t.Fatalf("frame %d not deterministic: %v %f", i, err, m)
+		}
+	}
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	frames := Generate(Config{Width: 80, Height: 60, FPS: 8, Seed: 1}, 3)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.Width != 80 || f.Height != 60 || f.Format != frame.RGB {
+			t.Fatalf("frame %dx%d %v", f.Width, f.Height, f.Format)
+		}
+	}
+}
+
+func TestSceneHasMotion(t *testing.T) {
+	frames := Generate(Config{Width: 96, Height: 64, FPS: 8, Seed: 2}, 8)
+	m, err := quality.MSE(frames[0], frames[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 1 {
+		t.Errorf("frames 0 and 7 nearly identical (MSE %f): no motion", m)
+	}
+}
+
+func TestSceneHasFeatures(t *testing.T) {
+	f := Generate(Config{Width: 128, Height: 96, FPS: 8, Seed: 3}, 1)[0]
+	kps := vision.DetectKeypoints(f, 100)
+	if len(kps) < 30 {
+		t.Errorf("scene yields only %d keypoints; homography estimation needs texture", len(kps))
+	}
+}
+
+func TestPairOverlapPureTranslation(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, FPS: 8, Seed: 4, Overlap: 0.5}
+	w := NewWorld(cfg)
+	l, r := w.Pair(1)
+	// With 50% overlap and no perspective, the right half of the left
+	// frame equals the left half of the right frame.
+	shift := 96 - int(96*0.5)
+	var diff int
+	for y := 0; y < 64; y++ {
+		for x := shift; x < 96; x++ {
+			lr, lg, lb := l[0].AtRGB(x, y)
+			rr, rg, rb := r[0].AtRGB(x-shift, y)
+			diff += abs(int(lr)-int(rr)) + abs(int(lg)-int(rg)) + abs(int(lb)-int(rb))
+		}
+	}
+	if avg := float64(diff) / float64(64*(96-shift)*3); avg > 1 {
+		t.Errorf("overlap regions differ (mean abs %f)", avg)
+	}
+}
+
+func TestGroundTruthHomographyAligns(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, FPS: 8, Seed: 6, Overlap: 0.4, Perspective: 0.5}
+	w := NewWorld(cfg)
+	l, r := w.Pair(1)
+	h := w.RightHomography(0)
+	// Warping the right frame through H should reproduce the overlapping
+	// part of the left frame.
+	warped, mask := vision.Warp(r[0], h, 96, 64)
+	var sum float64
+	var n int
+	for y := 8; y < 56; y++ {
+		for x := 60; x < 92; x++ { // inside the overlap
+			i := y*96 + x
+			if !mask[i] {
+				continue
+			}
+			for c := 0; c < 3; c++ {
+				d := float64(int(warped.Data[i*3+c]) - int(l[0].Data[i*3+c]))
+				sum += d * d
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no overlap pixels")
+	}
+	if mse := sum / float64(n); mse > 60 {
+		t.Errorf("ground-truth homography misaligns: MSE %f", mse)
+	}
+}
+
+func TestDynamicCameraPans(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, FPS: 8, Seed: 7, Overlap: 0.5, RotateEvery: 2}
+	w := NewWorld(cfg)
+	l0, _ := w.CameraOffsets(0)
+	l4, _ := w.CameraOffsets(4)
+	if l0 == l4 {
+		t.Error("dynamic camera did not pan")
+	}
+	static := NewWorld(Config{Width: 96, Height: 64, FPS: 8, Seed: 7, Overlap: 0.5})
+	s0, _ := static.CameraOffsets(0)
+	s4, _ := static.CameraOffsets(4)
+	if s0 != s4 {
+		t.Error("static camera moved")
+	}
+}
+
+func TestOverlapClamped(t *testing.T) {
+	w := NewWorld(Config{Width: 64, Height: 48, Overlap: 2.0, Seed: 8})
+	l, r := w.CameraOffsets(0)
+	if r < l {
+		t.Error("cameras out of order after clamping")
+	}
+	if w.WorldWidth() < 64 {
+		t.Error("world narrower than a camera")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,184 @@
+// Package vss is the public API of the VSS video storage system, a
+// reproduction of "VSS: A Storage System for Video Analytics" (SIGMOD
+// 2021). VSS is a storage manager designed to sit beneath a video DBMS or
+// video processing application: callers create, write, read, and delete
+// logical videos (Figure 1 of the paper), while VSS transparently manages
+// GOP-granular physical layout, a cache of materialized views in multiple
+// resolutions and codecs, solver-based minimal-cost read planning, joint
+// compression of overlapping camera streams, deferred lossless
+// compression, and compaction.
+//
+// Quickstart:
+//
+//	sys, _ := vss.Open(dir, vss.Options{})
+//	defer sys.Close()
+//	sys.Create("traffic", 0)
+//	sys.Write("traffic", vss.WriteSpec{FPS: 30, Codec: vss.H264}, frames)
+//	res, _ := sys.Read("traffic", vss.ReadSpec{
+//	    S: vss.Spatial{Width: 960, Height: 540},
+//	    T: vss.Temporal{Start: 20, End: 80},
+//	    P: vss.Physical{Codec: vss.HEVC},
+//	})
+package vss
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// Frame is a decoded video frame (see internal/frame for pixel layouts).
+type Frame = frame.Frame
+
+// Rect is a pixel rectangle used for regions of interest.
+type Rect = frame.Rect
+
+// PixelFormat selects a raw frame layout.
+type PixelFormat = frame.PixelFormat
+
+// Raw frame layouts.
+const (
+	RGB    = frame.RGB
+	YUV420 = frame.YUV420
+	YUV422 = frame.YUV422
+	Gray   = frame.Gray
+)
+
+// Codec identifies a compression codec.
+type Codec = codec.ID
+
+// Supported codecs.
+const (
+	RawCodec = codec.Raw
+	H264     = codec.H264
+	HEVC     = codec.HEVC
+)
+
+// NewFrame allocates a zeroed frame.
+func NewFrame(w, h int, format PixelFormat) *Frame { return frame.New(w, h, format) }
+
+// Options configure a System; see core.Options for the full set of knobs
+// (budget multiple, eviction weights, planner/baseline toggles).
+type Options = core.Options
+
+// Spatial, Temporal, and Physical are the S/T/P parameter groups of the
+// VSS API (Figure 1).
+type (
+	Spatial  = core.Spatial
+	Temporal = core.Temporal
+	Physical = core.Physical
+)
+
+// ReadSpec bundles read parameters; WriteSpec describes a write.
+type (
+	ReadSpec  = core.ReadSpec
+	WriteSpec = core.WriteSpec
+)
+
+// ReadResult carries the frames or encoded GOPs a read produced.
+type ReadResult = core.ReadResult
+
+// Writer is a streaming write handle; whole GOPs become readable as they
+// are appended (non-blocking writes, prefix reads).
+type Writer = core.Writer
+
+// MergeMode selects the joint-compression overlap merge function.
+type MergeMode = core.MergeMode
+
+// Merge functions for joint compression (Section 5.1 of the paper).
+const (
+	MergeUnprojected = core.MergeUnprojected
+	MergeMean        = core.MergeMean
+)
+
+// JointStats summarizes a joint-compression sweep.
+type JointStats = core.JointStats
+
+// ErrNotFound and ErrExists are returned for unknown/duplicate videos.
+var (
+	ErrNotFound = core.ErrNotFound
+	ErrExists   = core.ErrExists
+)
+
+// System is an open VSS store.
+type System struct {
+	store *core.Store
+}
+
+// Open opens (creating if necessary) a VSS store rooted at dir.
+func Open(dir string, opts Options) (*System, error) {
+	s, err := core.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{store: s}, nil
+}
+
+// Close flushes metadata and closes the store.
+func (s *System) Close() error { return s.store.Close() }
+
+// Create registers a logical video. budgetBytes 0 applies the default
+// budget (a multiple of the originally written size); negative is
+// unlimited.
+func (s *System) Create(name string, budgetBytes int64) error {
+	return s.store.Create(name, budgetBytes)
+}
+
+// Delete removes a logical video and all of its physical data.
+func (s *System) Delete(name string) error { return s.store.Delete(name) }
+
+// Write stores frames as (or appended to) the video's original physical
+// representation.
+func (s *System) Write(name string, spec WriteSpec, frames []*Frame) error {
+	return s.store.Write(name, spec, frames)
+}
+
+// WriteEncoded ingests already-compressed GOP bitstreams as-is.
+func (s *System) WriteEncoded(name string, fps int, gops [][]byte) error {
+	return s.store.WriteEncoded(name, fps, gops)
+}
+
+// OpenWriter starts a streaming write; frames become readable GOP by GOP.
+func (s *System) OpenWriter(name string, spec WriteSpec) (*Writer, error) {
+	return s.store.OpenWriter(name, spec)
+}
+
+// Read executes a read with spatial, temporal, and physical parameters,
+// automatically selecting the cheapest combination of cached materialized
+// views to answer it.
+func (s *System) Read(name string, spec ReadSpec) (*ReadResult, error) {
+	return s.store.Read(name, spec)
+}
+
+// Videos lists the logical videos in the store.
+func (s *System) Videos() []string { return s.store.Videos() }
+
+// TotalBytes reports the stored size of a video across all of its
+// physical representations.
+func (s *System) TotalBytes(name string) (int64, error) { return s.store.TotalBytes(name) }
+
+// JointCompress runs joint-compression discovery and compression across
+// all videos in the store (Section 5.1).
+func (s *System) JointCompress(merge MergeMode) (JointStats, error) {
+	return s.store.JointCompressAll(merge)
+}
+
+// Compact merges contiguous same-configuration cached views of a video
+// (Section 5.3), returning the number of merges.
+func (s *System) Compact(name string) (int, error) { return s.store.CompactVideo(name) }
+
+// Maintain runs one pass of background maintenance (deferred compression
+// and compaction) across all videos.
+func (s *System) Maintain() error { return s.store.Maintain() }
+
+// StartBackground runs Maintain on an interval until the returned stop
+// function is called.
+func (s *System) StartBackground(interval time.Duration) (stop func()) {
+	return s.store.StartBackground(interval)
+}
+
+// Store exposes the underlying storage manager for experiments and
+// advanced integrations (e.g. the benchmark harness).
+func (s *System) Store() *core.Store { return s.store }

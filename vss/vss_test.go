@@ -1,0 +1,108 @@
+package vss_test
+
+import (
+	"testing"
+
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+func openSys(t *testing.T) *vss.System {
+	t.Helper()
+	sys, err := vss.Open(t.TempDir(), vss.Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+func genFrames(n int) []*vss.Frame {
+	return visualroad.Generate(visualroad.Config{Width: 96, Height: 64, FPS: 8, Seed: 71}, n)
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	sys := openSys(t)
+	if err := sys.Create("traffic", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write("traffic", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(16)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Read("traffic", vss.ReadSpec{
+		S: vss.Spatial{Width: 48, Height: 32},
+		T: vss.Temporal{Start: 0, End: 1},
+		P: vss.Physical{Format: vss.RGB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 8 || res.Frames[0].Width != 48 {
+		t.Errorf("read %d frames at width %d", len(res.Frames), res.Frames[0].Width)
+	}
+	if got := sys.Videos(); len(got) != 1 || got[0] != "traffic" {
+		t.Errorf("videos %v", got)
+	}
+	if n, err := sys.TotalBytes("traffic"); err != nil || n <= 0 {
+		t.Errorf("total bytes %d %v", n, err)
+	}
+	if err := sys.Delete("traffic"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Read("traffic", vss.ReadSpec{}); err != vss.ErrNotFound {
+		t.Errorf("read after delete: %v", err)
+	}
+}
+
+func TestPublicAPICompressedRead(t *testing.T) {
+	sys := openSys(t)
+	sys.Create("v", 0)
+	if err := sys.Write("v", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(16)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Read("v", vss.ReadSpec{P: vss.Physical{Codec: vss.HEVC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GOPs) == 0 {
+		t.Error("compressed read returned no GOPs")
+	}
+	if res.FrameCount() != 16 {
+		t.Errorf("frame count %d", res.FrameCount())
+	}
+}
+
+func TestPublicAPIStreamingWriter(t *testing.T) {
+	sys := openSys(t)
+	sys.Create("live", 0)
+	w, err := sys.OpenWriter("live", vss.WriteSpec{FPS: 8, Codec: vss.H264})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := genFrames(16)
+	if err := w.Append(frames...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Read("live", vss.ReadSpec{})
+	if err != nil || len(res.Frames) != 16 {
+		t.Fatalf("read: %v %d", err, len(res.Frames))
+	}
+}
+
+func TestPublicAPIMaintenance(t *testing.T) {
+	sys := openSys(t)
+	sys.Create("v", 0)
+	sys.Write("v", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(16))
+	if err := sys.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Compact("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.JointCompress(vss.MergeUnprojected); err != nil {
+		t.Fatal(err)
+	}
+}
