@@ -8,9 +8,11 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/vss"
 )
 
 // runExperiment executes one named experiment b.N times, logging the rows
@@ -87,3 +89,89 @@ func BenchmarkFig20DeferredRead(b *testing.B) { runExperiment(b, "fig20") }
 // BenchmarkFig21EndToEnd regenerates Figure 21 (end-to-end application
 // performance by client count).
 func BenchmarkFig21EndToEnd(b *testing.B) { runExperiment(b, "fig21") }
+
+// parallelReadVideos is the fan-out width of the concurrent-throughput
+// benchmarks below.
+const parallelReadVideos = 4
+
+// setupParallelReadStore writes parallelReadVideos small compressed
+// videos into a fresh store and returns it with the video names.
+func setupParallelReadStore(b *testing.B) (*vss.System, []string) {
+	b.Helper()
+	sys, err := vss.Open(b.TempDir(), vss.Options{GOPFrames: 8, BudgetMultiple: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	names := make([]string, parallelReadVideos)
+	for i := range names {
+		names[i] = fmt.Sprintf("cam-%d", i)
+		if err := sys.Create(names[i], 0); err != nil {
+			b.Fatal(err)
+		}
+		frames := make([]*vss.Frame, 24)
+		for k := range frames {
+			f := vss.NewFrame(96, 64, vss.RGB)
+			for y := 0; y < 64; y++ {
+				for x := 0; x < 96; x++ {
+					f.SetRGB(x, y, byte(x*2+i*40), byte(y*3+k*5), byte((x+y+k)%200))
+				}
+			}
+			frames[k] = f
+		}
+		if err := sys.Write(names[i], vss.WriteSpec{FPS: 8, Codec: vss.H264}, frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm once so the benchmark measures steady-state reads, not
+	// first-read cache admission.
+	for _, n := range names {
+		if _, err := sys.Read(n, vss.ReadSpec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys, names
+}
+
+// BenchmarkParallelRead measures aggregate read throughput with many
+// client goroutines spread across videos — the workload the per-video
+// locking architecture exists for. Compare against BenchmarkSerialRead:
+// on a multi-core machine the parallel variant should scale with cores
+// where the old global-mutex design pinned both to one core's throughput.
+func BenchmarkParallelRead(b *testing.B) {
+	sys, names := setupParallelReadStore(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := names[i%len(names)]
+			i++
+			res, err := sys.Read(name, vss.ReadSpec{})
+			if err != nil {
+				// b.Fatal is not allowed off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			if res.FrameCount() == 0 {
+				b.Error("empty read")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSerialRead is the single-threaded baseline for
+// BenchmarkParallelRead (same store shape, one client).
+func BenchmarkSerialRead(b *testing.B) {
+	sys, names := setupParallelReadStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Read(names[i%len(names)], vss.ReadSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FrameCount() == 0 {
+			b.Fatal("empty read")
+		}
+	}
+}

@@ -8,4 +8,21 @@
 // inventory and experiment index, and EXPERIMENTS.md for recorded
 // paper-vs-measured results. bench_test.go wraps every evaluation
 // experiment in a testing.B harness; cmd/vssbench runs them standalone.
+//
+// # Concurrency
+//
+// The storage manager is safe for concurrent use and built for it: VSS
+// sits beneath a video DBMS serving many camera streams and readers at
+// once. Locking is two-tier — a short-lived store-wide registry lock
+// guards only the catalog of logical videos, while each video carries its
+// own lock, so operations on different videos (reads, writes, eviction,
+// deferred compression, compaction) proceed fully in parallel and
+// background maintenance never blocks foreground traffic on other videos.
+// Within a single read, plan selection and cache admission run under the
+// video's lock but the CPU-heavy GOP decode/convert/encode pipeline fans
+// out on a bounded worker pool (vss.Options.Workers, default GOMAXPROCS)
+// with no locks held. Cross-video operations — joint compression and
+// reads that traverse duplicate/joint GOP references — acquire the
+// involved video locks in sorted name order, which keeps the system
+// deadlock-free. See internal/core/store.go for the full contract.
 package repro

@@ -13,6 +13,9 @@ import (
 // This file implements Section 4 of the paper: cache admission of read
 // results as new physical videos, and the LRU_VSS eviction policy
 // LRU_vss(f) = LRU(f) + γ·p(f) − ζ·r(f) + b(f) over GOP "pages".
+//
+// Locking: every function here carries the Locked suffix and requires the
+// video's lock (videoState.mu) to be held by the caller.
 
 // nrectClose reports approximate equality of normalized rects.
 func nrectClose(a, b NRect) bool {
@@ -31,20 +34,29 @@ func matchesOutput(p *PhysMeta, r resolvedSpec) bool {
 
 // admitLocked decides whether to cache the result of a read as a new
 // physical video, and does so. Returns whether the result was admitted.
-func (s *Store) admitLocked(v *VideoMeta, r resolvedSpec, plan *Plan, frames []*frame.Frame, encoded [][]byte, parentMSE, mbpp float64) (bool, error) {
+// fragIDs are the physical-video IDs the plan used (revalidated against
+// the video's current state, which may have changed since planning —
+// admission runs after the lock was dropped for the compute phase).
+func (s *Store) admitLocked(vs *videoState, job *readJob, fragIDs []int, parentMSE float64) (bool, error) {
 	if s.opts.DisableCache {
 		return false, nil
 	}
+	r := job.r
+	frames, encoded, mbpp := job.outFrames, job.outGOPs, job.mbpp
+	v := vs.meta
 	// A read served entirely by one fragment already in the output
 	// configuration adds no information: skip.
-	if ids := plan.Fragments(); len(ids) == 1 {
-		if p := s.physByID(v.Name, ids[0]); p != nil && matchesOutput(p, r) {
+	if len(fragIDs) == 1 {
+		if p := vs.byID(fragIDs[0]); p != nil && matchesOutput(p, r) {
 			return false, nil
 		}
 	}
 	// An existing view in this configuration covering the interval makes
-	// admission a duplicate: skip.
-	for _, p := range s.phys[v.Name] {
+	// admission a duplicate: skip. (Under concurrency this is also what
+	// keeps two identical parallel reads from caching the result twice:
+	// admission is serialized on the video lock, so the second read sees
+	// the first one's view here.)
+	for _, p := range vs.phys {
 		if matchesOutput(p, r) && covers(coverage(p), r.t1, r.t2) {
 			return false, nil
 		}
@@ -86,12 +98,15 @@ func (s *Store) admitLocked(v *VideoMeta, r resolvedSpec, plan *Plan, frames []*
 			})
 			framesSoFar += hd.FrameCount
 		}
-		s.maybeSampleQuality(frames, encoded, mbpp)
+		s.maybeSampleQuality(job.sampleRef, job.sampleGOP, mbpp)
 	} else {
 		// Raw views are cached in the requested pixel layout so identical
-		// future reads are pure IO.
+		// future reads are pure IO. Phase B already produced the frames in
+		// that layout (job.outConv, index-aligned with outFrames) — reuse
+		// them rather than re-converting under the video lock.
 		outFmt := frame.PixelFormat(r.pixfmt)
 		p.PixFmt = outFmt
+		conv := job.outConv
 		gopN := rawGOPFrames(s.opts.RawBlockBytes, outFmt, r.roiW, r.roiH, s.opts.GOPFrames)
 		for i := 0; i < len(frames); i += gopN {
 			j := i + gopN
@@ -100,9 +115,12 @@ func (s *Store) admitLocked(v *VideoMeta, r resolvedSpec, plan *Plan, frames []*
 			}
 			chunk := make([]*frame.Frame, j-i)
 			for k := i; k < j; k++ {
-				if frames[k].Format == outFmt {
+				switch {
+				case k < len(conv):
+					chunk[k-i] = conv[k]
+				case frames[k].Format == outFmt:
 					chunk[k-i] = frames[k]
-				} else {
+				default:
 					chunk[k-i] = frames[k].Convert(outFmt)
 				}
 			}
@@ -119,14 +137,14 @@ func (s *Store) admitLocked(v *VideoMeta, r resolvedSpec, plan *Plan, frames []*
 			})
 		}
 	}
-	s.phys[v.Name][id] = p
+	vs.phys[id] = p
 	if err := s.savePhys(v.Name, p); err != nil {
 		return false, err
 	}
 	if err := s.saveVideo(v); err != nil {
 		return false, err
 	}
-	if err := s.evictLocked(v); err != nil {
+	if err := s.evictLocked(vs); err != nil {
 		return false, err
 	}
 	// The new view may itself have been evicted immediately under a tight
@@ -150,16 +168,24 @@ func rawGOPFrames(blockBytes int64, fmtv frame.PixelFormat, w, h, maxFrames int)
 	return n
 }
 
-// maybeSampleQuality periodically measures exact PSNR of a just-encoded
-// result to refine the MBPP->PSNR estimator (Section 3.2: "VSS
-// periodically samples regions of compressed video, computes exact PSNR,
-// and updates its estimate").
-func (s *Store) maybeSampleQuality(frames []*frame.Frame, encoded [][]byte, mbpp float64) {
-	s.sampleCounter++
-	if s.sampleCounter%s.opts.QualitySampleEvery != 0 || len(encoded) == 0 || len(frames) == 0 {
+// maybeSampleQuality periodically measures exact PSNR of one just-encoded
+// GOP against its source frames to refine the MBPP->PSNR estimator
+// (Section 3.2: "VSS periodically samples regions of compressed video,
+// computes exact PSNR, and updates its estimate"). The sampling counter
+// has its own lock (it is store-global, not per-video); the estimator
+// locks itself.
+func (s *Store) maybeSampleQuality(frames []*frame.Frame, gop []byte, mbpp float64) {
+	if len(gop) == 0 || len(frames) == 0 {
 		return
 	}
-	dec, _, err := codec.DecodeGOP(encoded[0])
+	s.sampleMu.Lock()
+	s.sampleCounter++
+	due := s.sampleCounter%s.opts.QualitySampleEvery == 0
+	s.sampleMu.Unlock()
+	if !due {
+		return
+	}
+	dec, _, err := codec.DecodeGOP(gop)
 	if err != nil || len(dec) == 0 {
 		return
 	}
@@ -195,11 +221,12 @@ type evictCandidate struct {
 // fragmentation) and redundancy (ζ, prefers evicting pages with
 // higher-quality alternatives); pages that are the only sufficiently
 // high-quality cover of their time range are never evicted.
-func (s *Store) evictLocked(v *VideoMeta) error {
+func (s *Store) evictLocked(vs *videoState) error {
+	v := vs.meta
 	if v.Budget <= 0 {
 		return nil
 	}
-	total := s.totalBytesLocked(v.Name)
+	total := vs.totalBytes()
 	if total <= v.Budget {
 		return nil
 	}
@@ -208,7 +235,7 @@ func (s *Store) evictLocked(v *VideoMeta) error {
 		gamma, zeta = 0, 0
 	}
 	var cands []evictCandidate
-	for _, p := range s.phys[v.Name] {
+	for _, p := range vs.phys {
 		if p.Orig {
 			// The originally written video is the guaranteed baseline
 			// cover (and may have an open streaming writer); its pages
@@ -227,7 +254,7 @@ func (s *Store) evictLocked(v *VideoMeta) error {
 			if n-1-i < pos {
 				pos = n - 1 - i
 			}
-			score := float64(g.LRU) + gamma*float64(pos) - zeta*float64(s.redundancyLocked(v, p, g))
+			score := float64(g.LRU) + gamma*float64(pos) - zeta*float64(s.redundancyLocked(vs, p, g))
 			cands = append(cands, evictCandidate{phys: p, seq: g.Seq, score: score, bytes: g.Bytes})
 		}
 	}
@@ -244,10 +271,10 @@ func (s *Store) evictLocked(v *VideoMeta) error {
 		}
 		// Baseline-quality guard b(f): re-checked at eviction time because
 		// earlier evictions may have removed alternative covers.
-		if s.isLastQualityCoverLocked(v, c.phys, g) {
+		if s.isLastQualityCoverLocked(vs, c.phys, g) {
 			continue
 		}
-		if err := s.removeGOPLocked(v, c.phys, g); err != nil {
+		if err := s.removeGOPLocked(vs, c.phys, g); err != nil {
 			return err
 		}
 		total -= c.bytes
@@ -255,7 +282,7 @@ func (s *Store) evictLocked(v *VideoMeta) error {
 	}
 	for _, p := range dirty {
 		if len(p.GOPs) == 0 {
-			if err := s.dropPhysLocked(v, p); err != nil {
+			if err := s.dropPhysLocked(vs, p); err != nil {
 				return err
 			}
 			continue
@@ -270,10 +297,10 @@ func (s *Store) evictLocked(v *VideoMeta) error {
 // redundancyLocked computes r(f): the number of other fragments that cover
 // this GOP's spatiotemporal range with strictly higher quality (lower
 // accumulated MSE). A page with many better alternatives is cheap to lose.
-func (s *Store) redundancyLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) int {
+func (s *Store) redundancyLocked(vs *videoState, p *PhysMeta, g *GOPMeta) int {
 	a, b := p.gopSpan(g)
 	count := 0
-	for _, q := range s.phys[v.Name] {
+	for _, q := range vs.phys {
 		if q.ID == p.ID || q.MSE >= p.MSE {
 			continue // not strictly higher quality
 		}
@@ -287,13 +314,13 @@ func (s *Store) redundancyLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) int {
 // isLastQualityCoverLocked implements b(f): a GOP is protected when no
 // other fragment of lossless-grade quality (PSNR >= τ vs the original)
 // covers its span.
-func (s *Store) isLastQualityCoverLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) bool {
+func (s *Store) isLastQualityCoverLocked(vs *videoState, p *PhysMeta, g *GOPMeta) bool {
 	tauMSE := quality.MSEFromPSNR(quality.Lossless)
 	if p.MSE > tauMSE && !p.Orig {
 		return false // not itself part of the quality cover
 	}
 	a, b := p.gopSpan(g)
-	for _, q := range s.phys[v.Name] {
+	for _, q := range vs.phys {
 		if q.ID == p.ID {
 			continue
 		}
@@ -315,9 +342,9 @@ func findGOP(p *PhysMeta, seq int) *GOPMeta {
 }
 
 // removeGOPLocked deletes one GOP page (file and metadata).
-func (s *Store) removeGOPLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) error {
+func (s *Store) removeGOPLocked(vs *videoState, p *PhysMeta, g *GOPMeta) error {
 	if g.DupOf == nil {
-		if err := s.files.DeleteGOP(v.Name, p.Dir, g.Seq); err != nil {
+		if err := s.files.DeleteGOP(vs.meta.Name, p.Dir, g.Seq); err != nil {
 			return err
 		}
 	}
@@ -331,10 +358,10 @@ func (s *Store) removeGOPLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) error {
 }
 
 // dropPhysLocked removes an empty physical video entirely.
-func (s *Store) dropPhysLocked(v *VideoMeta, p *PhysMeta) error {
-	if err := s.files.DeletePhysical(v.Name, p.Dir); err != nil {
+func (s *Store) dropPhysLocked(vs *videoState, p *PhysMeta) error {
+	if err := s.files.DeletePhysical(vs.meta.Name, p.Dir); err != nil {
 		return err
 	}
-	delete(s.phys[v.Name], p.ID)
-	return s.cat.Delete("phys", physKey(v.Name, p.ID))
+	delete(vs.phys, p.ID)
+	return s.cat.Delete("phys", physKey(vs.meta.Name, p.ID))
 }

@@ -18,11 +18,10 @@ func TestRedundancyCountsHigherQualityCovers(t *testing.T) {
 	if _, err := s.Read("v", ReadSpec{P: Physical{Codec: codec.HEVC, Quality: 40, MinPSNR: 20}}); err != nil {
 		t.Fatal(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v := s.videos["v"]
+	vs := s.acquire("v")
+	defer vs.mu.Unlock()
 	var hiQ, loQ *PhysMeta
-	for _, p := range s.phys["v"] {
+	for _, p := range vs.phys {
 		switch p.Quality {
 		case 95:
 			hiQ = p
@@ -35,11 +34,11 @@ func TestRedundancyCountsHigherQualityCovers(t *testing.T) {
 	}
 	// The lossy view has two better covers (original + q95); the q95 view
 	// has one (original).
-	if r := s.redundancyLocked(v, loQ, &loQ.GOPs[0]); r < 2 {
+	if r := s.redundancyLocked(vs, loQ, &loQ.GOPs[0]); r < 2 {
 		t.Errorf("lossy view redundancy %d, want >= 2", r)
 	}
-	rHi := s.redundancyLocked(v, hiQ, &hiQ.GOPs[0])
-	rLo := s.redundancyLocked(v, loQ, &loQ.GOPs[0])
+	rHi := s.redundancyLocked(vs, hiQ, &hiQ.GOPs[0])
+	rLo := s.redundancyLocked(vs, loQ, &loQ.GOPs[0])
 	if rHi >= rLo {
 		t.Errorf("higher-quality view should have lower redundancy: %d vs %d", rHi, rLo)
 	}
@@ -48,13 +47,12 @@ func TestRedundancyCountsHigherQualityCovers(t *testing.T) {
 func TestBaselineGuardProtectsLastCover(t *testing.T) {
 	s := newStore(t, Options{BudgetMultiple: -1})
 	writeVideo(t, s, "v", scene(16, 64, 48, 81), 4, codec.H264)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v := s.videos["v"]
-	orig := s.originalOf("v")
+	vs := s.acquire("v")
+	defer vs.mu.Unlock()
+	orig := vs.original()
 	// The original is the only lossless cover: every page is protected.
 	for i := range orig.GOPs {
-		if !s.isLastQualityCoverLocked(v, orig, &orig.GOPs[i]) {
+		if !s.isLastQualityCoverLocked(vs, orig, &orig.GOPs[i]) {
 			t.Errorf("original GOP %d not protected", i)
 		}
 	}
@@ -110,11 +108,10 @@ func TestDeferredLevelScalesWithPressure(t *testing.T) {
 	s := newStore(t, Options{GOPFrames: 8, DeferredThreshold: 0.1})
 	writeVideo(t, s, "v", scene(16, 64, 48, 83), 4, codec.Raw)
 	lvl := s.DeferredLevel("v")
-	s.mu.Lock()
-	v := s.videos["v"]
-	used := s.totalBytesLocked("v")
-	budget := v.Budget
-	s.mu.Unlock()
+	vs := s.acquire("v")
+	used := vs.totalBytes()
+	budget := vs.meta.Budget
+	vs.mu.Unlock()
 	if budget <= 0 {
 		t.Fatal("budget unset")
 	}

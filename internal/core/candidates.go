@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -14,6 +15,11 @@ import (
 // 5.1.3 and Figure 9): fragments are fingerprinted with color histograms,
 // clustered incrementally with BIRCH, and — tightest clusters first —
 // searched for pairs sharing many unambiguous feature correspondences.
+//
+// Locking: discovery visits one video at a time under that video's lock
+// (fingerprinting decodes only first frames); the matching phase runs on
+// the decoded copies with no locks held; compression locks each candidate
+// pair through the ordered-acquisition path in joint.go.
 
 // Candidate selection parameters from the paper's prototype: a pair is
 // sufficiently related at m = 20 nearby, unambiguous correspondences.
@@ -46,52 +52,82 @@ type JointStats struct {
 
 // FindJointCandidates runs the discovery pipeline over the original
 // physical videos of every logical video and returns proposed pairs. It
-// never proposes GOPs already jointly compressed or deduplicated.
+// never proposes GOPs already jointly compressed or deduplicated. Safe
+// for concurrent use; it holds at most one video lock at a time.
 func (s *Store) FindJointCandidates() ([]PairCandidate, int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.findJointCandidatesLocked()
-}
-
-func (s *Store) findJointCandidatesLocked() ([]PairCandidate, int, error) {
-	fp, err := index.NewFingerprints(clusterThreshold)
-	if err != nil {
-		return nil, 0, err
-	}
 	type gopInfo struct {
 		ref   GOPRef
 		first *frame.Frame
 	}
-	var infos []gopInfo
-	names := make([]string, 0, len(s.videos))
-	for name := range s.videos {
-		names = append(names, name)
+	fp, err := index.NewFingerprints(clusterThreshold)
+	if err != nil {
+		return nil, 0, err
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		v := s.videos[name]
-		p := s.originalOf(name)
-		if p == nil {
-			continue
+	// One video at a time: snapshot its original's GOP bytes under that
+	// video's lock only, then decode first frames and fingerprint with no
+	// locks held (same pattern as the read path) — discovery never stalls
+	// foreground traffic, and at most one video's snapshots are resident.
+	var infos []gopInfo
+	for _, name := range s.videoNames() {
+		vs := s.acquire(name)
+		if vs == nil {
+			continue // deleted while we iterated
 		}
-		for i := range p.GOPs {
-			g := &p.GOPs[i]
-			if g.Joint != nil || g.DupOf != nil {
-				continue
+		type pending struct {
+			ref  GOPRef
+			snap gopSnap
+		}
+		var snaps []pending
+		func() {
+			defer vs.mu.Unlock()
+			held := map[string]*videoState{name: vs}
+			p := vs.original()
+			if p == nil {
+				return
 			}
-			first, err := s.firstFrameLocked(v, p, g)
+			var stats ReadStats
+			for i := range p.GOPs {
+				g := &p.GOPs[i]
+				if g.Joint != nil || g.DupOf != nil {
+					continue
+				}
+				snap, err := s.snapshotGOP(held, vs, p, g, &stats)
+				if err != nil {
+					continue // unreadable page: skip it, not the sweep
+				}
+				snaps = append(snaps, pending{GOPRef{name, p.ID, g.Seq}, snap})
+			}
+		}()
+		// Decode first frames on the worker pool (one I-frame each).
+		firsts := make([]*frame.Frame, len(snaps))
+		if err := s.runJobs(len(snaps), func(i int) error {
+			frames, _, err := decodeSnap(snaps[i].snap, 0, 1)
 			if err != nil {
+				return err
+			}
+			if len(frames) == 0 {
+				return fmt.Errorf("core: empty GOP %s/%d/%d", snaps[i].ref.Video, snaps[i].ref.Phys, snaps[i].ref.Seq)
+			}
+			f := frames[0]
+			if f.Format != frame.RGB {
+				f = f.Convert(frame.RGB)
+			}
+			firsts[i] = f
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		// Fingerprint sequentially (the BIRCH index is not concurrent).
+		for i, sn := range snaps {
+			if err := fp.Add(len(infos), vision.Fingerprint(firsts[i], fingerprintBins, fingerprintThumb)); err != nil {
 				return nil, 0, err
 			}
-			id := len(infos)
-			infos = append(infos, gopInfo{GOPRef{name, p.ID, g.Seq}, first})
-			if err := fp.Add(id, vision.Fingerprint(first, fingerprintBins, fingerprintThumb)); err != nil {
-				return nil, 0, err
-			}
+			infos = append(infos, gopInfo{ref: sn.ref, first: firsts[i]})
 		}
 	}
 
 	// Keypoints are computed lazily per GOP and cached for the sweep.
+	// This phase works on decoded first frames only — no locks.
 	kps := make(map[int][]vision.Keypoint)
 	keypointsOf := func(id int) []vision.Keypoint {
 		if k, ok := kps[id]; ok {
@@ -149,16 +185,48 @@ func (s *Store) findJointCandidatesLocked() ([]PairCandidate, int, error) {
 	return pairs, len(infos), nil
 }
 
-// firstFrameLocked decodes just the first frame of a GOP (cheap: one
-// I-frame) for fingerprinting and feature detection.
-func (s *Store) firstFrameLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) (*frame.Frame, error) {
+// FeatureMatchCheck runs the per-pair feature test in isolation: whether
+// two GOPs share enough unambiguous correspondences to be a joint
+// compression candidate. It is the unit of work the paper's Figure 11
+// charges to the random-sampling strategy. Safe for concurrent use.
+func (s *Store) FeatureMatchCheck(a, b GOPRef) (bool, error) {
+	var fa, fb *frame.Frame
+	err := s.withVideos([]string{a.Video, b.Video}, func(held map[string]*videoState) error {
+		vsa, pa, ga, err := resolveRefIn(held, a)
+		if err != nil {
+			return err
+		}
+		vsb, pb, gb, err := resolveRefIn(held, b)
+		if err != nil {
+			return err
+		}
+		if fa, err = s.firstFrameIn(held, vsa, pa, ga); err != nil {
+			return err
+		}
+		fb, err = s.firstFrameIn(held, vsb, pb, gb)
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	matches := vision.MatchKeypoints(vision.DetectKeypoints(fa, 300), vision.DetectKeypoints(fb, 300), vision.DefaultLoweRatio)
+	return len(matches) >= candidateMinMatches, nil
+}
+
+// firstFrameIn is firstFrameHeld generalized to a held lock set, so it can
+// chase duplicate/joint references (expanding the set via withVideos).
+func (s *Store) firstFrameIn(held map[string]*videoState, vs *videoState, p *PhysMeta, g *GOPMeta) (*frame.Frame, error) {
 	var stats ReadStats
-	frames, err := s.decodeGOPRangeLocked(v, p, g, 0, 1, &stats)
+	snap, err := s.snapshotGOP(held, vs, p, g, &stats)
+	if err != nil {
+		return nil, err
+	}
+	frames, _, err := decodeSnap(snap, 0, 1)
 	if err != nil {
 		return nil, err
 	}
 	if len(frames) == 0 {
-		return nil, fmt.Errorf("core: empty GOP %s/%d/%d", v.Name, p.ID, g.Seq)
+		return nil, fmt.Errorf("core: empty GOP %s/%d/%d", vs.meta.Name, p.ID, g.Seq)
 	}
 	f := frames[0]
 	if f.Format != frame.RGB {
@@ -167,49 +235,28 @@ func (s *Store) firstFrameLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta) (*frame.
 	return f, nil
 }
 
-// FeatureMatchCheck runs the per-pair feature test in isolation: whether
-// two GOPs share enough unambiguous correspondences to be a joint
-// compression candidate. It is the unit of work the paper's Figure 11
-// charges to the random-sampling strategy.
-func (s *Store) FeatureMatchCheck(a, b GOPRef) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	va, pa, ga, err := s.resolveRef(a)
-	if err != nil {
-		return false, err
-	}
-	vb, pb, gb, err := s.resolveRef(b)
-	if err != nil {
-		return false, err
-	}
-	fa, err := s.firstFrameLocked(va, pa, ga)
-	if err != nil {
-		return false, err
-	}
-	fb, err := s.firstFrameLocked(vb, pb, gb)
-	if err != nil {
-		return false, err
-	}
-	matches := vision.MatchKeypoints(vision.DetectKeypoints(fa, 300), vision.DetectKeypoints(fb, 300), vision.DefaultLoweRatio)
-	return len(matches) >= candidateMinMatches, nil
-}
-
 // JointCompressAll runs the full pipeline — discovery then compression —
 // over the whole store, returning sweep statistics (the workflow of
-// Figure 9).
+// Figure 9). Safe for concurrent use: discovery holds one video lock at a
+// time and each pair compression locks exactly its two videos, so
+// foreground reads of other videos proceed throughout the sweep. Pairs
+// whose GOPs were evicted or deleted between discovery and compression
+// are counted as aborted.
 func (s *Store) JointCompressAll(merge MergeMode) (JointStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var st JointStats
-	pairs, scanned, err := s.findJointCandidatesLocked()
+	pairs, scanned, err := s.FindJointCandidates()
 	if err != nil {
 		return st, err
 	}
 	st.Scanned = scanned
 	st.Pairs = len(pairs)
 	for _, pc := range pairs {
-		res, err := s.jointCompressPairLocked(pc.A, pc.B, merge)
+		res, err := s.JointCompressPair(pc.A, pc.B, merge)
 		if err != nil {
+			if errors.Is(err, ErrNotFound) || errors.Is(err, errDanglingRef) {
+				st.Aborted++ // video, view, or GOP vanished mid-sweep
+				continue
+			}
 			return st, err
 		}
 		st.BytesBefore += res.BytesBefore

@@ -4,27 +4,30 @@ package core
 // cached views with contiguous time ranges and identical spatial/physical
 // configurations are merged by hard-linking the GOPs of the second into
 // the first, reducing the number of fragments a read must consider.
+// Compaction is a single-video mutation and runs under that video's lock.
 
 // CompactVideo merges contiguous same-configuration physical videos of
-// one logical video and returns the number of merges performed.
+// one logical video and returns the number of merges performed. Safe for
+// concurrent use.
 func (s *Store) CompactVideo(video string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[video]
-	if !ok {
+	vs := s.acquire(video)
+	if vs == nil {
 		return 0, ErrNotFound
 	}
-	return s.compactLocked(v)
+	defer vs.mu.Unlock()
+	return s.compactLocked(vs)
 }
 
-func (s *Store) compactLocked(v *VideoMeta) (int, error) {
+// compactLocked runs merges to a fixed point. Caller holds the video's
+// lock.
+func (s *Store) compactLocked(vs *videoState) (int, error) {
 	merges := 0
 	for {
-		a, b := s.findCompactablePairLocked(v)
+		a, b := s.findCompactablePairLocked(vs)
 		if a == nil {
 			return merges, nil
 		}
-		if err := s.mergeLocked(v, a, b); err != nil {
+		if err := s.mergeLocked(vs, a, b); err != nil {
 			return merges, err
 		}
 		merges++
@@ -51,9 +54,9 @@ func mergeable(p *PhysMeta) bool {
 }
 
 // findCompactablePairLocked returns (a, b) where b starts exactly where a
-// ends, or (nil, nil).
-func (s *Store) findCompactablePairLocked(v *VideoMeta) (*PhysMeta, *PhysMeta) {
-	for _, a := range s.phys[v.Name] {
+// ends, or (nil, nil). Caller holds the video's lock.
+func (s *Store) findCompactablePairLocked(vs *videoState) (*PhysMeta, *PhysMeta) {
+	for _, a := range vs.phys {
 		if !mergeable(a) {
 			continue
 		}
@@ -63,7 +66,7 @@ func (s *Store) findCompactablePairLocked(v *VideoMeta) (*PhysMeta, *PhysMeta) {
 		if len(coverage(a)) != 1 {
 			continue
 		}
-		for _, b := range s.phys[v.Name] {
+		for _, b := range vs.phys {
 			if a.ID == b.ID || !compatible(a, b) || !mergeable(b) {
 				continue
 			}
@@ -78,8 +81,10 @@ func (s *Store) findCompactablePairLocked(v *VideoMeta) (*PhysMeta, *PhysMeta) {
 	return nil, nil
 }
 
-// mergeLocked appends b's GOPs to a via hard links and removes b.
-func (s *Store) mergeLocked(v *VideoMeta, a, b *PhysMeta) error {
+// mergeLocked appends b's GOPs to a via hard links and removes b. Caller
+// holds the video's lock.
+func (s *Store) mergeLocked(vs *videoState, a, b *PhysMeta) error {
+	v := vs.meta
 	frameOffset := 0
 	for i := range a.GOPs {
 		g := &a.GOPs[i]
@@ -110,5 +115,5 @@ func (s *Store) mergeLocked(v *VideoMeta, a, b *PhysMeta) error {
 	if err := s.savePhys(v.Name, a); err != nil {
 		return err
 	}
-	return s.dropPhysLocked(v, b)
+	return s.dropPhysLocked(vs, b)
 }

@@ -16,32 +16,37 @@ import (
 
 // deferredPressureLocked performs one deferred-compression step if the
 // video is over its activation threshold. It is invoked by uncompressed
-// reads, after writes, and by the background maintenance loop.
-func (s *Store) deferredPressureLocked(v *VideoMeta) error {
+// reads, after writes, and by the background maintenance loop. Caller
+// holds the video's lock.
+func (s *Store) deferredPressureLocked(vs *videoState) error {
+	v := vs.meta
 	if s.opts.DisableDeferred || v.Budget <= 0 {
 		return nil
 	}
-	used := s.totalBytesLocked(v.Name)
+	used := vs.totalBytes()
 	if float64(used) < s.opts.DeferredThreshold*float64(v.Budget) {
 		return nil
 	}
 	remaining := 1 - float64(used)/float64(v.Budget)
 	level := lossless.LevelForBudget(remaining)
-	_, err := s.compressOneLocked(v, level)
+	_, err := s.compressOneLocked(vs, level)
 	return err
 }
 
 // DeferredLevel reports the compression level the controller would use for
 // the video right now (Figure 13 instrumentation); 0 means deferred
-// compression is currently inactive.
+// compression is currently inactive. Safe for concurrent use.
 func (s *Store) DeferredLevel(video string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[video]
-	if !ok || s.opts.DisableDeferred || v.Budget <= 0 {
+	vs := s.acquire(video)
+	if vs == nil {
 		return 0
 	}
-	used := s.totalBytesLocked(v.Name)
+	defer vs.mu.Unlock()
+	v := vs.meta
+	if s.opts.DisableDeferred || v.Budget <= 0 {
+		return 0
+	}
+	used := vs.totalBytes()
 	if float64(used) < s.opts.DeferredThreshold*float64(v.Budget) {
 		return 0
 	}
@@ -50,15 +55,16 @@ func (s *Store) DeferredLevel(video string) int {
 
 // compressOneLocked losslessly compresses the uncompressed GOP least
 // likely to be evicted (highest LRU_VSS score). Returns whether any entry
-// was compressed.
-func (s *Store) compressOneLocked(v *VideoMeta, level int) (bool, error) {
+// was compressed. Caller holds the video's lock.
+func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
+	v := vs.meta
 	type cand struct {
 		phys  *PhysMeta
 		seq   int
 		score float64
 	}
 	var cands []cand
-	for _, p := range s.phys[v.Name] {
+	for _, p := range vs.phys {
 		if p.Codec != codec.Raw {
 			continue
 		}
@@ -72,7 +78,7 @@ func (s *Store) compressOneLocked(v *VideoMeta, level int) (bool, error) {
 			if n-1-i < pos {
 				pos = n - 1 - i
 			}
-			score := float64(g.LRU) + s.opts.Gamma*float64(pos) - s.opts.Zeta*float64(s.redundancyLocked(v, p, g))
+			score := float64(g.LRU) + s.opts.Gamma*float64(pos) - s.opts.Zeta*float64(s.redundancyLocked(vs, p, g))
 			cands = append(cands, cand{p, g.Seq, score})
 		}
 	}
@@ -106,34 +112,33 @@ func (s *Store) compressOneLocked(v *VideoMeta, level int) (bool, error) {
 // Maintain runs one background maintenance pass over every video:
 // deferred compression pressure and physical video compaction. The paper
 // runs these "in a background thread when no other requests are being
-// executed" and "periodically and non-quiescently".
+// executed" and "periodically and non-quiescently". Maintenance holds at
+// most one video's lock at a time, so it never blocks foreground reads
+// and writes of other videos.
 func (s *Store) Maintain() error {
-	s.mu.Lock()
-	names := make([]string, 0, len(s.videos))
-	for name := range s.videos {
-		names = append(names, name)
-	}
-	s.mu.Unlock()
-	for _, name := range names {
-		s.mu.Lock()
-		v, ok := s.videos[name]
-		if ok {
-			if err := s.deferredPressureLocked(v); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			if _, err := s.compactLocked(v); err != nil {
-				s.mu.Unlock()
-				return err
-			}
+	for _, name := range s.videoNames() {
+		vs := s.acquire(name)
+		if vs == nil {
+			continue // deleted while we iterated
 		}
-		s.mu.Unlock()
+		err := func() error {
+			defer vs.mu.Unlock()
+			if err := s.deferredPressureLocked(vs); err != nil {
+				return err
+			}
+			_, err := s.compactLocked(vs)
+			return err
+		}()
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // StartBackground launches the maintenance loop at the given interval and
-// returns a stop function.
+// returns a stop function. The loop runs concurrently with foreground
+// operations (per-video locking keeps them from serializing store-wide).
 func (s *Store) StartBackground(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	go func() {

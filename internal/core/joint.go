@@ -17,6 +17,11 @@ import (
 // stored as three streams — the left remainder, a single merged overlap,
 // and the right remainder — recoverable through the homography that
 // relates the two camera planes (Algorithm 1 of the paper).
+//
+// Locking: joint compression is a cross-video mutation, so every entry
+// point locks both videos through Store.withVideos (sorted-order
+// acquisition). Reads of joint GOPs go through the snapshot path in
+// reader.go and never take locks during reconstruction.
 
 // MergeMode selects how overlapping pixels are combined.
 type MergeMode string
@@ -54,14 +59,20 @@ type jointPair struct {
 
 // JointCompressPair applies Algorithm 1 to one pair of GOPs identified by
 // global references. The left/right role assignment may be swapped
-// internally if the homography indicates the reverse ordering.
+// internally if the homography indicates the reverse ordering. Safe for
+// concurrent use; it locks both videos for the duration.
 func (s *Store) JointCompressPair(left, right GOPRef, merge MergeMode) (JointResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jointCompressPairLocked(left, right, merge)
+	var res JointResult
+	err := s.withVideos([]string{left.Video, right.Video}, func(held map[string]*videoState) error {
+		var err error
+		res, err = s.jointCompressPairHeld(held, left, right, merge)
+		return err
+	})
+	return res, err
 }
 
-func (s *Store) jointCompressPairLocked(left, right GOPRef, merge MergeMode) (JointResult, error) {
+// jointCompressPairHeld runs Algorithm 1 with both videos' locks held.
+func (s *Store) jointCompressPairHeld(held map[string]*videoState, left, right GOPRef, merge MergeMode) (JointResult, error) {
 	var res JointResult
 	if merge != MergeUnprojected && merge != MergeMean {
 		return res, fmt.Errorf("core: unknown merge mode %q", merge)
@@ -69,7 +80,7 @@ func (s *Store) jointCompressPairLocked(left, right GOPRef, merge MergeMode) (Jo
 	if left.Video == right.Video {
 		return res, fmt.Errorf("core: joint compression applies to different logical videos")
 	}
-	pair, err := s.loadPair(left, right)
+	pair, err := s.loadPair(held, left, right)
 	if err != nil {
 		return res, err
 	}
@@ -89,7 +100,7 @@ func (s *Store) jointCompressPairLocked(left, right GOPRef, merge MergeMode) (Jo
 	} else if pair.pR.Width*pair.pR.Height > pair.pL.Width*pair.pL.Height {
 		// Keep "left" the unprojected frame; swap roles instead of
 		// upscaling the left.
-		return s.jointCompressPairLocked(right, left, merge)
+		return s.jointCompressPairHeld(held, right, left, merge)
 	}
 	_ = upscaledRight
 
@@ -99,10 +110,10 @@ func (s *Store) jointCompressPairLocked(left, right GOPRef, merge MergeMode) (Jo
 	}
 	// Reversed orientation: the "left" frame is actually to the right.
 	if tx := translationX(h); tx > 0 {
-		return s.jointCompressPairLocked(right, left, merge)
+		return s.jointCompressPairHeld(held, right, left, merge)
 	}
 	if h.DistanceFromIdentity() <= DupEpsilon {
-		return s.markDuplicateLocked(pair, left)
+		return s.markDuplicateHeld(pair, left)
 	}
 	return s.compressPairWithH(pair, h, merge)
 }
@@ -116,13 +127,13 @@ func translationX(h vision.Homography) float64 {
 }
 
 // loadPair resolves and decodes both GOPs to RGB. Returns nil if either is
-// ineligible for joint compression.
-func (s *Store) loadPair(left, right GOPRef) (*jointPair, error) {
-	vL, pL, gL, err := s.resolveRef(left)
+// ineligible for joint compression. Caller holds both videos' locks.
+func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*jointPair, error) {
+	vsL, pL, gL, err := resolveRefIn(held, left)
 	if err != nil {
 		return nil, err
 	}
-	vR, pR, gR, err := s.resolveRef(right)
+	vsR, pR, gR, err := resolveRefIn(held, right)
 	if err != nil {
 		return nil, err
 	}
@@ -132,12 +143,19 @@ func (s *Store) loadPair(left, right GOPRef) (*jointPair, error) {
 	if gL.Frames != gR.Frames {
 		return nil, nil // temporal misalignment: not a joint candidate
 	}
-	var stats ReadStats
-	fL, err := s.decodeGOPLocked(vL, pL, gL, &stats)
+	dataL, err := s.files.ReadGOP(vsL.meta.Name, pL.Dir, gL.Seq)
 	if err != nil {
 		return nil, err
 	}
-	fR, err := s.decodeGOPLocked(vR, pR, gR, &stats)
+	fL, _, err := decodeSnap(gopSnap{data: dataL, losslessLevel: gL.Lossless}, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	dataR, err := s.files.ReadGOP(vsR.meta.Name, pR.Dir, gR.Seq)
+	if err != nil {
+		return nil, err
+	}
+	fR, _, err := decodeSnap(gopSnap{data: dataR, losslessLevel: gR.Lossless}, 0, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +170,7 @@ func (s *Store) loadPair(left, right GOPRef) (*jointPair, error) {
 		}
 		return out
 	}
-	return &jointPair{vL: vL, vR: vR, pL: pL, pR: pR, gL: gL, gR: gR, fL: toRGB(fL), fR: toRGB(fR)}, nil
+	return &jointPair{vL: vsL.meta, vR: vsR.meta, pL: pL, pR: pR, gL: gL, gR: gR, fL: toRGB(fL), fR: toRGB(fR)}, nil
 }
 
 // estimateHomography runs the feature pipeline: Harris keypoints, Lowe
@@ -175,9 +193,10 @@ func (s *Store) estimateHomography(fL, fR *frame.Frame) (vision.Homography, bool
 	return resRANSAC.H, true
 }
 
-// markDuplicateLocked replaces the right GOP with a pointer to the left
-// (the near-identity duplicate short-circuit of Algorithm 1).
-func (s *Store) markDuplicateLocked(pair *jointPair, left GOPRef) (JointResult, error) {
+// markDuplicateHeld replaces the right GOP with a pointer to the left
+// (the near-identity duplicate short-circuit of Algorithm 1). Caller
+// holds both videos' locks.
+func (s *Store) markDuplicateHeld(pair *jointPair, left GOPRef) (JointResult, error) {
 	res := JointResult{Duplicate: true, BytesBefore: pair.gL.Bytes + pair.gR.Bytes}
 	if err := s.files.DeleteGOP(pair.vR.Name, pair.pR.Dir, pair.gR.Seq); err != nil {
 		return res, err
@@ -228,7 +247,7 @@ func splits(h vision.Homography, wL, hL, wR, hR int) (xf, xg int, ok bool) {
 }
 
 // compressPairWithH performs the per-frame partition/merge/verify/encode
-// loop of Algorithm 1.
+// loop of Algorithm 1. Caller holds both videos' locks.
 func (s *Store) compressPairWithH(pair *jointPair, h vision.Homography, merge MergeMode) (JointResult, error) {
 	res := JointResult{BytesBefore: pair.gL.Bytes + pair.gR.Bytes}
 	wL, hL := pair.fL[0].Width, pair.fL[0].Height
@@ -454,81 +473,75 @@ func unpackJointStreams(data []byte) ([][]byte, error) {
 	return out, nil
 }
 
-// decodeJointGOPLocked reconstructs the frames of a jointly compressed GOP
-// (either role), reversing the partition applied at compression time.
-func (s *Store) decodeJointGOPLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta, stats *ReadStats) ([]*frame.Frame, error) {
-	j := g.Joint
-	data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
-	if err != nil {
-		return nil, err
-	}
-	stats.BytesRead += int64(len(data))
+// decodeJointSnap reconstructs the frames of a snapshotted jointly
+// compressed GOP (either role), reversing the partition applied at
+// compression time. Pure function of the snapshot — safe on the worker
+// pool. Returns the reconstructed frames and the number of GOP streams
+// decoded.
+func decodeJointSnap(snap gopSnap) ([]*frame.Frame, int, error) {
+	j := snap.joint
+	data := snap.data
 	if lossless.IsCompressed(data) {
+		var err error
 		if data, err = lossless.Decompress(data); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	streams, err := unpackJointStreams(data)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if j.Role == "left" {
 		if len(streams) != 2 {
-			return nil, fmt.Errorf("core: left joint GOP has %d streams", len(streams))
+			return nil, 0, fmt.Errorf("core: left joint GOP has %d streams", len(streams))
 		}
 		leftFrames, _, err := codec.DecodeGOP(streams[0])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		overlapFrames, _, err := codec.DecodeGOP(streams[1])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		stats.GOPsDecoded += 2
 		out := make([]*frame.Frame, len(leftFrames))
 		for i := range leftFrames {
-			out[i] = reconstructLeft(leftFrames[i], overlapFrames[i], p.Width, p.Height)
+			out[i] = reconstructLeft(leftFrames[i], overlapFrames[i], snap.width, snap.height)
 		}
-		return out, nil
+		return out, 2, nil
 	}
-	// Right role: fetch the overlap from the partner's file.
-	_, pp, _, err := s.resolveRef(j.Partner)
-	if err != nil {
-		return nil, err
+	// Right role: the overlap stream lives in the partner's file,
+	// snapshotted alongside ours.
+	partnerData := snap.partner
+	if partnerData == nil {
+		return nil, 0, fmt.Errorf("core: right joint GOP snapshot missing partner stream")
 	}
-	partnerData, err := s.files.ReadGOP(j.Partner.Video, pp.Dir, j.Partner.Seq)
-	if err != nil {
-		return nil, err
-	}
-	stats.BytesRead += int64(len(partnerData))
 	if lossless.IsCompressed(partnerData) {
 		if partnerData, err = lossless.Decompress(partnerData); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	partnerStreams, err := unpackJointStreams(partnerData)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(partnerStreams) != 2 {
-		return nil, fmt.Errorf("core: joint partner has %d streams", len(partnerStreams))
+		return nil, 0, fmt.Errorf("core: joint partner has %d streams", len(partnerStreams))
 	}
 	rightFrames, _, err := codec.DecodeGOP(streams[0])
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	overlapFrames, _, err := codec.DecodeGOP(partnerStreams[1])
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	stats.GOPsDecoded += 2
 	hInv, err := j.H.Inverse()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := make([]*frame.Frame, len(rightFrames))
 	for i := range rightFrames {
-		out[i] = reconstructRight(rightFrames[i], overlapFrames[i], hInv, j.SplitL, j.SplitR, p.Width, p.Height)
+		out[i] = reconstructRight(rightFrames[i], overlapFrames[i], hInv, j.SplitL, j.SplitR, snap.width, snap.height)
 	}
-	return out, nil
+	return out, 2, nil
 }

@@ -172,11 +172,12 @@ func useMSE(p *PhysMeta, r resolvedSpec) float64 {
 
 // candidatesFor returns the physical videos eligible to serve the request:
 // they must cover the requested ROI and pass the quality gate u >= ε. The
-// original is always eligible (it defines baseline quality).
-func (s *Store) candidatesFor(v *VideoMeta, r resolvedSpec) []*PhysMeta {
+// original is always eligible (it defines baseline quality). Caller holds
+// the video's lock.
+func (s *Store) candidatesFor(vs *videoState, r resolvedSpec) []*PhysMeta {
 	maxMSE := quality.MSEFromPSNR(r.minPSNR)
 	var out []*PhysMeta
-	for _, p := range s.phys[v.Name] {
+	for _, p := range vs.phys {
 		if len(p.GOPs) == 0 {
 			continue
 		}
@@ -257,9 +258,10 @@ func (s *Store) stepCost(p *PhysMeta, r resolvedSpec, a, b float64) float64 {
 }
 
 // plan selects fragments for a read using the SMT solver (or the greedy
-// baseline when Options.GreedyPlanner is set).
-func (s *Store) plan(v *VideoMeta, r resolvedSpec) (*Plan, error) {
-	cands := s.candidatesFor(v, r)
+// baseline when Options.GreedyPlanner is set). Caller holds the video's
+// lock.
+func (s *Store) plan(vs *videoState, r resolvedSpec) (*Plan, error) {
+	cands := s.candidatesFor(vs, r)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: no physical video can serve the request")
 	}

@@ -220,10 +220,9 @@ func TestGopContainingEdges(t *testing.T) {
 func TestResolveDefaults(t *testing.T) {
 	s := newStore(t, Options{})
 	writeVideo(t, s, "v", scene(16, 64, 48, 75), 4, codec.H264)
-	s.mu.Lock()
-	v := s.videos["v"]
-	r, err := s.resolve(v, ReadSpec{})
-	s.mu.Unlock()
+	vs := s.acquire("v")
+	r, err := s.resolve(vs.meta, ReadSpec{})
+	vs.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)
 	}

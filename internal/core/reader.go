@@ -10,6 +10,24 @@ import (
 	"repro/internal/quality"
 )
 
+// This file implements the read path (Section 3) as a three-phase
+// pipeline so concurrent reads of different videos — and the CPU work of
+// a single read — run in parallel:
+//
+//	Phase A (video lock held): resolve the request, pick the minimal-cost
+//	  plan, and SNAPSHOT the bytes of every stored GOP the plan touches
+//	  (chasing duplicate/joint references through the held lock set).
+//	Phase B (no locks): decode, crop/resize/convert, and re-encode on the
+//	  store's bounded worker pool, fanning out per GOP and per output
+//	  chunk and joining in frame order.
+//	Phase C (video lock re-acquired): cache admission, eviction, and
+//	  deferred-compression pressure against the video's current state.
+//
+// Because phase A copies every byte the plan needs while holding the
+// lock, phase B is immune to concurrent eviction, compaction, and joint
+// compression; phase C revalidates admission against whatever the video
+// looks like by then.
+
 // ReadStats reports how a read was executed.
 type ReadStats struct {
 	PlanCost    float64
@@ -45,28 +63,217 @@ func (r *ReadResult) FrameCount() int {
 	return n
 }
 
+// physSnap copies the immutable-for-this-read fields of a PhysMeta that
+// frame conversion needs, so phase B never touches shared metadata.
+type physSnap struct {
+	width  int
+	height int
+	roi    NRect
+}
+
+func snapPhys(p *PhysMeta) physSnap {
+	return physSnap{width: p.Width, height: p.Height, roi: p.ROI}
+}
+
+// gopSnap carries the stored bytes and decode recipe of one GOP, captured
+// under the video lock in phase A and decoded lock-free in phase B.
+type gopSnap struct {
+	data          []byte
+	losslessLevel int
+	joint         *GOPJoint
+	partner       []byte // partner container bytes for right-role joint GOPs
+	width, height int    // physical resolution (joint reconstruction canvas)
+}
+
+// decodeJob is one GOP decode executed on the worker pool. from/to bound
+// the returned frames ([from, to); to = -1 means to the end).
+type decodeJob struct {
+	snap     gopSnap
+	from, to int
+	frames   []*frame.Frame
+	decoded  int // GOP streams decoded, for ReadStats
+}
+
+func (j *decodeJob) run() error {
+	frames, decoded, err := decodeSnap(j.snap, j.from, j.to)
+	j.frames, j.decoded = frames, decoded
+	return err
+}
+
+// frameSrc names one output frame of a transcoded segment: a frame of a
+// decoded GOP plus the conversion parameters into output space.
+type frameSrc struct {
+	job *decodeJob
+	idx int // index into job.frames
+	p   physSnap
+}
+
+// readSeg is one ordered segment of the output: either a stored bitstream
+// emitted as-is (mixed execution's no-decode path) or a run of frames to
+// transcode.
+type readSeg struct {
+	pass       []byte // non-nil: passthrough stored GOP (compressed output)
+	passFrames int
+	srcs       []frameSrc
+}
+
+// readJob is the fully snapshotted execution state of one read, handed
+// from phase A to phase B.
+type readJob struct {
+	r         resolvedSpec
+	gopFrames int
+	jobs      []*decodeJob
+	segs      []readSeg
+
+	// Phase B outputs.
+	outFrames []*frame.Frame // raw path: RGB frames at ROI resolution
+	outConv   []*frame.Frame // raw path: frames in the requested layout
+	outGOPs   [][]byte       // compressed path
+	sampleRef []*frame.Frame // compressed path: source frames of sampleGOP
+	sampleGOP []byte         // compressed path: one re-encoded GOP for PSNR sampling
+	mbpp      float64
+	decoded   int // GOPs decoded
+}
+
+// readBuilder accumulates the readJob during phase A, deduplicating
+// decode work per stored GOP.
+type readBuilder struct {
+	s       *Store
+	held    map[string]*videoState
+	vs      *videoState
+	r       resolvedSpec
+	stats   *ReadStats
+	jobs    map[jobKey]*decodeJob
+	order   []*decodeJob
+	segs    []readSeg
+	touched map[int]*PhysMeta
+}
+
+type jobKey struct {
+	video    string
+	phys     int
+	seq      int
+	from, to int
+}
+
 // Read executes a read operation per Section 3: it resolves the request,
 // selects a minimal-cost fragment set over the cached materialized views,
-// decodes and converts the data, optionally caches the result, and returns
-// it in the requested spatial/temporal/physical configuration.
+// decodes and converts the data in parallel on the worker pool, optionally
+// caches the result, and returns it in the requested spatial/temporal/
+// physical configuration. Safe for concurrent use; reads of different
+// videos do not serialize.
 func (s *Store) Read(video string, spec ReadSpec) (*ReadResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[video]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	r, err := s.resolve(v, spec)
+	var (
+		out       *ReadResult
+		job       *readJob
+		fragIDs   []int
+		parentMSE float64
+		vsA       *videoState // generation witness for phase C
+	)
+	// Phase A under the video lock (expanding to partner videos when the
+	// plan touches duplicate/joint GOPs).
+	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
+		var err error
+		vsA = held[video]
+		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec)
+		return err
+	})
 	if err != nil {
 		return nil, err
+	}
+
+	// Phase B: CPU-heavy decode/convert/encode, no locks held.
+	if err := s.executeJob(job); err != nil {
+		return nil, err
+	}
+	out.Stats.GOPsDecoded += job.decoded
+	r := job.r
+	if r.codec.Compressed() {
+		out.GOPs = job.outGOPs
+	} else {
+		out.Frames = job.outConv
+	}
+
+	// Phase C: admission and maintenance against the video's current
+	// state. The video may have been deleted — or deleted and recreated
+	// under the same name — while we computed; in either case the data we
+	// read is not this video's anymore, so skip admission but still
+	// return it.
+	vs := s.acquire(video)
+	if vs == nil {
+		return out, nil
+	}
+	defer vs.mu.Unlock()
+	if vs != vsA {
+		return out, nil
+	}
+	admitted, err := s.admitLocked(vs, job, fragIDs, parentMSE)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats.Admitted = admitted
+	if !r.codec.Compressed() {
+		// Uncompressed reads drive deferred compression (Section 5.2).
+		if err := s.deferredPressureLocked(vs); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// withVideos runs fn with the named videos locked (sorted order),
+// expanding the lock set and retrying when fn chases a duplicate/joint
+// reference into a video outside the set. Primary videos must exist;
+// referenced videos that do not exist surface as dangling-ref errors.
+func (s *Store) withVideos(primary []string, fn func(held map[string]*videoState) error) error {
+	need := make(map[string]bool, len(primary))
+	for _, n := range primary {
+		need[n] = true
+	}
+	for {
+		held := s.acquireSet(need)
+		var err error
+		for _, n := range primary {
+			if held[n] == nil {
+				err = ErrNotFound
+			}
+		}
+		if err == nil {
+			err = fn(held)
+		}
+		s.releaseSet(held)
+		if nv, ok := err.(errVideosNeeded); ok {
+			progress := false
+			for _, n := range nv.names {
+				if !need[n] {
+					need[n] = true
+					progress = true
+				}
+			}
+			if progress {
+				continue
+			}
+			return fmt.Errorf("%w into missing video %v", errDanglingRef, nv.names)
+		}
+		return err
+	}
+}
+
+// prepareRead is phase A: plan the read and snapshot everything phase B
+// needs. Caller holds the locks in held, which must include vs.
+func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec ReadSpec) (*ReadResult, *readJob, []int, float64, error) {
+	v := vs.meta
+	r, err := s.resolve(v, spec)
+	if err != nil {
+		return nil, nil, nil, 0, err
 	}
 	// One LRU tick per read operation: every page the read touches shares
 	// the same sequence number, so the position and redundancy offsets of
 	// LRU_VSS break ties within an operation (Section 4).
 	s.tick(v)
-	plan, err := s.plan(v, r)
+	plan, err := s.plan(vs, r)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, 0, err
 	}
 
 	out := &ReadResult{Width: r.roiW, Height: r.roiH, FPS: r.outFPS}
@@ -81,58 +288,70 @@ func (s *Store) Read(video string, spec ReadSpec) (*ReadResult, error) {
 		}
 	}
 
-	var frames []*frame.Frame
-	var encoded [][]byte
-	var mbpp float64
+	b := &readBuilder{
+		s: s, held: held, vs: vs, r: r, stats: &out.Stats,
+		jobs:    make(map[jobKey]*decodeJob),
+		touched: make(map[int]*PhysMeta),
+	}
 	if r.codec.Compressed() {
-		// Mixed execution: runs whose fragment already matches the output
-		// configuration are served as stored bitstreams (no decode); only
-		// the remainder is transcoded. This is where the planner's cost
-		// savings become wall-clock savings (Figures 10 and 12).
-		encoded, mbpp, err = s.executeCompressed(v, r, plan, &out.Stats)
-		if err != nil {
-			return nil, err
-		}
-		out.GOPs = encoded
+		err = b.buildCompressed(plan)
 	} else {
-		frames, err = s.executePlan(v, r, plan, &out.Stats)
-		if err != nil {
-			return nil, err
-		}
-		outFmt := frame.PixelFormat(r.pixfmt)
-		conv := make([]*frame.Frame, len(frames))
-		for i, f := range frames {
-			if f.Format == outFmt {
-				conv[i] = f
-			} else {
-				conv[i] = f.Convert(outFmt)
-			}
-		}
-		out.Frames = conv
+		err = b.buildRaw(plan)
 	}
-
-	if admitted, err := s.admitLocked(v, r, plan, frames, encoded, parentMSE, mbpp); err != nil {
-		return nil, err
-	} else {
-		out.Stats.Admitted = admitted
+	if err != nil {
+		return nil, nil, nil, 0, err
 	}
-	if !r.codec.Compressed() {
-		// Uncompressed reads drive deferred compression (Section 5.2).
-		if err := s.deferredPressureLocked(v); err != nil {
-			return nil, err
+	// Persist the LRU touches made while building the snapshot.
+	for _, p := range b.touched {
+		if err := s.savePhys(v.Name, p); err != nil {
+			return nil, nil, nil, 0, err
 		}
 	}
-	return out, nil
+	if err := s.saveVideo(v); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	job := &readJob{r: r, gopFrames: s.opts.GOPFrames, jobs: b.order, segs: b.segs}
+	return out, job, plan.Fragments(), parentMSE, nil
 }
 
-// executeCompressed serves a compressed-output read with mixed execution:
-// runs of the plan whose fragment is already in the output configuration
-// are emitted as stored bitstreams without decoding (whole aligned GOPs)
-// — only run edges and format-mismatched runs pay decode + re-encode.
-// This is why VSS's same-format reads stay within a small constant of the
-// raw file system (Figure 14), and why a populated cache cuts long-read
-// time (Figure 10) rather than only planner cost.
-func (s *Store) executeCompressed(v *VideoMeta, r resolvedSpec, plan *Plan, stats *ReadStats) ([][]byte, float64, error) {
+// jobFor returns the (deduplicated) decode job for frames [from, to) of a
+// stored GOP, snapshotting its bytes on first use.
+func (b *readBuilder) jobFor(vs *videoState, p *PhysMeta, g *GOPMeta, from, to int) (*decodeJob, error) {
+	key := jobKey{vs.meta.Name, p.ID, g.Seq, from, to}
+	if j, ok := b.jobs[key]; ok {
+		return j, nil
+	}
+	snap, err := b.s.snapshotGOP(b.held, vs, p, g, b.stats)
+	if err != nil {
+		return nil, err
+	}
+	j := &decodeJob{snap: snap, from: from, to: to}
+	b.jobs[key] = j
+	b.order = append(b.order, j)
+	return j, nil
+}
+
+// appendSrcs merges transcoded frames into the trailing transcode
+// segment, mirroring the original pending-frame accumulation across runs.
+func (b *readBuilder) appendSrcs(srcs []frameSrc) {
+	if len(srcs) == 0 {
+		return
+	}
+	if n := len(b.segs); n > 0 && b.segs[n-1].pass == nil {
+		b.segs[n-1].srcs = append(b.segs[n-1].srcs, srcs...)
+		return
+	}
+	b.segs = append(b.segs, readSeg{srcs: srcs})
+}
+
+// buildCompressed plans mixed execution for compressed output: runs of
+// the plan whose fragment is already in the output configuration are
+// emitted as stored bitstreams without decoding (whole aligned GOPs) —
+// only run edges and format-mismatched runs pay decode + re-encode. This
+// is why VSS's same-format reads stay within a small constant of the raw
+// file system (Figure 14), and why a populated cache cuts long-read time
+// (Figure 10) rather than only planner cost.
+func (b *readBuilder) buildCompressed(plan *Plan) error {
 	type runSeg struct {
 		phys *PhysMeta
 		a, b float64
@@ -146,154 +365,67 @@ func (s *Store) executeCompressed(v *VideoMeta, r resolvedSpec, plan *Plan, stat
 		runs = append(runs, runSeg{st.phys, st.a, st.b})
 	}
 
-	var gops [][]byte
-	var totalBytes, totalPixels int64
-	var pending []*frame.Frame
-	flush := func() error {
-		for i := 0; i < len(pending); i += s.opts.GOPFrames {
-			j := i + s.opts.GOPFrames
-			if j > len(pending) {
-				j = len(pending)
-			}
-			data, _, err := codec.EncodeGOP(pending[i:j], r.codec, r.quality)
+	v := b.vs.meta
+	for _, rn := range runs {
+		p := rn.phys
+		b.touched[p.ID] = p
+		if !matchesOutput(p, b.r) {
+			// Format mismatch: transcode the run.
+			srcs, err := b.runSrcs(p, rn.a, rn.b)
 			if err != nil {
 				return err
 			}
-			gops = append(gops, data)
-			totalBytes += int64(len(data))
-			totalPixels += int64(r.roiW * r.roiH * (j - i))
-		}
-		pending = pending[:0]
-		return nil
-	}
-
-	touched := map[int]*PhysMeta{}
-	for _, rn := range runs {
-		p := rn.phys
-		touched[p.ID] = p
-		if matchesOutput(p, r) {
-			fps := float64(p.FPS)
-			for i := range p.GOPs {
-				g := &p.GOPs[i]
-				ga, gb := p.gopSpan(g)
-				if gb <= rn.a+timeEps || ga >= rn.b-timeEps {
-					continue
-				}
-				aligned := ga >= rn.a-timeEps && gb <= rn.b+timeEps &&
-					g.Joint == nil && g.DupOf == nil && g.Lossless == 0
-				if aligned {
-					if err := flush(); err != nil {
-						return nil, 0, err
-					}
-					data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
-					if err != nil {
-						return nil, 0, err
-					}
-					stats.BytesRead += int64(len(data))
-					totalBytes += int64(len(data))
-					totalPixels += int64(r.roiW * r.roiH * g.Frames)
-					gops = append(gops, data)
-					g.LRU = v.Clock
-					continue
-				}
-				// Partial or indirect GOP: decode only the needed frames.
-				from := int(math.Round((rn.a - ga) * fps))
-				if from < 0 {
-					from = 0
-				}
-				to := g.Frames - int(math.Round((gb-rn.b)*fps))
-				if to > g.Frames {
-					to = g.Frames
-				}
-				if to <= from {
-					continue
-				}
-				fr, err := s.decodeGOPRangeLocked(v, p, g, from, to, stats)
-				if err != nil {
-					return nil, 0, err
-				}
-				g.LRU = v.Clock
-				for _, f := range fr {
-					cf, err := s.convertFrame(f, p, r)
-					if err != nil {
-						return nil, 0, err
-					}
-					pending = append(pending, cf)
-				}
-			}
+			b.appendSrcs(srcs)
 			continue
 		}
-		// Format mismatch: transcode the run.
-		fr, err := s.assembleRun(v, p, rn.a, rn.b, r, stats)
-		if err != nil {
-			return nil, 0, err
-		}
-		pending = append(pending, fr...)
-	}
-	if err := flush(); err != nil {
-		return nil, 0, err
-	}
-	for _, p := range touched {
-		if err := s.savePhys(v.Name, p); err != nil {
-			return nil, 0, err
-		}
-	}
-	if err := s.saveVideo(v); err != nil {
-		return nil, 0, err
-	}
-	var mbpp float64
-	if totalPixels > 0 {
-		mbpp = float64(totalBytes) * 8 / float64(totalPixels)
-	}
-	return gops, mbpp, nil
-}
-
-// assembleRun decodes and converts the output frames for one plan run.
-func (s *Store) assembleRun(v *VideoMeta, p *PhysMeta, a, b float64, r resolvedSpec, stats *ReadStats) ([]*frame.Frame, error) {
-	nOut := int(math.Round((b - a) * float64(r.outFPS)))
-	if nOut < 1 {
-		nOut = 1
-	}
-	decoded := make(map[int][]*frame.Frame)
-	out := make([]*frame.Frame, 0, nOut)
-	for k := 0; k < nOut; k++ {
-		tk := a + (float64(k)+0.5)/float64(r.outFPS)
-		local := int((tk - p.Start) * float64(p.FPS))
-		g := gopContaining(p, local)
-		if g == nil {
-			return nil, fmt.Errorf("core: no GOP for t=%f in phys %d", tk, p.ID)
-		}
-		gf, ok := decoded[g.Seq]
-		if !ok {
-			var err error
-			gf, err = s.decodeGOPLocked(v, p, g, stats)
-			if err != nil {
-				return nil, err
+		fps := float64(p.FPS)
+		for i := range p.GOPs {
+			g := &p.GOPs[i]
+			ga, gb := p.gopSpan(g)
+			if gb <= rn.a+timeEps || ga >= rn.b-timeEps {
+				continue
 			}
-			decoded[g.Seq] = gf
+			aligned := ga >= rn.a-timeEps && gb <= rn.b+timeEps &&
+				g.Joint == nil && g.DupOf == nil && g.Lossless == 0
+			if aligned {
+				data, err := b.s.files.ReadGOP(v.Name, p.Dir, g.Seq)
+				if err != nil {
+					return err
+				}
+				b.stats.BytesRead += int64(len(data))
+				b.segs = append(b.segs, readSeg{pass: data, passFrames: g.Frames})
+				g.LRU = v.Clock
+				continue
+			}
+			// Partial or indirect GOP: decode only the needed frames.
+			from := int(math.Round((rn.a - ga) * fps))
+			if from < 0 {
+				from = 0
+			}
+			to := g.Frames - int(math.Round((gb-rn.b)*fps))
+			if to > g.Frames {
+				to = g.Frames
+			}
+			if to <= from {
+				continue
+			}
+			job, err := b.jobFor(b.vs, p, g, from, to)
+			if err != nil {
+				return err
+			}
 			g.LRU = v.Clock
+			srcs := make([]frameSrc, 0, to-from)
+			for k := 0; k < to-from; k++ {
+				srcs = append(srcs, frameSrc{job: job, idx: k, p: snapPhys(p)})
+			}
+			b.appendSrcs(srcs)
 		}
-		idx := local - g.StartFrame
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(gf) {
-			idx = len(gf) - 1
-		}
-		f, err := s.convertFrame(gf[idx], p, r)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, f)
 	}
-	return out, nil
+	return nil
 }
 
-// executePlan decodes the planned fragments and assembles output frames
-// in RGB at the requested ROI resolution (the raw-output path).
-func (s *Store) executePlan(v *VideoMeta, r resolvedSpec, plan *Plan, stats *ReadStats) ([]*frame.Frame, error) {
-	var out []*frame.Frame
-	seen := map[int]bool{}
+// buildRaw plans the raw-output path: every planned run is transcoded.
+func (b *readBuilder) buildRaw(plan *Plan) error {
 	for i := 0; i < len(plan.steps); {
 		// Group contiguous steps on the same fragment into one run.
 		j := i
@@ -301,26 +433,265 @@ func (s *Store) executePlan(v *VideoMeta, r resolvedSpec, plan *Plan, stats *Rea
 			j++
 		}
 		st := plan.steps[i]
-		fr, err := s.assembleRun(v, st.phys, st.a, plan.steps[j].b, r, stats)
+		b.touched[st.phys.ID] = st.phys
+		srcs, err := b.runSrcs(st.phys, st.a, plan.steps[j].b)
+		if err != nil {
+			return err
+		}
+		b.appendSrcs(srcs)
+		i = j + 1
+	}
+	return nil
+}
+
+// runSrcs maps one plan run to frame sources: for each output frame it
+// locates the covering GOP, registers a (deduplicated) full-GOP decode
+// job, and records the frame index plus conversion parameters.
+func (b *readBuilder) runSrcs(p *PhysMeta, a, bEnd float64) ([]frameSrc, error) {
+	r := b.r
+	nOut := int(math.Round((bEnd - a) * float64(r.outFPS)))
+	if nOut < 1 {
+		nOut = 1
+	}
+	v := b.vs.meta
+	srcs := make([]frameSrc, 0, nOut)
+	for k := 0; k < nOut; k++ {
+		tk := a + (float64(k)+0.5)/float64(r.outFPS)
+		local := int((tk - p.Start) * float64(p.FPS))
+		g := gopContaining(p, local)
+		if g == nil {
+			return nil, fmt.Errorf("core: no GOP for t=%f in phys %d", tk, p.ID)
+		}
+		job, err := b.jobFor(b.vs, p, g, 0, -1)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, fr...)
-		seen[st.phys.ID] = true
-		i = j + 1
+		g.LRU = v.Clock
+		idx := local - g.StartFrame
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= g.Frames {
+			idx = g.Frames - 1
+		}
+		srcs = append(srcs, frameSrc{job: job, idx: idx, p: snapPhys(p)})
 	}
-	for _, stp := range plan.steps {
-		if seen[stp.phys.ID] {
-			seen[stp.phys.ID] = false
-			if err := s.savePhys(v.Name, stp.phys); err != nil {
-				return nil, err
-			}
+	return srcs, nil
+}
+
+// snapshotGOP captures the stored bytes and decode recipe of one GOP,
+// resolving duplicate pointers and joint partners through the held lock
+// set. Returns errVideosNeeded when a reference escapes the set.
+func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *PhysMeta, g *GOPMeta, stats *ReadStats) (gopSnap, error) {
+	if g.DupOf != nil {
+		dvs, dp, dg, err := resolveRefIn(held, *g.DupOf)
+		if err != nil {
+			return gopSnap{}, err
+		}
+		return s.snapshotGOP(held, dvs, dp, dg, stats)
+	}
+	// For right-role joint GOPs, resolve the partner BEFORE any IO so a
+	// missing lock costs nothing.
+	var partnerP *PhysMeta
+	if g.Joint != nil && g.Joint.Role == "right" {
+		var err error
+		_, partnerP, _, err = resolveRefIn(held, g.Joint.Partner)
+		if err != nil {
+			return gopSnap{}, err
 		}
 	}
-	if err := s.saveVideo(v); err != nil {
-		return nil, err
+	data, err := s.files.ReadGOP(vs.meta.Name, p.Dir, g.Seq)
+	if err != nil {
+		return gopSnap{}, err
 	}
-	return out, nil
+	stats.BytesRead += int64(len(data))
+	snap := gopSnap{data: data, losslessLevel: g.Lossless, width: p.Width, height: p.Height}
+	if g.Joint != nil {
+		j := *g.Joint
+		snap.joint = &j
+		if partnerP != nil {
+			pdata, err := s.files.ReadGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq)
+			if err != nil {
+				return gopSnap{}, err
+			}
+			stats.BytesRead += int64(len(pdata))
+			snap.partner = pdata
+		}
+	}
+	return snap, nil
+}
+
+// decodeSnap decodes frames [from, to) of a snapshotted GOP. It is a pure
+// function of the snapshot — callable without any lock.
+func decodeSnap(snap gopSnap, from, to int) ([]*frame.Frame, int, error) {
+	if snap.joint != nil {
+		frames, decoded, err := decodeJointSnap(snap)
+		if err != nil {
+			return nil, decoded, err
+		}
+		if to < 0 || to > len(frames) {
+			to = len(frames)
+		}
+		if from < 0 || from > to {
+			return nil, decoded, fmt.Errorf("core: bad GOP range [%d,%d)", from, to)
+		}
+		return frames[from:to], decoded, nil
+	}
+	data := snap.data
+	if snap.losslessLevel > 0 || lossless.IsCompressed(data) {
+		var err error
+		data, err = lossless.Decompress(data)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	frames, _, err := codec.DecodeRange(data, from, to)
+	if err != nil {
+		return nil, 0, err
+	}
+	return frames, 1, nil
+}
+
+// executeJob is phase B: run every decode job on the worker pool, convert
+// each output frame into the requested space, and (for compressed output)
+// re-encode — all outside any lock, joined in frame order.
+func (s *Store) executeJob(job *readJob) error {
+	// 1. Decode every needed GOP in parallel.
+	if err := s.runJobs(len(job.jobs), func(i int) error { return job.jobs[i].run() }); err != nil {
+		return err
+	}
+	for _, j := range job.jobs {
+		job.decoded += j.decoded
+	}
+
+	// 2. Convert every transcoded frame in parallel.
+	type convTask struct{ seg, i int }
+	var tasks []convTask
+	for si := range job.segs {
+		for i := range job.segs[si].srcs {
+			tasks = append(tasks, convTask{si, i})
+		}
+	}
+	converted := make([][]*frame.Frame, len(job.segs))
+	for si := range job.segs {
+		converted[si] = make([]*frame.Frame, len(job.segs[si].srcs))
+	}
+	if err := s.runJobs(len(tasks), func(ti int) error {
+		t := tasks[ti]
+		src := job.segs[t.seg].srcs[t.i]
+		if len(src.job.frames) == 0 {
+			return fmt.Errorf("core: decoded GOP is empty")
+		}
+		idx := src.idx
+		if idx >= len(src.job.frames) {
+			idx = len(src.job.frames) - 1
+		}
+		f, err := convertFrame(src.job.frames[idx], src.p, job.r)
+		if err != nil {
+			return err
+		}
+		converted[t.seg][t.i] = f
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !job.r.codec.Compressed() {
+		return s.assembleRaw(job, converted)
+	}
+	return s.assembleCompressed(job, converted)
+}
+
+// assembleRaw joins converted frames in order and produces the output in
+// the requested pixel layout (conversion parallelized per frame).
+func (s *Store) assembleRaw(job *readJob, converted [][]*frame.Frame) error {
+	var frames []*frame.Frame
+	for si := range converted {
+		frames = append(frames, converted[si]...)
+	}
+	job.outFrames = frames
+	outFmt := frame.PixelFormat(job.r.pixfmt)
+	conv := make([]*frame.Frame, len(frames))
+	if err := s.runJobs(len(frames), func(i int) error {
+		if frames[i].Format == outFmt {
+			conv[i] = frames[i]
+		} else {
+			conv[i] = frames[i].Convert(outFmt)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	job.outConv = conv
+	return nil
+}
+
+// assembleCompressed interleaves passthrough bitstreams with re-encoded
+// frame runs, encoding output GOPs in parallel and preserving order.
+func (s *Store) assembleCompressed(job *readJob, converted [][]*frame.Frame) error {
+	r := job.r
+	type encodeChunk struct {
+		frames []*frame.Frame
+		outPos int
+	}
+	var (
+		chunks  []encodeChunk
+		outGOPs [][]byte
+		pending []*frame.Frame
+	)
+	var totalBytes, totalPixels int64
+	flush := func() {
+		for i := 0; i < len(pending); i += job.gopFrames {
+			j := i + job.gopFrames
+			if j > len(pending) {
+				j = len(pending)
+			}
+			chunks = append(chunks, encodeChunk{frames: pending[i:j], outPos: len(outGOPs)})
+			outGOPs = append(outGOPs, nil)
+		}
+		pending = nil
+	}
+	for si := range job.segs {
+		seg := &job.segs[si]
+		if seg.pass != nil {
+			flush()
+			outGOPs = append(outGOPs, seg.pass)
+			totalBytes += int64(len(seg.pass))
+			totalPixels += int64(r.roiW * r.roiH * seg.passFrames)
+			continue
+		}
+		pending = append(pending, converted[si]...)
+	}
+	flush()
+
+	sizes := make([]int64, len(chunks))
+	if err := s.runJobs(len(chunks), func(i int) error {
+		data, _, err := codec.EncodeGOP(chunks[i].frames, r.codec, r.quality)
+		if err != nil {
+			return err
+		}
+		outGOPs[chunks[i].outPos] = data
+		sizes[i] = int64(len(data))
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, c := range chunks {
+		totalBytes += sizes[i]
+		totalPixels += int64(r.roiW * r.roiH * len(c.frames))
+	}
+	job.outGOPs = outGOPs
+	if len(chunks) > 0 {
+		// Keep one (source frames, encoded GOP) pair so admission can
+		// periodically measure exact PSNR and refine the MBPP->PSNR
+		// estimator (Section 3.2). Passthrough GOPs have no reference.
+		job.sampleRef = chunks[0].frames
+		job.sampleGOP = outGOPs[chunks[0].outPos]
+	}
+	if totalPixels > 0 {
+		job.mbpp = float64(totalBytes) * 8 / float64(totalPixels)
+	}
+	return nil
 }
 
 // gopContaining finds the GOP holding a local frame index.
@@ -339,106 +710,21 @@ func gopContaining(p *PhysMeta, local int) *GOPMeta {
 	return nil
 }
 
-// decodeGOPLocked loads and decodes one GOP, resolving duplicate pointers,
-// deferred-compression wrappers, and joint-compression reconstruction.
-func (s *Store) decodeGOPLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta, stats *ReadStats) ([]*frame.Frame, error) {
-	if g.DupOf != nil {
-		dv, dp, dg, err := s.resolveRef(*g.DupOf)
-		if err != nil {
-			return nil, err
-		}
-		return s.decodeGOPLocked(dv, dp, dg, stats)
-	}
-	if g.Joint != nil {
-		return s.decodeJointGOPLocked(v, p, g, stats)
-	}
-	data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
-	if err != nil {
-		return nil, err
-	}
-	stats.BytesRead += int64(len(data))
-	if g.Lossless > 0 || lossless.IsCompressed(data) {
-		data, err = lossless.Decompress(data)
-		if err != nil {
-			return nil, err
-		}
-	}
-	frames, _, err := codec.DecodeGOP(data)
-	if err != nil {
-		return nil, err
-	}
-	stats.GOPsDecoded++
-	return frames, nil
-}
-
-// decodeGOPRangeLocked decodes only frames [from, to) of a GOP, paying the
-// real look-back cost for mid-GOP entry. Joint and duplicate GOPs fall
-// back to full reconstruction.
-func (s *Store) decodeGOPRangeLocked(v *VideoMeta, p *PhysMeta, g *GOPMeta, from, to int, stats *ReadStats) ([]*frame.Frame, error) {
-	if g.DupOf != nil || g.Joint != nil {
-		frames, err := s.decodeGOPLocked(v, p, g, stats)
-		if err != nil {
-			return nil, err
-		}
-		if to < 0 || to > len(frames) {
-			to = len(frames)
-		}
-		if from < 0 || from > to {
-			return nil, fmt.Errorf("core: bad GOP range [%d,%d)", from, to)
-		}
-		return frames[from:to], nil
-	}
-	data, err := s.files.ReadGOP(v.Name, p.Dir, g.Seq)
-	if err != nil {
-		return nil, err
-	}
-	stats.BytesRead += int64(len(data))
-	if g.Lossless > 0 || lossless.IsCompressed(data) {
-		data, err = lossless.Decompress(data)
-		if err != nil {
-			return nil, err
-		}
-	}
-	frames, _, err := codec.DecodeRange(data, from, to)
-	if err != nil {
-		return nil, err
-	}
-	stats.GOPsDecoded++
-	return frames, nil
-}
-
-// resolveRef resolves a GOPRef to live metadata.
-func (s *Store) resolveRef(ref GOPRef) (*VideoMeta, *PhysMeta, *GOPMeta, error) {
-	v, ok := s.videos[ref.Video]
-	if !ok {
-		return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to video %s", ref.Video)
-	}
-	p := s.physByID(ref.Video, ref.Phys)
-	if p == nil {
-		return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to phys %d", ref.Phys)
-	}
-	for i := range p.GOPs {
-		if p.GOPs[i].Seq == ref.Seq {
-			return v, p, &p.GOPs[i], nil
-		}
-	}
-	return nil, nil, nil, fmt.Errorf("core: dangling GOP ref to seq %d", ref.Seq)
-}
-
 // convertFrame maps a decoded source frame into the requested output
-// space: RGB conversion, ROI crop, and resolution resampling.
-func (s *Store) convertFrame(src *frame.Frame, p *PhysMeta, r resolvedSpec) (*frame.Frame, error) {
+// space: RGB conversion, ROI crop, and resolution resampling. Pure
+// function — safe on the worker pool.
+func convertFrame(src *frame.Frame, p physSnap, r resolvedSpec) (*frame.Frame, error) {
 	rgb := src
 	if src.Format != frame.RGB {
 		rgb = src.Convert(frame.RGB)
 	}
 	// Map the requested normalized ROI into p's pixel space (p may itself
 	// be an ROI view of the source frame).
-	pw, ph := float64(p.Width), float64(p.Height)
-	rx := (r.roi.X0 - p.ROI.X0) / (p.ROI.X1 - p.ROI.X0)
-	ry := (r.roi.Y0 - p.ROI.Y0) / (p.ROI.Y1 - p.ROI.Y0)
-	rx1 := (r.roi.X1 - p.ROI.X0) / (p.ROI.X1 - p.ROI.X0)
-	ry1 := (r.roi.Y1 - p.ROI.Y0) / (p.ROI.Y1 - p.ROI.Y0)
+	pw, ph := float64(p.width), float64(p.height)
+	rx := (r.roi.X0 - p.roi.X0) / (p.roi.X1 - p.roi.X0)
+	ry := (r.roi.Y0 - p.roi.Y0) / (p.roi.Y1 - p.roi.Y0)
+	rx1 := (r.roi.X1 - p.roi.X0) / (p.roi.X1 - p.roi.X0)
+	ry1 := (r.roi.Y1 - p.roi.Y0) / (p.roi.Y1 - p.roi.Y0)
 	crop := frame.Rect{
 		X0: int(rx*pw + 0.5), Y0: int(ry*ph + 0.5),
 		X1: int(rx1*pw + 0.5), Y1: int(ry1*ph + 0.5),
@@ -450,7 +736,7 @@ func (s *Store) convertFrame(src *frame.Frame, p *PhysMeta, r resolvedSpec) (*fr
 		crop.Y1 = crop.Y0 + 1
 	}
 	cropped := rgb
-	if crop != frame.FullRect(p.Width, p.Height) {
+	if crop != frame.FullRect(p.width, p.height) {
 		var err error
 		cropped, err = rgb.Crop(crop)
 		if err != nil {
@@ -461,28 +747,6 @@ func (s *Store) convertFrame(src *frame.Frame, p *PhysMeta, r resolvedSpec) (*fr
 		cropped = cropped.Resize(r.roiW, r.roiH)
 	}
 	return cropped, nil
-}
-
-// encodeOutput packs output frames into GOPs with the requested codec,
-// returning the encoded GOPs and the mean bits per pixel.
-func (s *Store) encodeOutput(frames []*frame.Frame, r resolvedSpec) ([][]byte, float64, error) {
-	var gops [][]byte
-	var bytes, pixels int64
-	for i := 0; i < len(frames); i += s.opts.GOPFrames {
-		j := i + s.opts.GOPFrames
-		if j > len(frames) {
-			j = len(frames)
-		}
-		data, st, err := codec.EncodeGOP(frames[i:j], r.codec, r.quality)
-		if err != nil {
-			return nil, 0, err
-		}
-		gops = append(gops, data)
-		bytes += int64(st.Bytes)
-		pixels += int64(r.roiW * r.roiH * (j - i))
-	}
-	mbpp := float64(bytes) * 8 / float64(pixels)
-	return gops, mbpp, nil
 }
 
 // estimateStepMSE estimates the quality loss introduced by this read's

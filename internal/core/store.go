@@ -4,7 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/codec"
@@ -42,6 +47,12 @@ type Options struct {
 	// JointMinPSNR is the recovered-quality threshold below which joint
 	// compression of a GOP pair is aborted (paper: 24 dB).
 	JointMinPSNR float64
+	// Workers bounds the store-wide pool of CPU workers that runs the
+	// parallel GOP decode/convert/encode pipeline inside Read. The pool
+	// is shared by every concurrent read so total CPU fan-out stays
+	// bounded regardless of client count. 0 selects GOMAXPROCS; 1 makes
+	// read execution fully serial (useful for deterministic profiling).
+	Workers int
 
 	// GreedyPlanner selects the dependency-naive greedy baseline instead
 	// of the solver (Section 6.1 comparison).
@@ -94,20 +105,83 @@ func (o Options) withDefaults() Options {
 	if o.QualitySampleEvery == 0 {
 		o.QualitySampleEvery = 16
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
 }
 
+// videoState bundles one logical video's mutable state with the lock that
+// guards it. It is the unit of concurrency in the store: operations on
+// different videos proceed fully in parallel, operations on the same video
+// serialize on vs.mu.
+//
+// Locking contract: vs.mu guards meta, the phys map, and every PhysMeta /
+// GOPMeta reachable from it. The registry entry (Store.videos[name]) is
+// guarded by Store.mu; acquire a videoState only through Store.acquire or
+// Store.acquireSet so delete/recreate races are handled.
+type videoState struct {
+	mu   sync.Mutex
+	meta *VideoMeta
+	phys map[int]*PhysMeta // id -> meta
+}
+
+// totalBytes sums the stored size of the video. Caller holds vs.mu.
+func (vs *videoState) totalBytes() int64 {
+	var total int64
+	for _, p := range vs.phys {
+		total += p.Bytes()
+	}
+	return total
+}
+
+// byID returns a physical video record, or nil. Caller holds vs.mu.
+func (vs *videoState) byID(id int) *PhysMeta { return vs.phys[id] }
+
+// original returns the originally written physical video (m0), or nil.
+// Caller holds vs.mu.
+func (vs *videoState) original() *PhysMeta {
+	if vs.meta.Original < 0 {
+		return nil
+	}
+	return vs.phys[vs.meta.Original]
+}
+
 // Store is the VSS storage manager instance rooted at a directory.
+//
+// Concurrency model (two-tier locking):
+//
+//   - Store.mu is the short-lived registry lock. It guards only the
+//     videos map (which logical videos exist and their videoState
+//     identity). It is never held while blocking on a per-video lock or
+//     doing IO or CPU work.
+//   - Each videoState.mu serializes metadata mutation for one video.
+//     Reads and writes to different videos never contend.
+//   - Cross-video operations (joint compression, reads that chase
+//     duplicate/joint references) lock every involved video in sorted
+//     name order via acquireSet, which makes deadlock impossible.
+//   - The CPU-heavy decode/convert/encode work of a read runs OUTSIDE
+//     any lock on a bounded worker pool (workSem, sized Options.Workers):
+//     the read snapshots the GOP bytes it needs while holding the video
+//     lock, releases it, computes, and re-acquires only for admission.
+//
+// The catalog (internal/catalog) and file store (internal/storage) are
+// internally safe for concurrent use.
 type Store struct {
 	opts  Options
 	files *storage.Store
 	cat   *catalog.DB
 	est   *quality.Estimator
 
-	mu     sync.Mutex
-	videos map[string]*VideoMeta
-	phys   map[string]map[int]*PhysMeta // video -> id -> meta
+	mu     sync.Mutex // registry lock; see concurrency model above
+	videos map[string]*videoState
 
+	workSem chan struct{} // bounded worker pool for read execution
+
+	sampleMu      sync.Mutex // guards sampleCounter (est locks itself)
 	sampleCounter int
 }
 
@@ -116,6 +190,20 @@ var ErrNotFound = errors.New("core: video not found")
 
 // ErrExists is returned when creating a video that already exists.
 var ErrExists = errors.New("core: video already exists")
+
+// errVideosNeeded reports that an operation under a lock set followed a
+// duplicate/joint reference into a video whose lock is not held. The
+// caller expands its set and retries.
+type errVideosNeeded struct{ names []string }
+
+func (e errVideosNeeded) Error() string {
+	return fmt.Sprintf("core: operation needs locks on %v", e.names)
+}
+
+// errDanglingRef marks a GOP reference whose target no longer exists
+// (evicted, deleted, or replaced between operations). Sweeps that tolerate
+// concurrent churn match it with errors.Is and skip the work item.
+var errDanglingRef = errors.New("core: dangling GOP ref")
 
 // Open opens (creating if necessary) a VSS store in dir.
 func Open(dir string, opts Options) (*Store, error) {
@@ -132,9 +220,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		files:  files,
 		cat:    cat,
 		est:    quality.NewEstimator(nil),
-		videos: make(map[string]*VideoMeta),
-		phys:   make(map[string]map[int]*PhysMeta),
+		videos: make(map[string]*videoState),
 	}
+	s.workSem = make(chan struct{}, s.opts.Workers)
 	if err := s.load(); err != nil {
 		cat.Close()
 		return nil, err
@@ -142,47 +230,106 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// load hydrates the in-memory metadata cache from the catalog.
+// load hydrates the in-memory metadata cache from the catalog. It runs
+// before the store is published, so no locking is needed.
 func (s *Store) load() error {
+	// Finish any deletion that crashed mid-teardown (see Delete): the
+	// tombstone means the video's files may already be partially gone, so
+	// the catalog rows must not be trusted.
+	for _, name := range s.cat.Keys("deleting") {
+		if err := s.teardownVideo(name, nil); err != nil {
+			return err
+		}
+	}
 	for _, name := range s.cat.Keys("videos") {
 		var v VideoMeta
 		if _, err := s.cat.Get("videos", name, &v); err != nil {
 			return err
 		}
-		s.videos[name] = &v
-		s.phys[name] = make(map[int]*PhysMeta)
+		s.videos[name] = &videoState{meta: &v, phys: make(map[int]*PhysMeta)}
 	}
 	for _, key := range s.cat.Keys("phys") {
 		var p PhysMeta
 		if _, err := s.cat.Get("phys", key, &p); err != nil {
 			return err
 		}
-		var video string
-		var id int
-		if _, err := fmt.Sscanf(key, "%s", &video); err != nil {
-			return fmt.Errorf("core: bad phys key %q", key)
+		// Key layout is "<video>/<id>"; the video name may itself contain
+		// any character except the path separator, so split on the final
+		// slash.
+		i := strings.LastIndexByte(key, '/')
+		if i < 0 {
+			return fmt.Errorf("core: bad phys key %q: missing video/id separator", key)
 		}
-		// Key layout is "<video>/<id>"; split on the final slash.
-		for i := len(key) - 1; i >= 0; i-- {
-			if key[i] == '/' {
-				video = key[:i]
-				if _, err := fmt.Sscanf(key[i+1:], "%d", &id); err != nil {
-					return fmt.Errorf("core: bad phys key %q", key)
-				}
-				break
-			}
+		video := key[:i]
+		id, err := strconv.Atoi(key[i+1:])
+		if err != nil {
+			return fmt.Errorf("core: bad phys key %q: %v", key, err)
 		}
-		if s.phys[video] == nil {
+		vs := s.videos[video]
+		if vs == nil {
 			// Orphaned physical record (video deleted mid-crash): drop it.
 			s.cat.Delete("phys", key)
 			continue
 		}
-		s.phys[video][id] = &p
+		vs.phys[id] = &p
 	}
 	return nil
 }
 
-// Close flushes metadata and closes the store.
+// lookup returns the registry entry for a name (unlocked), or nil.
+func (s *Store) lookup(name string) *videoState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.videos[name]
+}
+
+// acquire locks the named video's state and returns it, or nil if the
+// video does not exist. The registry identity is rechecked after locking
+// so a concurrent Delete (or delete+recreate) cannot hand out a stale
+// state. Callers must vs.mu.Unlock() when done.
+func (s *Store) acquire(name string) *videoState {
+	for {
+		vs := s.lookup(name)
+		if vs == nil {
+			return nil
+		}
+		vs.mu.Lock()
+		if s.lookup(name) == vs {
+			return vs
+		}
+		vs.mu.Unlock()
+	}
+}
+
+// acquireSet locks the named videos in sorted order, returning a map of
+// the states it locked. Videos that do not exist are absent from the
+// result (callers decide whether that is an error). Sorted acquisition is
+// the global lock order; every multi-video operation must go through this
+// helper to stay deadlock-free.
+func (s *Store) acquireSet(names map[string]bool) map[string]*videoState {
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	held := make(map[string]*videoState, len(sorted))
+	for _, n := range sorted {
+		if vs := s.acquire(n); vs != nil {
+			held[n] = vs
+		}
+	}
+	return held
+}
+
+// releaseSet unlocks every state in a set returned by acquireSet.
+func (s *Store) releaseSet(held map[string]*videoState) {
+	for _, vs := range held {
+		vs.mu.Unlock()
+	}
+}
+
+// Close flushes metadata and closes the store. In-flight operations on
+// other goroutines fail once the catalog is closed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -191,7 +338,7 @@ func (s *Store) Close() error {
 
 // Create registers a new logical video. budgetBytes of 0 applies the
 // default multiple-of-original budget once the first write lands; a
-// negative value means unlimited.
+// negative value means unlimited. Safe for concurrent use.
 func (s *Store) Create(name string, budgetBytes int64) error {
 	if name == "" || name != filepath.Base(name) || name[0] == '.' {
 		return fmt.Errorf("core: invalid video name %q", name)
@@ -205,30 +352,68 @@ func (s *Store) Create(name string, budgetBytes int64) error {
 	if err := s.cat.Put("videos", name, v); err != nil {
 		return err
 	}
-	s.videos[name] = v
-	s.phys[name] = make(map[int]*PhysMeta)
+	s.videos[name] = &videoState{meta: v, phys: make(map[int]*PhysMeta)}
 	return nil
 }
 
-// Delete removes a logical video and all physical data.
+// Delete removes a logical video and all physical data. It takes the
+// video's lock first (waiting out in-flight operations), writes a
+// catalog tombstone, tears down files then catalog rows, and unregisters
+// the name only after teardown completes. Consequences:
+//
+//   - Concurrent operations observe either the full video or ErrNotFound,
+//     and a concurrent Create of the same name gets ErrExists until the
+//     old data is fully gone (it can never adopt, then lose, the dying
+//     video's directory).
+//   - A crash mid-teardown is self-healing: load() finishes any deletion
+//     whose tombstone survives, so the catalog never describes GOP files
+//     that are gone.
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[name]
-	if !ok {
+	vs := s.acquire(name)
+	if vs == nil {
 		return ErrNotFound
 	}
-	for id := range s.phys[name] {
-		if err := s.cat.Delete("phys", physKey(name, id)); err != nil {
-			return err
-		}
-	}
-	if err := s.cat.Delete("videos", v.Name); err != nil {
+	defer vs.mu.Unlock()
+	if err := s.cat.Put("deleting", name, true); err != nil {
 		return err
 	}
+	if err := s.teardownVideo(name, vs.phys); err != nil {
+		return err
+	}
+	// Unregister last: waiters blocked on vs.mu recheck registry identity
+	// after we release and report ErrNotFound.
+	s.mu.Lock()
 	delete(s.videos, name)
-	delete(s.phys, name)
-	return s.files.DeleteVideo(name)
+	s.mu.Unlock()
+	return nil
+}
+
+// teardownVideo removes a video's files, catalog rows, and tombstone, in
+// that order. Called by Delete and by load's crash recovery.
+func (s *Store) teardownVideo(name string, phys map[int]*PhysMeta) error {
+	if err := s.files.DeleteVideo(name); err != nil {
+		return err
+	}
+	if phys != nil {
+		for id := range phys {
+			if err := s.cat.Delete("phys", physKey(name, id)); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Recovery path: sweep every phys row prefixed by the video name.
+		for _, key := range s.cat.Keys("phys") {
+			if i := strings.LastIndexByte(key, '/'); i >= 0 && key[:i] == name {
+				if err := s.cat.Delete("phys", key); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := s.cat.Delete("videos", name); err != nil {
+		return err
+	}
+	return s.cat.Delete("deleting", name)
 }
 
 // Videos lists the logical videos in the store.
@@ -242,56 +427,59 @@ func (s *Store) Videos() []string {
 	return out
 }
 
+// videoNames snapshots the registry (sorted) for iteration without
+// holding any lock across per-video work.
+func (s *Store) videoNames() []string {
+	names := s.Videos()
+	sort.Strings(names)
+	return names
+}
+
 // Info returns a copy of the video's metadata and its physical views.
 func (s *Store) Info(name string) (VideoMeta, []PhysMeta, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[name]
-	if !ok {
+	vs := s.acquire(name)
+	if vs == nil {
 		return VideoMeta{}, nil, ErrNotFound
 	}
+	defer vs.mu.Unlock()
 	var phys []PhysMeta
-	for _, p := range s.phys[name] {
-		phys = append(phys, *p)
+	for _, p := range vs.phys {
+		cp := *p
+		cp.GOPs = append([]GOPMeta(nil), p.GOPs...)
+		phys = append(phys, cp)
 	}
-	return *v, phys, nil
+	return *vs.meta, phys, nil
 }
 
 // TotalBytes returns the stored size of a logical video per the catalog.
 func (s *Store) TotalBytes(name string) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.videos[name]; !ok {
+	vs := s.acquire(name)
+	if vs == nil {
 		return 0, ErrNotFound
 	}
-	return s.totalBytesLocked(name), nil
+	defer vs.mu.Unlock()
+	return vs.totalBytes(), nil
 }
 
-func (s *Store) totalBytesLocked(name string) int64 {
-	var total int64
-	for _, p := range s.phys[name] {
-		total += p.Bytes()
-	}
-	return total
-}
-
-// savePhys persists a physical video record.
+// savePhys persists a physical video record. Caller holds the video lock.
 func (s *Store) savePhys(video string, p *PhysMeta) error {
 	return s.cat.Put("phys", physKey(video, p.ID), p)
 }
 
-// saveVideo persists a video record.
+// saveVideo persists a video record. Caller holds the video lock.
 func (s *Store) saveVideo(v *VideoMeta) error {
 	return s.cat.Put("videos", v.Name, v)
 }
 
-// tick advances and returns the video's LRU clock.
+// tick advances and returns the video's LRU clock. Caller holds the video
+// lock.
 func (s *Store) tick(v *VideoMeta) int64 {
 	v.Clock++
 	return v.Clock
 }
 
-// allocPhys reserves the next physical-video ID.
+// allocPhys reserves the next physical-video ID. Caller holds the video
+// lock.
 func (s *Store) allocPhys(v *VideoMeta) int {
 	id := v.NextPhys
 	v.NextPhys++
@@ -304,22 +492,60 @@ func (s *Store) Estimator() *quality.Estimator { return s.est }
 // Options returns the effective options.
 func (s *Store) Options() Options { return s.opts }
 
-// physByID returns the physical video record, or nil.
-func (s *Store) physByID(video string, id int) *PhysMeta {
-	m := s.phys[video]
-	if m == nil {
-		return nil
+// resolveRefIn resolves a GOPRef against a held lock set. Returns
+// errVideosNeeded when the target video's lock is not held.
+func resolveRefIn(held map[string]*videoState, ref GOPRef) (*videoState, *PhysMeta, *GOPMeta, error) {
+	vs := held[ref.Video]
+	if vs == nil {
+		return nil, nil, nil, errVideosNeeded{names: []string{ref.Video}}
 	}
-	return m[id]
+	p := vs.byID(ref.Phys)
+	if p == nil {
+		return nil, nil, nil, fmt.Errorf("%w: phys %d of %s", errDanglingRef, ref.Phys, ref.Video)
+	}
+	for i := range p.GOPs {
+		if p.GOPs[i].Seq == ref.Seq {
+			return vs, p, &p.GOPs[i], nil
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("%w: seq %d of %s/%d", errDanglingRef, ref.Seq, ref.Video, ref.Phys)
 }
 
-// originalOf returns the originally written physical video (m0).
-func (s *Store) originalOf(name string) *PhysMeta {
-	v := s.videos[name]
-	if v == nil || v.Original < 0 {
+// runJobs executes n tasks on the store's bounded worker pool and returns
+// the accumulated errors. It must be called WITHOUT any video lock held:
+// tasks are CPU-bound and may outnumber pool slots. At most
+// min(n, Workers) goroutines are spawned, pulling task indices from a
+// shared counter; the semaphore is re-acquired per task so concurrent
+// reads interleave fairly on the pool rather than running to completion
+// one at a time.
+func (s *Store) runJobs(n int, run func(i int) error) error {
+	if n == 0 {
 		return nil
 	}
-	return s.physByID(name, v.Original)
+	workers := cap(s.workSem)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s.workSem <- struct{}{}
+				errs[i] = run(i)
+				<-s.workSem
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // effectiveQuality returns the encode quality preset for a spec.

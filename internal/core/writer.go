@@ -13,6 +13,13 @@ import (
 // readers, so applications may query prefixes of video still being written
 // (Section 2: "writes to VSS are non-blocking and users may query prefixes
 // of ingested video data").
+//
+// A Writer is NOT safe for concurrent use by multiple goroutines; open
+// one Writer per producer. Distinct Writers — even on the same video —
+// may run concurrently: the video lock serializes their GOP appends.
+// Frame buffering and GOP encoding happen outside the video lock, so a
+// streaming writer does not block readers of the same video while it
+// compresses.
 type Writer struct {
 	s     *Store
 	video string
@@ -40,7 +47,8 @@ func (s *Store) Write(video string, spec WriteSpec, frames []*frame.Frame) error
 
 // WriteEncoded ingests already-compressed GOPs as-is (the paper: "VSS
 // accepts as-is ingested compressed GOP sizes"). Each element must be a
-// valid encoded GOP with a consistent configuration.
+// valid encoded GOP with a consistent configuration. Safe for concurrent
+// use; it holds the video's lock for the duration of the batch.
 func (s *Store) WriteEncoded(video string, fps int, gops [][]byte) error {
 	if len(gops) == 0 {
 		return fmt.Errorf("core: no GOPs to write")
@@ -49,13 +57,12 @@ func (s *Store) WriteEncoded(video string, fps int, gops [][]byte) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[video]
-	if !ok {
+	vs := s.acquire(video)
+	if vs == nil {
 		return ErrNotFound
 	}
-	p, err := s.ensureOriginalLocked(v, WriteSpec{FPS: fps, Codec: hd0.Codec, Quality: hd0.Quality}, hd0.Width, hd0.Height, hd0.PixFmt)
+	defer vs.mu.Unlock()
+	p, err := s.ensureOriginalLocked(vs, WriteSpec{FPS: fps, Codec: hd0.Codec, Quality: hd0.Quality}, hd0.Width, hd0.Height, hd0.PixFmt)
 	if err != nil {
 		return err
 	}
@@ -67,11 +74,11 @@ func (s *Store) WriteEncoded(video string, fps int, gops [][]byte) error {
 		if hd.Codec != hd0.Codec || hd.Width != hd0.Width || hd.Height != hd0.Height {
 			return fmt.Errorf("core: inconsistent GOP configuration in encoded write")
 		}
-		if err := s.appendGOPLocked(v, p, gop, hd.FrameCount); err != nil {
+		if err := s.appendGOPLocked(vs, p, gop, hd.FrameCount); err != nil {
 			return err
 		}
 	}
-	return s.finishWriteLocked(v, p)
+	return s.finishWriteLocked(vs, p)
 }
 
 // OpenWriter starts a streaming write. The first writer on a video
@@ -89,17 +96,17 @@ func (s *Store) OpenWriter(video string, spec WriteSpec) (*Writer, error) {
 		return nil, fmt.Errorf("core: unknown codec %q", spec.Codec)
 	}
 	spec.Quality = effectiveQuality(spec.Quality)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.videos[video]; !ok {
+	if s.lookup(video) == nil {
 		return nil, ErrNotFound
 	}
 	return &Writer{s: s, video: video, spec: spec}, nil
 }
 
 // ensureOriginalLocked finds or creates the original physical video m0.
-func (s *Store) ensureOriginalLocked(v *VideoMeta, spec WriteSpec, w, h int, pixfmt frame.PixelFormat) (*PhysMeta, error) {
-	if p := s.originalOf(v.Name); p != nil {
+// Caller holds the video's lock.
+func (s *Store) ensureOriginalLocked(vs *videoState, spec WriteSpec, w, h int, pixfmt frame.PixelFormat) (*PhysMeta, error) {
+	v := vs.meta
+	if p := vs.original(); p != nil {
 		if p.Codec != spec.Codec || p.Width != w || p.Height != h || p.FPS != spec.FPS {
 			return nil, fmt.Errorf("core: video %s already written as %dx%dr%d.%s; writes must append in the same configuration (no-overwrite policy)",
 				v.Name, p.Width, p.Height, p.FPS, p.Codec)
@@ -123,15 +130,17 @@ func (s *Store) ensureOriginalLocked(v *VideoMeta, spec WriteSpec, w, h int, pix
 	v.FPS = spec.FPS
 	v.Width = w
 	v.Height = h
-	s.phys[v.Name][id] = p
+	vs.phys[id] = p
 	if err := s.saveVideo(v); err != nil {
 		return nil, err
 	}
 	return p, s.savePhys(v.Name, p)
 }
 
-// appendGOPLocked persists one encoded GOP and registers it.
-func (s *Store) appendGOPLocked(v *VideoMeta, p *PhysMeta, data []byte, frames int) error {
+// appendGOPLocked persists one encoded GOP and registers it. Caller holds
+// the video's lock.
+func (s *Store) appendGOPLocked(vs *videoState, p *PhysMeta, data []byte, frames int) error {
+	v := vs.meta
 	seq := len(p.GOPs)
 	start := 0
 	if seq > 0 {
@@ -152,8 +161,10 @@ func (s *Store) appendGOPLocked(v *VideoMeta, p *PhysMeta, data []byte, frames i
 }
 
 // finishWriteLocked settles bookkeeping after a write burst: duration,
-// default budget, eviction, and deferred compression pressure.
-func (s *Store) finishWriteLocked(v *VideoMeta, p *PhysMeta) error {
+// default budget, eviction, and deferred compression pressure. Caller
+// holds the video's lock.
+func (s *Store) finishWriteLocked(vs *videoState, p *PhysMeta) error {
+	v := vs.meta
 	if end := p.End(); p.Orig && end > v.Duration {
 		v.Duration = end
 	}
@@ -163,10 +174,10 @@ func (s *Store) finishWriteLocked(v *VideoMeta, p *PhysMeta) error {
 	if err := s.saveVideo(v); err != nil {
 		return err
 	}
-	if err := s.evictLocked(v); err != nil {
+	if err := s.evictLocked(vs); err != nil {
 		return err
 	}
-	return s.deferredPressureLocked(v)
+	return s.deferredPressureLocked(vs)
 }
 
 // Append buffers frames, flushing complete GOPs.
@@ -184,18 +195,17 @@ func (w *Writer) Append(frames ...*frame.Frame) error {
 }
 
 func (w *Writer) append(f *frame.Frame) error {
-	w.s.mu.Lock()
-	defer w.s.mu.Unlock()
-	v, ok := w.s.videos[w.video]
-	if !ok {
-		return ErrNotFound
-	}
 	if w.phys == nil {
+		vs := w.s.acquire(w.video)
+		if vs == nil {
+			return ErrNotFound
+		}
 		pixfmt := f.Format
 		if w.spec.Codec.Compressed() {
 			pixfmt = frame.YUV420
 		}
-		p, err := w.s.ensureOriginalLocked(v, w.spec, f.Width, f.Height, pixfmt)
+		p, err := w.s.ensureOriginalLocked(vs, w.spec, f.Width, f.Height, pixfmt)
+		vs.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -207,7 +217,7 @@ func (w *Writer) append(f *frame.Frame) error {
 	}
 	w.buf = append(w.buf, f)
 	if len(w.buf) >= w.gopN {
-		return w.flushLocked(v)
+		return w.flush()
 	}
 	return nil
 }
@@ -233,8 +243,9 @@ func (w *Writer) gopFrames(f *frame.Frame) int {
 	return n
 }
 
-// flushLocked encodes and persists the buffered GOP.
-func (w *Writer) flushLocked(v *VideoMeta) error {
+// flush encodes the buffered GOP (outside the video lock — encoding is
+// the CPU-heavy part of a write) and persists it under the lock.
+func (w *Writer) flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
@@ -244,7 +255,17 @@ func (w *Writer) flushLocked(v *VideoMeta) error {
 	}
 	n := len(w.buf)
 	w.buf = w.buf[:0]
-	return w.s.appendGOPLocked(v, w.phys, data, n)
+	vs := w.s.acquire(w.video)
+	if vs == nil {
+		return ErrNotFound
+	}
+	defer vs.mu.Unlock()
+	if vs.byID(w.phys.ID) != w.phys {
+		// The video was deleted (and possibly recreated) under us; this
+		// writer's physical view is gone.
+		return ErrNotFound
+	}
+	return w.s.appendGOPLocked(vs, w.phys, data, n)
 }
 
 // Flush persists any buffered partial GOP, making all appended frames
@@ -253,20 +274,22 @@ func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	w.s.mu.Lock()
-	defer w.s.mu.Unlock()
-	v, ok := w.s.videos[w.video]
-	if !ok {
-		return ErrNotFound
-	}
 	if w.phys == nil {
 		return nil
 	}
-	if err := w.flushLocked(v); err != nil {
+	if err := w.flush(); err != nil {
 		w.err = err
 		return err
 	}
-	return w.s.finishWriteLocked(v, w.phys)
+	vs := w.s.acquire(w.video)
+	if vs == nil {
+		return ErrNotFound
+	}
+	defer vs.mu.Unlock()
+	if vs.byID(w.phys.ID) != w.phys {
+		return ErrNotFound
+	}
+	return w.s.finishWriteLocked(vs, w.phys)
 }
 
 // Close flushes and finalizes the write. Per the paper's prototype, writes

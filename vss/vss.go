@@ -19,6 +19,29 @@
 //	    T: vss.Temporal{Start: 20, End: 80},
 //	    P: vss.Physical{Codec: vss.HEVC},
 //	})
+//
+// # Concurrency
+//
+// A System is safe for concurrent use by multiple goroutines. Locking is
+// per logical video: operations on different videos — Read, Write,
+// WriteEncoded, Compact, Maintain, Delete — run fully in parallel, and
+// operations on the same video serialize only around metadata; the
+// CPU-heavy decode/convert/encode work of a Read executes outside any
+// lock on a bounded worker pool (Options.Workers, default GOMAXPROCS).
+// The practical contract:
+//
+//   - Any number of goroutines may call any System method concurrently,
+//     including on the same video. Reads of a video being written see a
+//     consistent prefix (whole GOPs).
+//   - A read racing a Delete of its video either returns complete data
+//     or ErrNotFound, never a partial result.
+//   - Background maintenance (Maintain, StartBackground, JointCompress)
+//     locks one video — or, for joint compression, one video pair — at a
+//     time, so it never stalls traffic on other videos.
+//   - A Writer handle is the one exception: it buffers frames internally
+//     and must be confined to a single goroutine. Open one Writer per
+//     producer; concurrent Writers on the same video are safe relative
+//     to each other and to readers.
 package vss
 
 import (
@@ -60,7 +83,8 @@ const (
 func NewFrame(w, h int, format PixelFormat) *Frame { return frame.New(w, h, format) }
 
 // Options configure a System; see core.Options for the full set of knobs
-// (budget multiple, eviction weights, planner/baseline toggles).
+// (budget multiple, eviction weights, planner/baseline toggles, and
+// Workers, which bounds the parallel read pipeline's CPU fan-out).
 type Options = core.Options
 
 // Spatial, Temporal, and Physical are the S/T/P parameter groups of the
@@ -81,7 +105,8 @@ type (
 type ReadResult = core.ReadResult
 
 // Writer is a streaming write handle; whole GOPs become readable as they
-// are appended (non-blocking writes, prefix reads).
+// are appended (non-blocking writes, prefix reads). A Writer must be
+// confined to one goroutine; see the package concurrency notes.
 type Writer = core.Writer
 
 // MergeMode selects the joint-compression overlap merge function.
