@@ -9,9 +9,11 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/visualroad"
 	"repro/vss"
 )
 
@@ -89,6 +91,61 @@ func BenchmarkFig20DeferredRead(b *testing.B) { runExperiment(b, "fig20") }
 // BenchmarkFig21EndToEnd regenerates Figure 21 (end-to-end application
 // performance by client count).
 func BenchmarkFig21EndToEnd(b *testing.B) { runExperiment(b, "fig21") }
+
+// BenchmarkIngestExperiment regenerates the ingest experiment (pipelined
+// single-stream write throughput by encode workers).
+func BenchmarkIngestExperiment(b *testing.B) { runExperiment(b, "ingest") }
+
+// runIngestBenchmark streams one synthetic camera through a Writer with
+// the given encode-worker count and reports frames/sec. The store's
+// global CPU budget is widened to the worker count so the measurement
+// isolates the writer pipeline, not the shared semaphore.
+func runIngestBenchmark(b *testing.B, workers int) {
+	b.Helper()
+	const fps, seconds = 8, 12
+	frames := visualroad.Generate(visualroad.Config{Width: 480, Height: 272, FPS: fps, Seed: 2201}, seconds*fps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := vss.Open(b.TempDir(), vss.Options{GOPFrames: 8, Workers: workers, BudgetMultiple: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Create("cam", -1); err != nil {
+			b.Fatal(err)
+		}
+		w, err := sys.OpenWriterWith("cam", vss.WriteSpec{FPS: fps, Codec: vss.H264, Quality: 85},
+			vss.WriteOptions{EncodeWorkers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < len(frames); k += 8 {
+			if err := w.Append(frames[k : k+8]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+	}
+	b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "fps")
+}
+
+// BenchmarkIngestSerial is the pre-pipeline baseline: one encode worker,
+// GOPs encoded inline in the appending goroutine.
+func BenchmarkIngestSerial(b *testing.B) { runIngestBenchmark(b, 1) }
+
+// BenchmarkIngestPipelined measures the pipelined ingest engine at 4+
+// encode workers (the machine width when wider). On multi-core hardware it
+// should deliver >=2x the frames/sec of BenchmarkIngestSerial; the bench
+// CI job records both in BENCH_PR2.json.
+func BenchmarkIngestPipelined(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	runIngestBenchmark(b, workers)
+}
 
 // parallelReadVideos is the fan-out width of the concurrent-throughput
 // benchmarks below.

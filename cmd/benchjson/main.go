@@ -1,0 +1,230 @@
+// Benchjson converts `go test -bench` output into the repository's
+// benchmark-trajectory JSON (BENCH_PRn.json at the repo root) and gates
+// regressions against the previous snapshot.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | tee bench.out
+//	go run ./cmd/benchjson -in bench.out -out BENCH_PR2.json
+//
+// The tool parses every benchmark result line (ns/op plus any custom
+// metrics such as fps), writes them as JSON keyed by benchmark name (the
+// -GOMAXPROCS suffix stripped), then looks for the previous BENCH_PRn.json
+// in the output's directory. When one exists, any benchmark whose ns/op
+// grew — or whose fps shrank — by more than -max-regress (default 20%)
+// fails the run with exit status 1, which is how CI turns a perf
+// regression into a red build. The first snapshot in a repo passes
+// trivially, seeding the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit, e.g. "fps".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_PRn.json document.
+type Snapshot struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkIngestSerial-4   1   587870624 ns/op   163.3 fps
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.e+]+) ns/op(.*)$`)
+
+// metricPair matches trailing "value unit" measurement pairs.
+var metricPair = regexp.MustCompile(`([\d.e+-]+) ([^\s]+)`)
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "BENCH.json", "snapshot JSON to write")
+	maxRegress := flag.Float64("max-regress", 0.20, "fractional regression that fails the run")
+	baselineDir := flag.String("baseline-dir", "", "directory holding previous BENCH_*.json (default: -out's directory)")
+	flag.Parse()
+
+	snap, err := parse(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found"))
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+
+	dir := *baselineDir
+	if dir == "" {
+		dir = filepath.Dir(*out)
+	}
+	basePath := previousSnapshot(dir, filepath.Base(*out))
+	if basePath == "" {
+		fmt.Println("no previous BENCH_*.json baseline; trajectory seeded")
+		return
+	}
+	base, err := load(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	regressions := compare(base, snap, *maxRegress)
+	if len(regressions) == 0 {
+		fmt.Printf("no regressions beyond %.0f%% against %s\n", *maxRegress*100, basePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchmark regressions beyond %.0f%% against %s:\n", *maxRegress*100, basePath)
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(2)
+}
+
+// parse reads benchmark output into a snapshot.
+func parse(path string) (*Snapshot, error) {
+	f := os.Stdin
+	if path != "" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	snap := &Snapshot{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			unit := pair[2]
+			if unit == "B/op" || unit == "allocs/op" {
+				continue // allocation columns are informational, not gated
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+		snap.Benchmarks[name] = res
+	}
+	return snap, sc.Err()
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// prNumber extracts n from BENCH_PRn.json, or -1.
+var prNumber = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// previousSnapshot finds the highest-numbered BENCH_PRn.json in dir other
+// than the one being written, so each PR gates against its predecessor.
+func previousSnapshot(dir, exclude string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	bestN := -1
+	best := ""
+	for _, e := range entries {
+		name := e.Name()
+		if name == exclude {
+			continue
+		}
+		m := prNumber.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			bestN, best = n, filepath.Join(dir, name)
+		}
+	}
+	return best
+}
+
+// compare returns human-readable regression descriptions: benchmarks in
+// both snapshots whose ns/op grew, or whose throughput metrics (fps)
+// shrank, by more than frac.
+func compare(base, cur *Snapshot, frac float64) []string {
+	var out []string
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue // removed/renamed benchmarks are not regressions
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+frac) {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%)",
+				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1)))
+		}
+		for unit, bv := range b.Metrics {
+			cv, ok := c.Metrics[unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			// Throughput-style metrics regress downward.
+			if cv < bv*(1-frac) {
+				out = append(out, fmt.Sprintf("%s: %.1f -> %.1f %s (-%.1f%%)",
+					name, bv, cv, unit, 100*(1-cv/bv)))
+			}
+		}
+	}
+	return out
+}

@@ -2,6 +2,15 @@
 // a camera goroutine appends frames through a streaming Writer while a
 // reader concurrently queries prefixes of the video that are already
 // durable — without waiting for the write to finish.
+//
+// Ingest is pipelined: vss.WriteOptions tunes it per Writer.
+// EncodeWorkers bounds how many GOPs compress in parallel (0 defaults to
+// the store's Options.Workers CPU budget; 1 encodes inline, serially) and
+// MaxInflightGOPs bounds how many GOPs may buffer in the pipeline before
+// Append blocks (0 defaults to 2*EncodeWorkers). Whatever the settings,
+// GOPs commit strictly in append order, so the reader below still only
+// ever sees a durable prefix of the stream; an encode failure would
+// surface on a later Append or on Flush/Close, which drain the pipeline.
 package main
 
 import (
@@ -35,7 +44,10 @@ func main() {
 	if err := sys.Create("live-cam", 0); err != nil {
 		log.Fatal(err)
 	}
-	w, err := sys.OpenWriter("live-cam", vss.WriteSpec{FPS: fps, Codec: vss.H264})
+	// Two encode workers, at most four GOPs in flight: one camera's GOPs
+	// compress in parallel yet commit in order (see the package comment).
+	w, err := sys.OpenWriterWith("live-cam", vss.WriteSpec{FPS: fps, Codec: vss.H264},
+		vss.WriteOptions{EncodeWorkers: 2, MaxInflightGOPs: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

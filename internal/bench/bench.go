@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"fig19", "Joint compression overhead by resolution and camera dynamicism", Fig19},
 		{"fig20", "Read throughput of deferred-compressed fragments by level", Fig20},
 		{"fig21", "End-to-end application performance by client count", Fig21},
+		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
 	}
 }
 

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/visualroad"
+)
+
+// ingestSeconds sizes the ingest workload: long enough that pipeline
+// startup is noise, short enough that the full worker sweep stays in
+// benchmark budget on one CPU.
+const ingestSeconds = 12
+
+// ingestWorkerSweep returns the deduplicated, sorted encode-worker counts
+// the ingest experiment measures: 1 (serial baseline), 2, 4, and the
+// machine width.
+func ingestWorkerSweep() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var sweep []int
+	for n := range set {
+		sweep = append(sweep, n)
+	}
+	sort.Ints(sweep)
+	return sweep
+}
+
+// ingestFrames generates the standard ingest workload once per experiment.
+func ingestFrames() []*frame.Frame {
+	return visualroad.Generate(visualroad.Config{
+		Width: benchW, Height: benchH, FPS: benchFPS, Seed: 2201,
+	}, ingestSeconds*benchFPS)
+}
+
+// runIngest streams the workload through one pipelined Writer in
+// GOP-sized Append calls — the cadence of a live camera — and returns the
+// achieved frames/second. workers=1 selects the serial inline-encode path.
+func runIngest(frames []*frame.Frame, workers int) (float64, error) {
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	s, err := core.Open(dir, core.Options{GOPFrames: 8, Workers: workers, BudgetMultiple: -1})
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	if err := s.Create("cam", -1); err != nil {
+		return 0, err
+	}
+	w, err := s.OpenWriterWith("cam", core.WriteSpec{FPS: benchFPS, Codec: codec.H264, Quality: 85},
+		core.WriteOptions{EncodeWorkers: workers})
+	if err != nil {
+		return 0, err
+	}
+	d, err := timeIt(func() error {
+		for i := 0; i < len(frames); i += 8 {
+			end := i + 8
+			if end > len(frames) {
+				end = len(frames)
+			}
+			if err := w.Append(frames[i:end]...); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return fps(len(frames), d), nil
+}
+
+// Ingest measures single-stream ingest throughput (frames/second) as the
+// encode-worker count grows. The paper promises non-blocking writes
+// (Section 2); the pipelined ingest engine is what lets one camera stream
+// use the whole machine: GOPs encode in parallel and commit in order, so
+// prefix visibility is unchanged while frames/sec scales with workers. The
+// workers=1 row is the serial pre-pipeline baseline.
+func Ingest(w io.Writer) error {
+	header(w, "Ingest: pipelined single-stream write throughput by encode workers")
+	fmt.Fprintf(w, "%-10s %14s %10s\n", "Workers", "Frames/sec", "Speedup")
+
+	frames := ingestFrames()
+	var base float64
+	for _, workers := range ingestWorkerSweep() {
+		rate, err := runIngest(frames, workers)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = rate
+		}
+		fmt.Fprintf(w, "%-10d %14.1f %9.2fx\n", workers, rate, rate/base)
+	}
+	return nil
+}

@@ -148,35 +148,12 @@ var codecFromByte = map[byte]ID{0: Raw, 1: H264, 2: HEVC}
 // decodable GOP. All frames must share dimensions; lossy codecs convert
 // input to YUV420 internally. quality is clamped to [1,100]; pass
 // DefaultQuality for the system default. Raw GOPs ignore quality.
+//
+// Each call allocates fresh encoder scratch; loops that encode many GOPs
+// (the ingest pipeline, transcoding reads) should hold an Encoder and call
+// its EncodeGOP method instead.
 func EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
-	var st Stats
-	if len(frames) == 0 {
-		return nil, st, fmt.Errorf("codec: empty GOP")
-	}
-	if !codec.Valid() {
-		return nil, st, fmt.Errorf("codec: unknown codec %q", codec)
-	}
-	w, h := frames[0].Width, frames[0].Height
-	fmt0 := frames[0].Format
-	for i, f := range frames {
-		if f.Width != w || f.Height != h {
-			return nil, st, fmt.Errorf("codec: frame %d dimensions %dx%d differ from %dx%d", i, f.Width, f.Height, w, h)
-		}
-		if f.Format != fmt0 {
-			return nil, st, fmt.Errorf("codec: frame %d format %v differs from %v", i, f.Format, fmt0)
-		}
-	}
-	if quality < 1 {
-		quality = 1
-	}
-	if quality > 100 {
-		quality = 100
-	}
-
-	if codec == Raw {
-		return encodeRawGOP(frames)
-	}
-	return encodeLossyGOP(frames, codec, quality)
+	return new(Encoder).EncodeGOP(frames, codec, quality)
 }
 
 // DecodeHeader parses only the container header. It is cheap: the read

@@ -49,11 +49,104 @@ func quantize(r, q int) int {
 	return -((-r + q/2) / q)
 }
 
+// Encoder carries the scratch state of one GOP encoder so repeated encodes
+// reuse allocations instead of re-making them per GOP: the deflate
+// compressor (by far the largest), the per-frame residual/MV stream, the
+// deflate output buffer, ping-pong reconstruction planes, the motion
+// vector table, and a YUV conversion frame. The zero value is ready to
+// use. An Encoder is NOT safe for concurrent use; pipelines allocate one
+// per encode worker.
+type Encoder struct {
+	zw      *flate.Writer
+	zwLevel int
+	stream  []byte       // per-frame MV+residual stream
+	comp    bytes.Buffer // per-frame deflate output
+	rec     [2][3]plane  // ping-pong reconstructed frames (decoder mirror)
+	mvs     []mv         // per-frame motion vector table
+	yuv     *frame.Frame // pixel format conversion scratch
+}
+
+// NewEncoder returns an empty Encoder. Equivalent to new(Encoder); the
+// constructor exists so call sites read naturally.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// EncodeGOP encodes one GOP reusing the encoder's scratch buffers. It is
+// the allocation-frugal form of the package-level EncodeGOP; semantics and
+// output bytes are identical.
+func (e *Encoder) EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
+	var st Stats
+	if len(frames) == 0 {
+		return nil, st, fmt.Errorf("codec: empty GOP")
+	}
+	if !codec.Valid() {
+		return nil, st, fmt.Errorf("codec: unknown codec %q", codec)
+	}
+	w, h := frames[0].Width, frames[0].Height
+	fmt0 := frames[0].Format
+	for i, f := range frames {
+		if f.Width != w || f.Height != h {
+			return nil, st, fmt.Errorf("codec: frame %d dimensions %dx%d differ from %dx%d", i, f.Width, f.Height, w, h)
+		}
+		if f.Format != fmt0 {
+			return nil, st, fmt.Errorf("codec: frame %d format %v differs from %v", i, f.Format, fmt0)
+		}
+	}
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+
+	if codec == Raw {
+		return encodeRawGOP(frames)
+	}
+	return e.encodeLossyGOP(frames, codec, quality)
+}
+
+// sizePlanes shapes a reconstruction plane triple for a w x h YUV420 frame,
+// reusing backing arrays. Contents are left stale: every encode pass writes
+// each sample before it is read.
+func sizePlanes(ps *[3]plane, w, h int) {
+	dims := [3][2]int{{w, h}, {w / 2, h / 2}, {w / 2, h / 2}}
+	for p := range ps {
+		need := dims[p][0] * dims[p][1]
+		if cap(ps[p].pix) < need {
+			ps[p].pix = make([]byte, need)
+		}
+		ps[p] = plane{dims[p][0], dims[p][1], ps[p].pix[:need]}
+	}
+}
+
+// deflate compresses one frame's stream into a fresh exactly-sized payload,
+// reusing the encoder's compressor and output buffer.
+func (e *Encoder) deflate(stream []byte, level int) ([]byte, error) {
+	e.comp.Reset()
+	if e.zw == nil || e.zwLevel != level {
+		zw, err := flate.NewWriter(&e.comp, level)
+		if err != nil {
+			return nil, fmt.Errorf("codec: %w", err)
+		}
+		e.zw, e.zwLevel = zw, level
+	} else {
+		e.zw.Reset(&e.comp)
+	}
+	if _, err := e.zw.Write(stream); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	if err := e.zw.Close(); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	out := make([]byte, e.comp.Len())
+	copy(out, e.comp.Bytes())
+	return out, nil
+}
+
 // encodeLossyGOP encodes frames with one of the predictive profiles. Input
 // frames are converted to YUV420; dimensions must be even (the storage
 // layer guarantees this; synthetic generators emit even sizes, as real
 // camera pipelines do).
-func encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
+func (e *Encoder) encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
 	var st Stats
 	w, h := frames[0].Width, frames[0].Height
 	if w%2 != 0 || h%2 != 0 {
@@ -64,32 +157,32 @@ func encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats
 
 	types := make([]FrameType, len(frames))
 	payloads := make([][]byte, len(frames))
-	var recon [3]plane // reconstructed previous frame (decoder state mirror)
 
 	for i, f := range frames {
 		src := f
 		if f.Format != frame.YUV420 {
-			src = f.Convert(frame.YUV420)
+			src = f.ConvertInto(e.yuv, frame.YUV420)
+			e.yuv = src
 		}
 		planes := yuvPlanes(src)
-		var stream []byte
+		// Reconstructed planes ping-pong: frame i predicts from the planes
+		// frame i-1 reconstructed into the other buffer.
+		cur := &e.rec[i&1]
+		sizePlanes(cur, w, h)
+		stream := e.stream[:0]
 		if i == 0 {
 			types[i] = IFrame
 			st.IFrames++
-			next := [3]plane{}
 			for p := 0; p < 3; p++ {
-				var res []byte
-				res, next[p] = encodeIntraPlane(planes[p], q, prof.intra2D)
-				stream = append(stream, res...)
+				stream = encodeIntraPlane(stream, planes[p], q, prof.intra2D, cur[p])
 			}
-			recon = next
 		} else {
 			types[i] = PFrame
 			st.PFrames++
+			prev := e.rec[(i+1)&1]
 			// Motion vectors are estimated on luma and halved for chroma.
-			mvs := estimateMotion(planes[0], recon[0], prof)
-			stream = append(stream, encodeMVs(mvs, prof)...)
-			next := [3]plane{}
+			e.mvs = estimateMotion(e.mvs, planes[0], prev[0], prof)
+			stream = appendMVs(stream, e.mvs, prof)
 			for p := 0; p < 3; p++ {
 				bs := prof.blockSize
 				scale := 1
@@ -97,24 +190,15 @@ func encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats
 					bs /= 2
 					scale = 2
 				}
-				var res []byte
-				res, next[p] = encodeInterPlane(planes[p], recon[p], mvs, bs, scale, q)
-				stream = append(stream, res...)
+				stream = encodeInterPlane(stream, planes[p], prev[p], e.mvs, bs, scale, q, cur[p])
 			}
-			recon = next
 		}
-		var buf bytes.Buffer
-		zw, err := flate.NewWriter(&buf, prof.flateLevel)
+		e.stream = stream // keep the grown buffer for the next frame
+		payload, err := e.deflate(stream, prof.flateLevel)
 		if err != nil {
-			return nil, st, fmt.Errorf("codec: %w", err)
+			return nil, st, err
 		}
-		if _, err := zw.Write(stream); err != nil {
-			return nil, st, fmt.Errorf("codec: %w", err)
-		}
-		if err := zw.Close(); err != nil {
-			return nil, st, fmt.Errorf("codec: %w", err)
-		}
-		payloads[i] = buf.Bytes()
+		payloads[i] = payload
 	}
 
 	data := writeContainer(codec, frame.YUV420, quality, w, h, types, payloads)
@@ -126,22 +210,20 @@ func encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats
 // encodeIntraPlane codes a plane with spatial DPCM prediction: each sample
 // is predicted from its reconstructed left neighbor (h264 profile) or the
 // average of left and top (hevc profile), quantized, and entropy coded.
-// Returns the residual stream and the reconstructed plane the next frame
-// predicts from.
-func encodeIntraPlane(p plane, q int, intra2D bool) ([]byte, plane) {
-	rec := plane{p.w, p.h, make([]byte, len(p.pix))}
-	res := make([]byte, 0, len(p.pix))
+// Residuals append to dst; the reconstruction the next frame predicts from
+// is written into rec, which must already have the plane's dimensions.
+func encodeIntraPlane(dst []byte, p plane, q int, intra2D bool, rec plane) []byte {
 	for y := 0; y < p.h; y++ {
 		row := y * p.w
 		for x := 0; x < p.w; x++ {
 			pred := intraPredict(rec, x, y, intra2D)
 			r := int(p.pix[row+x]) - pred
 			qr := quantize(r, q)
-			res = zigzagAppend(res, qr)
+			dst = zigzagAppend(dst, qr)
 			rec.pix[row+x] = clampU8(pred + qr*q)
 		}
 	}
-	return res, rec
+	return dst
 }
 
 // intraPredict returns the spatial prediction for sample (x, y) given the
@@ -168,9 +250,8 @@ func intraPredict(rec plane, x, y int, intra2D bool) int {
 
 // encodeInterPlane codes a plane against the previous reconstructed plane
 // using per-block motion vectors (scaled down by `scale` for chroma).
-func encodeInterPlane(p, ref plane, mvs []mv, bs, scale, q int) ([]byte, plane) {
-	rec := plane{p.w, p.h, make([]byte, len(p.pix))}
-	res := make([]byte, 0, len(p.pix))
+// Residuals append to dst; the reconstruction is written into rec.
+func encodeInterPlane(dst []byte, p, ref plane, mvs []mv, bs, scale, q int, rec plane) []byte {
 	bw := (p.w + bs - 1) / bs
 	for y := 0; y < p.h; y++ {
 		row := y * p.w
@@ -180,11 +261,11 @@ func encodeInterPlane(p, ref plane, mvs []mv, bs, scale, q int) ([]byte, plane) 
 			pred := refSample(ref, x+m.dx/scale, y+m.dy/scale)
 			r := int(p.pix[row+x]) - pred
 			qr := quantize(r, q)
-			res = zigzagAppend(res, qr)
+			dst = zigzagAppend(dst, qr)
 			rec.pix[row+x] = clampU8(pred + qr*q)
 		}
 	}
-	return res, rec
+	return dst
 }
 
 // refSample samples the reference plane with edge clamping.

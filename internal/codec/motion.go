@@ -10,21 +10,27 @@ type mv struct {
 	dx, dy int
 }
 
-// estimateMotion returns one motion vector per block of the luma plane.
-func estimateMotion(cur, ref plane, prof profile) []mv {
+// estimateMotion returns one motion vector per block of the luma plane,
+// reusing dst's backing array when it is large enough.
+func estimateMotion(dst []mv, cur, ref plane, prof profile) []mv {
 	bs := prof.blockSize
 	bw := (cur.w + bs - 1) / bs
 	bh := (cur.h + bs - 1) / bs
-	mvs := make([]mv, bw*bh)
+	n := bw * bh
+	if cap(dst) < n {
+		dst = make([]mv, n)
+	}
+	dst = dst[:n]
 	if prof.searchRadius == 0 {
-		return mvs // zero-motion profile
+		clear(dst) // zero-motion profile
+		return dst
 	}
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			mvs[by*bw+bx] = diamondSearch(cur, ref, bx*bs, by*bs, bs, prof.searchRadius)
+			dst[by*bw+bx] = diamondSearch(cur, ref, bx*bs, by*bs, bs, prof.searchRadius)
 		}
 	}
-	return mvs
+	return dst
 }
 
 // diamondSearch finds a low-SAD motion vector for the block with top-left
@@ -94,18 +100,17 @@ func blockSAD(cur, ref plane, x0, y0, bs, dx, dy, limit int) int {
 	return sum
 }
 
-// encodeMVs serializes motion vectors as offset bytes (mv+128). The stream
-// is later deflate-compressed with the residuals, so runs of zero vectors
-// cost almost nothing.
-func encodeMVs(mvs []mv, prof profile) []byte {
+// appendMVs serializes motion vectors as offset bytes (mv+128) appended to
+// dst. The stream is later deflate-compressed with the residuals, so runs
+// of zero vectors cost almost nothing.
+func appendMVs(dst []byte, mvs []mv, prof profile) []byte {
 	if prof.searchRadius == 0 {
-		return nil // zero-motion profiles carry no MV table
+		return dst // zero-motion profiles carry no MV table
 	}
-	out := make([]byte, 0, len(mvs)*2)
 	for _, m := range mvs {
-		out = append(out, byte(m.dx+128), byte(m.dy+128))
+		dst = append(dst, byte(m.dx+128), byte(m.dy+128))
 	}
-	return out
+	return dst
 }
 
 // decodeMVs reads the MV table for a plane of the given luma dimensions,

@@ -246,6 +246,116 @@ func TestParallelReadsDifferentVideos(t *testing.T) {
 	}
 }
 
+// TestPipelinedWriterPrefixReaders races one pipelined writer against
+// concurrent readers of the same video and asserts the ingest pipeline's
+// ordering guarantee: every successful read observes a durable GOP prefix
+// — a whole number of GOPs, never shrinking, with the newest GOP holding
+// the frames that were appended at that position. Run with -race (CI
+// does).
+func TestPipelinedWriterPrefixReaders(t *testing.T) {
+	const (
+		gop     = 8
+		nGOPs   = 12
+		readers = 4
+	)
+	s := newStore(t, Options{GOPFrames: gop, Workers: 8, BudgetMultiple: -1})
+	if err := s.Create("live", -1); err != nil {
+		t.Fatal(err)
+	}
+	ref := scene(gop*nGOPs, 64, 48, 33)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	writerDone := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // camera: pipelined ingest, one GOP per Append
+		defer wg.Done()
+		defer close(writerDone)
+		w, err := s.OpenWriterWith("live", WriteSpec{FPS: 8, Codec: codec.H264},
+			WriteOptions{EncodeWorkers: 4, MaxInflightGOPs: 6})
+		if err != nil {
+			errc <- err
+			return
+		}
+		for i := 0; i < len(ref); i += gop {
+			if err := w.Append(ref[i : i+gop]...); err != nil {
+				errc <- fmt.Errorf("append: %w", err)
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			errc <- fmt.Errorf("close: %w", err)
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				res, err := s.Read("live", ReadSpec{})
+				if err != nil {
+					// Nothing durable yet; the read plan has no GOPs.
+					continue
+				}
+				n := res.FrameCount()
+				if n%gop != 0 {
+					errc <- fmt.Errorf("read observed %d frames: not a whole-GOP prefix", n)
+					return
+				}
+				if n < last {
+					errc <- fmt.Errorf("prefix shrank from %d to %d frames", last, n)
+					return
+				}
+				last = n
+				if n == 0 {
+					continue
+				}
+				// The newest visible GOP must hold the frames appended at
+				// that position: out-of-order commits would land far below
+				// the codec's ~24 dB single-encode fidelity.
+				p, err := quality.FramesPSNR(ref[n-gop:n], res.Frames[n-gop:n])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if p < 18 {
+					errc <- fmt.Errorf("GOP at frames [%d,%d) PSNR %.1f dB: prefix holds wrong data", n-gop, n, p)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	res, err := s.Read("live", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameCount() != len(ref) {
+		t.Fatalf("final read %d frames, want %d", res.FrameCount(), len(ref))
+	}
+	p, err := quality.FramesPSNR(ref, res.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 18 {
+		t.Errorf("final PSNR %.1f dB, content corrupted", p)
+	}
+}
+
 // TestWorkersOptionSerialExecution pins the Workers=1 degenerate case: the
 // pipeline must produce identical results with no parallelism.
 func TestWorkersOptionSerialExecution(t *testing.T) {

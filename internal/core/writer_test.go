@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/frame"
+	"repro/internal/quality"
 )
 
 func TestOpenWriterValidation(t *testing.T) {
@@ -102,6 +103,161 @@ func TestWriteEncodedValidation(t *testing.T) {
 	}
 	if err := s.WriteEncoded("missing", 8, [][]byte{good}); err != ErrNotFound {
 		t.Errorf("missing video: %v", err)
+	}
+}
+
+// TestWriterCloseAfterFailedAppend pins the poisoned-writer contract:
+// once an Append fails, Close must return that stored error — not attempt
+// another flush of the dead buffer and report something else.
+func TestWriterCloseAfterFailedAppend(t *testing.T) {
+	s := newStore(t, Options{})
+	if err := s.Create("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter("v", WriteSpec{FPS: 8, Codec: codec.H264})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(frame.New(32, 24, frame.RGB)); err != nil {
+		t.Fatal(err)
+	}
+	appendErr := w.Append(frame.New(64, 48, frame.RGB))
+	if appendErr == nil {
+		t.Fatal("dimension change accepted")
+	}
+	if err := w.Close(); err != appendErr {
+		t.Errorf("Close returned %v, want the stored append error %v", err, appendErr)
+	}
+	// The writer stays poisoned with the same error after Close.
+	if err := w.Append(frame.New(32, 24, frame.RGB)); err != appendErr {
+		t.Errorf("Append after failed Close returned %v, want %v", err, appendErr)
+	}
+	// The buffered pre-failure partial GOP must not have been committed by
+	// the failing Close.
+	_, phys, err := s.Info("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(phys[0].GOPs); n != 0 {
+		t.Errorf("poisoned writer committed %d GOPs on Close", n)
+	}
+}
+
+// TestWriterPipelineSurfacesEncodeError drives the asynchronous failure
+// path: a GOP that cannot be encoded (odd dimensions under a compressed
+// codec) is dispatched to the pipeline, and the error must surface on
+// drain (Flush/Close) as the writer's sticky error with nothing committed
+// after the failure point.
+func TestWriterPipelineSurfacesEncodeError(t *testing.T) {
+	s := newStore(t, Options{GOPFrames: 2})
+	if err := s.Create("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriterWith("v", WriteSpec{FPS: 8, Codec: codec.H264},
+		WriteOptions{EncodeWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd dimensions pass the writer's shape check (it only compares
+	// against the first frame) but fail inside the lossy encoder.
+	for i := 0; i < 6; i++ {
+		if err := w.Append(frame.New(33, 25, frame.RGB)); err != nil {
+			// Backpressure may surface the error on a later Append; that
+			// is allowed by the contract.
+			break
+		}
+	}
+	flushErr := w.Flush()
+	if flushErr == nil {
+		t.Fatal("pipeline swallowed the encode error")
+	}
+	if err := w.Close(); err != flushErr {
+		t.Errorf("Close returned %v, want the stored pipeline error %v", err, flushErr)
+	}
+	_, phys, err := s.Info("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(phys[0].GOPs); n != 0 {
+		t.Errorf("%d GOPs committed past an encode failure", n)
+	}
+}
+
+// TestWriterPipelinedOrdering checks that a heavily parallel writer still
+// commits GOPs in append order: the stored video must play back as the
+// exact appended sequence.
+func TestWriterPipelinedOrdering(t *testing.T) {
+	s := newStore(t, Options{GOPFrames: 4, Workers: 8})
+	if err := s.Create("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	frames := scene(40, 64, 48, 11)
+	w, err := s.OpenWriterWith("v", WriteSpec{FPS: 8, Codec: codec.H264},
+		WriteOptions{EncodeWorkers: 8, MaxInflightGOPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(frames...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, phys, err := s.Info("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(phys[0].GOPs); n != 10 {
+		t.Fatalf("GOPs %d, want 10", n)
+	}
+	res, err := s.Read("v", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameCount() != 40 {
+		t.Fatalf("read %d frames, want 40", res.FrameCount())
+	}
+	p, err := quality.FramesPSNR(frames, res.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 18 {
+		t.Errorf("decoded PSNR %.1f dB: GOPs committed out of order or corrupted", p)
+	}
+}
+
+// TestWriteEncodedChunkedCommit exercises the bounded-chunk commit path of
+// WriteEncoded with more GOPs than one chunk.
+func TestWriteEncodedChunkedCommit(t *testing.T) {
+	s := newStore(t, Options{})
+	if err := s.Create("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	n := writeEncodedChunk*2 + 3
+	gops := make([][]byte, n)
+	for i := range gops {
+		data, _, err := codec.EncodeGOP(scene(4, 32, 32, int64(200+i)), codec.H264, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gops[i] = data
+	}
+	if err := s.WriteEncoded("v", 8, gops); err != nil {
+		t.Fatal(err)
+	}
+	_, phys, err := s.Info("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(phys[0].GOPs); got != n {
+		t.Fatalf("GOPs %d, want %d", got, n)
+	}
+	res, err := s.Read("v", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameCount() != 4*n {
+		t.Errorf("read %d frames, want %d", res.FrameCount(), 4*n)
 	}
 }
 

@@ -29,35 +29,57 @@ func yuvToRGB(y, u, v byte) (r, g, b byte) {
 // original frame is unmodified; if the format already matches, a deep copy
 // is returned so callers may mutate the result freely.
 func (f *Frame) Convert(target PixelFormat) *Frame {
+	return f.ConvertInto(nil, target)
+}
+
+// ConvertInto is Convert with caller-provided destination storage: when
+// dst's Data has enough capacity for the converted frame, it is reshaped
+// and overwritten instead of allocating. Encode workers use it to recycle
+// one conversion scratch frame across GOPs. dst may be nil; f must not
+// share storage with dst. Multi-hop conversions (gray/planar -> non-RGB)
+// reuse dst for the final hop only.
+func (f *Frame) ConvertInto(dst *Frame, target PixelFormat) *Frame {
 	if f.Format == target {
-		return f.Clone()
+		out := reshape(dst, f.Width, f.Height, target)
+		copy(out.Data, f.Data)
+		return out
 	}
 	switch f.Format {
 	case RGB:
 		switch target {
 		case Gray:
-			return f.rgbToGray()
+			return f.rgbToGray(dst)
 		default:
-			return f.rgbToPlanar(target)
+			return f.rgbToPlanar(target, dst)
 		}
 	case Gray:
 		// Promote gray to RGB first, then onward if needed.
-		rgb := f.grayToRGB()
 		if target == RGB {
-			return rgb
+			return f.grayToRGB(dst)
 		}
-		return rgb.Convert(target)
+		return f.grayToRGB(nil).ConvertInto(dst, target)
 	default: // planar YUV source
-		rgb := f.planarToRGB()
 		if target == RGB {
-			return rgb
+			return f.planarToRGB(dst)
 		}
-		return rgb.Convert(target)
+		return f.planarToRGB(nil).ConvertInto(dst, target)
 	}
 }
 
-func (f *Frame) rgbToGray() *Frame {
-	out := New(f.Width, f.Height, Gray)
+// reshape returns dst re-dimensioned for a w x h frame in format when its
+// backing array is large enough, or a fresh frame otherwise.
+func reshape(dst *Frame, w, h int, format PixelFormat) *Frame {
+	need := format.Size(w, h)
+	if dst == nil || cap(dst.Data) < need {
+		return New(w, h, format)
+	}
+	dst.Width, dst.Height, dst.Format = w, h, format
+	dst.Data = dst.Data[:need]
+	return dst
+}
+
+func (f *Frame) rgbToGray(dst *Frame) *Frame {
+	out := reshape(dst, f.Width, f.Height, Gray)
 	for i, j := 0, 0; i < len(f.Data); i, j = i+3, j+1 {
 		y, _, _ := rgbToYUV(f.Data[i], f.Data[i+1], f.Data[i+2])
 		out.Data[j] = y
@@ -65,66 +87,62 @@ func (f *Frame) rgbToGray() *Frame {
 	return out
 }
 
-func (f *Frame) grayToRGB() *Frame {
-	out := New(f.Width, f.Height, RGB)
+func (f *Frame) grayToRGB(dst *Frame) *Frame {
+	out := reshape(dst, f.Width, f.Height, RGB)
 	for i, j := 0, 0; i < len(f.Data); i, j = i+1, j+3 {
 		out.Data[j], out.Data[j+1], out.Data[j+2] = f.Data[i], f.Data[i], f.Data[i]
 	}
 	return out
 }
 
-// rgbToPlanar converts RGB to YUV420 or YUV422. Odd trailing rows/columns
-// are unreachable because Validate enforces parity at allocation time.
-func (f *Frame) rgbToPlanar(target PixelFormat) *Frame {
+// rgbToPlanar converts RGB to YUV420 or YUV422 by walking 2x2 (or 2x1)
+// pixel blocks directly, so the chroma box filter needs no accumulator
+// arrays. Dimensions are even after the crop below, so every block is
+// full and the filter divides by a constant.
+func (f *Frame) rgbToPlanar(target PixelFormat, dst *Frame) *Frame {
 	// Frames with odd dimensions cannot be represented in subsampled
 	// formats; pad by cropping to even dimensions first.
 	w, h := f.Width, f.Height
 	if target == YUV420 && (w%2 != 0 || h%2 != 0) {
 		c, _ := f.Crop(Rect{0, 0, w &^ 1, h &^ 1})
-		return c.rgbToPlanar(target)
+		return c.rgbToPlanar(target, dst)
 	}
 	if target == YUV422 && w%2 != 0 {
 		c, _ := f.Crop(Rect{0, 0, w &^ 1, h})
-		return c.rgbToPlanar(target)
+		return c.rgbToPlanar(target, dst)
 	}
-	out := New(w, h, target)
+	out := reshape(dst, w, h, target)
 	yp, up, vp := out.planes()
-	// Full-resolution Y plane plus accumulators for chroma box filtering.
 	cw := w / 2
-	var ch int
+	rows := 1 // source rows per chroma sample
 	if target == YUV420 {
-		ch = h / 2
-	} else {
-		ch = h
+		rows = 2
 	}
-	uAcc := make([]int, cw*ch)
-	vAcc := make([]int, cw*ch)
-	cnt := make([]int, cw*ch)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			i := (y*w + x) * 3
-			yy, uu, vv := rgbToYUV(f.Data[i], f.Data[i+1], f.Data[i+2])
-			yp[y*w+x] = yy
-			cx := x / 2
-			cy := y
-			if target == YUV420 {
-				cy = y / 2
+	for cy := 0; cy*rows < h; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			var uSum, vSum int
+			for dy := 0; dy < rows; dy++ {
+				y := cy*rows + dy
+				for dx := 0; dx < 2; dx++ {
+					x := cx*2 + dx
+					i := (y*w + x) * 3
+					yy, uu, vv := rgbToYUV(f.Data[i], f.Data[i+1], f.Data[i+2])
+					yp[y*w+x] = yy
+					uSum += int(uu)
+					vSum += int(vv)
+				}
 			}
 			ci := cy*cw + cx
-			uAcc[ci] += int(uu)
-			vAcc[ci] += int(vv)
-			cnt[ci]++
+			n := rows * 2
+			up[ci] = clampU8(uSum / n)
+			vp[ci] = clampU8(vSum / n)
 		}
-	}
-	for i := range uAcc {
-		up[i] = clampU8(uAcc[i] / cnt[i])
-		vp[i] = clampU8(vAcc[i] / cnt[i])
 	}
 	return out
 }
 
-func (f *Frame) planarToRGB() *Frame {
-	out := New(f.Width, f.Height, RGB)
+func (f *Frame) planarToRGB(dst *Frame) *Frame {
+	out := reshape(dst, f.Width, f.Height, RGB)
 	yp, up, vp := f.planes()
 	cw := f.Width / 2
 	for y := 0; y < f.Height; y++ {

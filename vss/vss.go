@@ -42,6 +42,37 @@
 //     and must be confined to a single goroutine. Open one Writer per
 //     producer; concurrent Writers on the same video are safe relative
 //     to each other and to readers.
+//
+// # Pipelined ingest
+//
+// Within a single Writer, ingest itself is parallel: Append hands each
+// completed GOP to a bounded pool of encode workers (WriteOptions
+// EncodeWorkers, default Options.Workers) and returns without waiting for
+// compression, so a one-camera stream ingests at multi-core speed. The
+// pipeline's contract:
+//
+//   - Ordering: encoded GOPs commit strictly in append order, so readers
+//     only ever observe a durable prefix of the appended frames — the
+//     same prefix-visibility guarantee as serial ingest.
+//   - Bounded memory: at most MaxInflightGOPs GOPs (default
+//     2*EncodeWorkers) are in flight — encoding or awaiting commit —
+//     before Append blocks for backpressure.
+//   - Errors: because encoding is asynchronous, an encode or commit
+//     failure may surface on a later Append or on Flush/Close, which
+//     drain the pipeline and deterministically report the first error in
+//     append order; the writer is then poisoned and GOPs after the
+//     failure point are never committed.
+//   - Flush drains the pipeline and persists any partial GOP: when it
+//     returns nil, every appended frame is durable and readable. Close
+//     does the same, then releases the pipeline's workers.
+//   - Frame ownership: the writer borrows appended frames until the next
+//     successful Flush (or Close) — complete GOPs are read by encode
+//     workers after Append returns. Do not mutate or recycle a frame
+//     buffer passed to Append before draining; allocate or Clone a fresh
+//     frame per Append instead.
+//   - EncodeWorkers: 1 restores the serial inline-encode path exactly
+//     (deterministic profiling); whatever the setting, encode work shares
+//     the store-wide Options.Workers CPU budget with the read pipeline.
 package vss
 
 import (
@@ -101,12 +132,21 @@ type (
 	WriteSpec = core.WriteSpec
 )
 
+// WriteOptions tune a Writer's pipelined ingest engine: EncodeWorkers
+// bounds the parallel GOP encoders (0 = Options.Workers, 1 = serial
+// inline encoding) and MaxInflightGOPs bounds buffered GOPs before
+// Append blocks (0 = 2*EncodeWorkers). See the package concurrency notes
+// for the full pipeline contract.
+type WriteOptions = core.WriteOptions
+
 // ReadResult carries the frames or encoded GOPs a read produced.
 type ReadResult = core.ReadResult
 
 // Writer is a streaming write handle; whole GOPs become readable as they
 // are appended (non-blocking writes, prefix reads). A Writer must be
-// confined to one goroutine; see the package concurrency notes.
+// confined to one goroutine, and frames passed to Append are borrowed by
+// the ingest pipeline until the next Flush/Close; see the package
+// concurrency notes.
 type Writer = core.Writer
 
 // MergeMode selects the joint-compression overlap merge function.
@@ -166,8 +206,16 @@ func (s *System) WriteEncoded(name string, fps int, gops [][]byte) error {
 }
 
 // OpenWriter starts a streaming write; frames become readable GOP by GOP.
+// Ingest is pipelined with default WriteOptions (encode workers sized to
+// Options.Workers); use OpenWriterWith to tune or disable the pipeline.
 func (s *System) OpenWriter(name string, spec WriteSpec) (*Writer, error) {
 	return s.store.OpenWriter(name, spec)
+}
+
+// OpenWriterWith starts a streaming write with explicit ingest-pipeline
+// tuning.
+func (s *System) OpenWriterWith(name string, spec WriteSpec, opts WriteOptions) (*Writer, error) {
+	return s.store.OpenWriterWith(name, spec, opts)
 }
 
 // Read executes a read with spatial, temporal, and physical parameters,

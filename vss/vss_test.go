@@ -92,6 +92,33 @@ func TestPublicAPIStreamingWriter(t *testing.T) {
 	}
 }
 
+func TestPublicAPIPipelinedWriter(t *testing.T) {
+	sys := openSys(t)
+	sys.Create("live", 0)
+	w, err := sys.OpenWriterWith("live", vss.WriteSpec{FPS: 8, Codec: vss.H264},
+		vss.WriteOptions{EncodeWorkers: 3, MaxInflightGOPs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := genFrames(40)
+	for i := 0; i < len(frames); i += 8 {
+		if err := w.Append(frames[i : i+8]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush drains the pipeline: everything appended must now be durable.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Read("live", vss.ReadSpec{})
+	if err != nil || res.FrameCount() != 40 {
+		t.Fatalf("read after flush: %v, %d frames", err, res.FrameCount())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicAPIMaintenance(t *testing.T) {
 	sys := openSys(t)
 	sys.Create("v", 0)
