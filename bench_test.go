@@ -8,11 +8,14 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/server"
 	"repro/internal/visualroad"
 	"repro/vss"
 )
@@ -96,6 +99,12 @@ func BenchmarkFig21EndToEnd(b *testing.B) { runExperiment(b, "fig21") }
 // single-stream write throughput by encode workers).
 func BenchmarkIngestExperiment(b *testing.B) { runExperiment(b, "ingest") }
 
+// BenchmarkServeExperiment regenerates the serving experiment (HTTP
+// streaming read throughput by concurrent clients, through the vssd
+// serving subsystem: admission control, streaming responses, response
+// cache).
+func BenchmarkServeExperiment(b *testing.B) { runExperiment(b, "serve") }
+
 // runIngestBenchmark streams one synthetic camera through a Writer with
 // the given encode-worker count and reports frames/sec. The store's
 // global CPU budget is widened to the worker count so the measurement
@@ -145,6 +154,46 @@ func BenchmarkIngestPipelined(b *testing.B) {
 		workers = 4
 	}
 	runIngestBenchmark(b, workers)
+}
+
+// BenchmarkServeStreamRead measures one HTTP client streaming transcoded
+// reads end to end through the serving subsystem (admission, ReadStream,
+// chunked response framing), reporting frames/sec. The response cache is
+// disabled so every iteration pays the full decode pipeline — this is the
+// serving layer's per-read overhead tripwire.
+func BenchmarkServeStreamRead(b *testing.B) {
+	sys, err := vss.Open(b.TempDir(), vss.Options{GOPFrames: 8, BudgetMultiple: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	const fps, seconds = 8, 12
+	frames := visualroad.Generate(visualroad.Config{Width: 480, Height: 272, FPS: fps, Seed: 2201}, seconds*fps)
+	if err := sys.Create("cam", -1); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Write("cam", vss.WriteSpec{FPS: fps, Codec: vss.H264, Quality: 85}, frames); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(sys, server.Config{CacheBytes: 0}))
+	defer ts.Close()
+	c := &server.Client{Base: ts.URL, HTTP: ts.Client()}
+
+	b.ResetTimer()
+	streamed := 0
+	for i := 0; i < b.N; i++ {
+		t0 := i % (seconds - 2)
+		hdr, gops, err := c.ReadAll(context.Background(), "cam",
+			fmt.Sprintf("start=%d&end=%d&codec=hevc", t0, t0+2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hdr.Codec != "hevc" || len(gops) == 0 {
+			b.Fatalf("bad response: %+v (%d gops)", hdr, len(gops))
+		}
+		streamed += 2 * fps
+	}
+	b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "fps")
 }
 
 // parallelReadVideos is the fan-out width of the concurrent-throughput

@@ -12,6 +12,7 @@
 //	vssctl -store /tmp/vss stat -name traffic
 //	vssctl -store /tmp/vss compact -name traffic
 //	vssctl -store /tmp/vss joint
+//	vssctl -store /tmp/vss maintain
 //	vssctl -store /tmp/vss delete -name traffic
 package main
 
@@ -54,6 +55,8 @@ func main() {
 		runCompact(sys, args)
 	case "joint":
 		runJoint(sys, args)
+	case "maintain":
+		runMaintain(sys, args)
 	case "ls":
 		for _, name := range sys.Videos() {
 			fmt.Println(name)
@@ -66,7 +69,12 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR COMMAND [flags]
-commands: create write read delete stat compact joint ls`)
+commands: create write read delete stat compact joint maintain ls
+
+maintain runs one pass of background maintenance (deferred lossless
+compression under budget pressure, then compaction of contiguous cached
+views) across every video — the same pass vssd's -maintain loop runs on
+an interval. Use it to trigger storage reclamation without writing Go.`)
 }
 
 func fatal(err error) {
@@ -212,6 +220,29 @@ func runCompact(sys *vss.System, args []string) {
 		fatal(err)
 	}
 	fmt.Printf("compacted %s: %d merges\n", *name, n)
+}
+
+func runMaintain(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("maintain", flag.ExitOnError)
+	fs.Parse(args)
+	before := storeBytes(sys)
+	if err := sys.Maintain(); err != nil {
+		fatal(err)
+	}
+	after := storeBytes(sys)
+	fmt.Printf("maintenance pass complete: %d -> %d bytes across %d videos\n",
+		before, after, len(sys.Videos()))
+}
+
+// storeBytes sums the stored size of every video.
+func storeBytes(sys *vss.System) int64 {
+	var total int64
+	for _, name := range sys.Videos() {
+		if n, err := sys.TotalBytes(name); err == nil {
+			total += n
+		}
+	}
+	return total
 }
 
 func runJoint(sys *vss.System, args []string) {

@@ -1,0 +1,97 @@
+// Vssd is the VSS serving daemon: it opens a store and exposes it over
+// HTTP with streaming reads, admission control, a hot-response cache, and
+// live metrics (see internal/server for the endpoint and wire-format
+// reference). An optional background maintenance loop runs deferred
+// compression and compaction while serving.
+//
+// Examples:
+//
+//	vssd -store /var/lib/vss
+//	vssd -store /tmp/vss -addr 127.0.0.1:7744 -max-inflight 16 -cache-mb 256
+//	vssd -store /tmp/vss -maintain 30s
+//
+// Shut down with SIGINT/SIGTERM; in-flight requests get a grace period to
+// drain before the store is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/vss"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory (required)")
+	addr := flag.String("addr", ":7744", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing reads (0 = 2*GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max reads waiting for a slot before 429 (0 = 4*max-inflight)")
+	perClient := flag.Int("per-client", 0, "max in-flight+queued reads per client (0 = max-inflight)")
+	cacheMB := flag.Int64("cache-mb", 64, "hot-response cache size in MiB (0 disables)")
+	workers := flag.Int("workers", 0, "store CPU worker pool size (0 = GOMAXPROCS)")
+	maintain := flag.Duration("maintain", 0, "background maintenance interval (0 disables)")
+	flag.Parse()
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "usage: vssd -store DIR [-addr HOST:PORT] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sys, err := vss.Open(*store, vss.Options{Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+	if *maintain > 0 {
+		stop := sys.StartBackground(*maintain)
+		defer stop()
+	}
+
+	srv := server.New(sys, server.Config{
+		MaxInFlightReads:  *maxInflight,
+		MaxQueuedReads:    *maxQueue,
+		MaxReadsPerClient: *perClient,
+		CacheBytes:        *cacheMB << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The listen line is a readiness contract: tooling (the CI smoke test,
+	// scripts) waits for it and parses the resolved address, which matters
+	// when -addr requests port 0.
+	fmt.Printf("vssd: serving %s on %s\n", *store, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("vssd: shutting down")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vssd:", err)
+	os.Exit(1)
+}

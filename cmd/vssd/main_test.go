@@ -1,0 +1,152 @@
+package main
+
+// Smoke test for the vssd binary: build it, start it on a temp store, and
+// exercise the full serving surface — create, GOP write, streaming reads
+// (compressed and raw), metrics, maintain, delete — over real HTTP, then
+// shut it down with SIGTERM. CI runs this as the serving smoke job.
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/server"
+	"repro/internal/visualroad"
+)
+
+func TestVssdSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := t.TempDir() + "/vssd"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	store := t.TempDir()
+	cmd := exec.Command(bin, "-store", store, "-addr", "127.0.0.1:0", "-cache-mb", "16")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	shutdownOK := false
+	defer func() {
+		if shutdownOK {
+			return // the test already drained the exit below
+		}
+		cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exited:
+		case <-time.After(15 * time.Second):
+			cmd.Process.Kill()
+			t.Error("vssd did not exit after SIGTERM")
+		}
+	}()
+
+	// The first stdout line announces readiness and the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line from vssd: %v", sc.Err())
+	}
+	line := sc.Text()
+	i := strings.LastIndex(line, " on ")
+	if !strings.HasPrefix(line, "vssd: serving ") || i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	addr := line[i+len(" on "):]
+	go func() { // keep the pipe drained
+		for sc.Scan() {
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := &server.Client{Base: "http://" + addr}
+
+	const fps = 8
+	frames := visualroad.Generate(visualroad.Config{Width: 48, Height: 32, FPS: fps, Seed: 9}, 4*fps)
+	var gops [][]byte
+	for i := 0; i < len(frames); i += 8 {
+		data, _, err := codec.EncodeGOP(frames[i:i+8], codec.H264, 85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gops = append(gops, data)
+	}
+
+	if err := c.Create(ctx, "cam", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteGOPs(ctx, "cam", fps, gops); err != nil {
+		t.Fatal(err)
+	}
+	stat, err := c.Stat(ctx, "cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Duration != 4 {
+		t.Fatalf("stat.Duration = %v, want 4", stat.Duration)
+	}
+
+	// Same-format same-quality compressed read: the stored GOPs come back
+	// as-is (mixed execution's no-decode passthrough path).
+	hdr, got, err := c.ReadAll(ctx, "cam", "codec=h264&quality=85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Codec != "h264" || len(got) != len(gops) {
+		t.Fatalf("read: codec=%s gops=%d, want h264/%d", hdr.Codec, len(got), len(gops))
+	}
+	// Raw read of a slice.
+	hdr, chunks, err := c.ReadAll(ctx, "cam", "start=0&end=2&format=rgb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ch := range chunks {
+		n += len(ch) / hdr.FrameBytes
+	}
+	if n != 2*fps {
+		t.Fatalf("raw read returned %d frames, want %d", n, 2*fps)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reads.Completed < 2 || m.Writes.GOPsWritten != int64(len(gops)) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if err := c.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "cam"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("vssd exit: %v", err)
+		}
+		shutdownOK = true
+	case <-time.After(15 * time.Second):
+		t.Fatal("vssd did not exit after SIGTERM")
+	}
+}

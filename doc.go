@@ -39,4 +39,34 @@
 // validates outside the video lock and commits in bounded chunks so it
 // cannot starve concurrent readers of the same video. See
 // internal/core/writer.go for the engine.
+//
+// # Serving
+//
+// The serving layer exposes the store over the network. Two pieces
+// compose it:
+//
+// First, a streaming read path in the core (vss.System.ReadStream,
+// internal/core/stream.go): the same plan/snapshot phase as Read, but
+// output units — encoded GOPs for compressed reads, frame batches for raw
+// — are yielded in order as the parallel decode pipeline produces them,
+// with decode memory bounded by a small look-ahead window instead of the
+// full ReadResult (passthrough bytes are still snapshotted up front; see
+// internal/core/stream.go for the exact contract). context.Context is plumbed through both ReadStream and
+// ReadContext, so a cancelled read stops decoding at the next GOP
+// boundary (first-error-wins checks in the worker loops). Streamed bytes
+// are identical to what Read returns; the trade is that streaming reads
+// never cache-admit their result.
+//
+// Second, the vssd daemon (cmd/vssd, internal/server): HTTP endpoints for
+// create/delete/stat/ls, GOP-level encoded writes, and streaming reads
+// whose responses are chunk-framed and flushed as the pipeline produces
+// them — a disconnected client cancels its in-flight decode work. Around
+// the store it adds the production-shape concerns the library cannot
+// express: an admission controller bounding in-flight reads with a
+// bounded wait queue and per-client limits (429 beyond them), a
+// byte-bounded LRU of hot encoded responses invalidated on writes, and a
+// /metrics endpoint surfacing read statistics, cache hit rates, queue
+// depths, and per-video deferred-compression levels. See examples/serving
+// for an end-to-end walkthrough and internal/server's package comment for
+// the endpoint and wire-format reference.
 package repro

@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"fig20", "Read throughput of deferred-compressed fragments by level", Fig20},
 		{"fig21", "End-to-end application performance by client count", Fig21},
 		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
+		{"serve", "Serving: HTTP streaming read throughput by concurrent clients", ServeExp},
 	}
 }
 

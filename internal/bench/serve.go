@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/server"
+	"repro/vss"
+)
+
+// countGOPFrames reads the frame count out of an encoded GOP's header.
+func countGOPFrames(gop []byte) int {
+	hd, err := codec.DecodeHeader(gop)
+	if err != nil {
+		return 0
+	}
+	return hd.FrameCount
+}
+
+// serveClientSweep returns the deduplicated, sorted client counts the
+// serving experiment measures: 1 (baseline), 2, 4, and the machine width.
+func serveClientSweep() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var sweep []int
+	for n := range set {
+		sweep = append(sweep, n)
+	}
+	sort.Ints(sweep)
+	return sweep
+}
+
+// serveReadsPerClient is each client's read count per configuration: the
+// first pass misses the response cache (paying plan + transcode), later
+// passes hit it — so the measured rate blends both, as serving does.
+const serveReadsPerClient = 6
+
+// startServeBench writes the standard workload into a fresh store and
+// serves it over a real TCP listener.
+func startServeBench(dir string) (*vss.System, *server.Client, func(), error) {
+	sys, err := vss.Open(dir, vss.Options{GOPFrames: 8})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	frames := ingestFrames()
+	if err := sys.Create("video", -1); err != nil {
+		sys.Close()
+		return nil, nil, nil, err
+	}
+	if err := sys.Write("video", vss.WriteSpec{FPS: benchFPS, Codec: vss.H264, Quality: 85}, frames); err != nil {
+		sys.Close()
+		return nil, nil, nil, err
+	}
+	srv := server.New(sys, server.Config{CacheBytes: 64 << 20})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sys.Close()
+		return nil, nil, nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		sys.Close()
+	}
+	c := &server.Client{Base: "http://" + ln.Addr().String()}
+	return sys, c, stop, nil
+}
+
+// runServeClients drives n concurrent HTTP clients, each streaming
+// serveReadsPerClient transcoded reads over distinct 2-second windows,
+// and returns aggregate frames/sec plus the cache hit rate.
+func runServeClients(c *server.Client, n int) (fps float64, hitRate float64, err error) {
+	ctx := context.Background()
+	base, err := c.Metrics(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	var frames atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := &server.Client{Base: c.Base, Name: fmt.Sprintf("client-%d", i)}
+			for k := 0; k < serveReadsPerClient; k++ {
+				t0 := (i + k) % (ingestSeconds - 2)
+				query := fmt.Sprintf("start=%d&end=%d&codec=hevc", t0, t0+2)
+				hdr, next, stop, err := cl.StreamingRead(ctx, "video", query)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				_ = hdr
+				for {
+					chunk, err := next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						stop()
+						errs[i] = err
+						return
+					}
+					frames.Add(int64(countGOPFrames(chunk)))
+				}
+				stop()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	hits := m.Cache.Hits - base.Cache.Hits
+	total := hits + m.Cache.Misses - base.Cache.Misses
+	if total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	return float64(frames.Load()) / elapsed.Seconds(), hitRate, nil
+}
+
+// ServeExp measures HTTP serving throughput (aggregate frames/sec of
+// streamed transcoded reads) as concurrent clients grow. The paper frames
+// VSS as shared infrastructure many applications read at once (Section 1;
+// Figure 21 measures end-to-end client scaling against the library); this
+// experiment measures the same scaling through the vssd serving subsystem
+// — admission control, streaming responses, and the hot-response cache
+// included.
+func ServeExp(w io.Writer) error {
+	header(w, "Serve: HTTP streaming read throughput by concurrent clients")
+	fmt.Fprintf(w, "%-10s %14s %10s %10s\n", "Clients", "Frames/sec", "Speedup", "CacheHit")
+
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	_, c, stop, err := startServeBench(dir)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	var base float64
+	for _, n := range serveClientSweep() {
+		rate, hitRate, err := runServeClients(c, n)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = rate
+		}
+		fmt.Fprintf(w, "%-10d %14.1f %9.2fx %9.0f%%\n", n, rate, rate/base, 100*hitRate)
+	}
+	return nil
+}

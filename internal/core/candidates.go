@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -100,7 +101,7 @@ func (s *Store) FindJointCandidates() ([]PairCandidate, int, error) {
 		}()
 		// Decode first frames on the worker pool (one I-frame each).
 		firsts := make([]*frame.Frame, len(snaps))
-		if err := s.runJobs(len(snaps), func(i int) error {
+		if err := s.runJobs(context.Background(), len(snaps), func(i int) error {
 			frames, _, err := decodeSnap(snaps[i].snap, 0, 1)
 			if err != nil {
 				return err

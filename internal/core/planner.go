@@ -73,7 +73,7 @@ func (s *Store) resolve(v *VideoMeta, spec ReadSpec) (resolvedSpec, error) {
 	if r.t1 < -timeEps || r.t2 > v.Duration+timeEps || r.t2 <= r.t1 {
 		// The paper: VSS returns an error for reads extending outside the
 		// temporal interval of m0.
-		return r, fmt.Errorf("core: read interval [%f, %f) outside video [0, %f)", r.t1, r.t2, v.Duration)
+		return r, fmt.Errorf("%w: read interval [%f, %f) outside video [0, %f)", ErrInvalidSpec, r.t1, r.t2, v.Duration)
 	}
 	r.outW, r.outH = spec.S.Width, spec.S.Height
 	if r.outW == 0 {
@@ -83,33 +83,33 @@ func (s *Store) resolve(v *VideoMeta, spec ReadSpec) (resolvedSpec, error) {
 		r.outH = v.Height
 	}
 	if r.outW <= 0 || r.outH <= 0 {
-		return r, fmt.Errorf("core: invalid output resolution %dx%d", r.outW, r.outH)
+		return r, fmt.Errorf("%w: invalid output resolution %dx%d", ErrInvalidSpec, r.outW, r.outH)
 	}
 	r.roi = FullNRect()
 	if spec.S.ROI != nil {
 		r.roi = Normalize(*spec.S.ROI, r.outW, r.outH)
 		if r.roi.Empty() || r.roi.X0 < 0 || r.roi.Y0 < 0 || r.roi.X1 > 1 || r.roi.Y1 > 1 {
-			return r, fmt.Errorf("core: invalid ROI %+v", *spec.S.ROI)
+			return r, fmt.Errorf("%w: invalid ROI %+v", ErrInvalidSpec, *spec.S.ROI)
 		}
 	}
 	px := r.roi.Pixels(r.outW, r.outH)
 	r.roiW, r.roiH = px.Dx(), px.Dy()
 	if r.roiW <= 0 || r.roiH <= 0 {
-		return r, fmt.Errorf("core: ROI resolves to empty pixel region")
+		return r, fmt.Errorf("%w: ROI resolves to empty pixel region", ErrInvalidSpec)
 	}
 	r.outFPS = spec.T.FPS
 	if r.outFPS == 0 {
 		r.outFPS = v.FPS
 	}
 	if r.outFPS < 0 || r.outFPS > v.FPS {
-		return r, fmt.Errorf("core: output fps %d not in (0, %d]", r.outFPS, v.FPS)
+		return r, fmt.Errorf("%w: output fps %d not in (0, %d]", ErrInvalidSpec, r.outFPS, v.FPS)
 	}
 	r.codec = spec.P.Codec
 	if r.codec == "" {
 		r.codec = codec.Raw
 	}
 	if !r.codec.Valid() {
-		return r, fmt.Errorf("core: unknown codec %q", r.codec)
+		return r, fmt.Errorf("%w: unknown codec %q", ErrInvalidSpec, r.codec)
 	}
 	r.quality = effectiveQuality(spec.P.Quality)
 	r.minPSNR = spec.P.MinPSNR

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/frame"
@@ -86,12 +89,19 @@ type gopSnap struct {
 }
 
 // decodeJob is one GOP decode executed on the worker pool. from/to bound
-// the returned frames ([from, to); to = -1 means to the end).
+// the returned frames ([from, to); to = -1 means to the end). The batch
+// path (executeJob) runs every job eagerly via runJobs; the streaming path
+// (ReadStream) decodes lazily through once, on the first unit that needs
+// the GOP, and drops frames once refs units have consumed them.
 type decodeJob struct {
 	snap     gopSnap
 	from, to int
 	frames   []*frame.Frame
 	decoded  int // GOP streams decoded, for ReadStats
+
+	once   sync.Once    // streaming: lazy decode guard
+	runErr error        // streaming: result of the once'd run
+	refs   atomic.Int32 // streaming: units still needing frames
 }
 
 func (j *decodeJob) run() error {
@@ -163,6 +173,22 @@ type jobKey struct {
 // physical configuration. Safe for concurrent use; reads of different
 // videos do not serialize.
 func (s *Store) Read(video string, spec ReadSpec) (*ReadResult, error) {
+	return s.ReadContext(context.Background(), video, spec)
+}
+
+// ReadContext is Read with cancellation: when ctx is cancelled the read's
+// remaining decode/convert/encode work is abandoned promptly (workers stop
+// between GOP-granular tasks) and the context's error is returned. An
+// already-cancelled context performs no decode work at all. Cancellation
+// after the compute phase does not interrupt cache admission, which is
+// metadata-only and must not be torn.
+func (s *Store) ReadContext(ctx context.Context, video string, spec ReadSpec) (*ReadResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
 	var (
 		out       *ReadResult
 		job       *readJob
@@ -183,7 +209,7 @@ func (s *Store) Read(video string, spec ReadSpec) (*ReadResult, error) {
 	}
 
 	// Phase B: CPU-heavy decode/convert/encode, no locks held.
-	if err := s.executeJob(job); err != nil {
+	if err := s.executeJob(ctx, job); err != nil {
 		return nil, err
 	}
 	out.Stats.GOPsDecoded += job.decoded
@@ -554,10 +580,12 @@ func decodeSnap(snap gopSnap, from, to int) ([]*frame.Frame, int, error) {
 
 // executeJob is phase B: run every decode job on the worker pool, convert
 // each output frame into the requested space, and (for compressed output)
-// re-encode — all outside any lock, joined in frame order.
-func (s *Store) executeJob(job *readJob) error {
+// re-encode — all outside any lock, joined in frame order. Cancelling ctx
+// stops workers between tasks; see runJobs for the first-error-wins
+// contract.
+func (s *Store) executeJob(ctx context.Context, job *readJob) error {
 	// 1. Decode every needed GOP in parallel.
-	if err := s.runJobs(len(job.jobs), func(i int) error { return job.jobs[i].run() }); err != nil {
+	if err := s.runJobs(ctx, len(job.jobs), func(i int) error { return job.jobs[i].run() }); err != nil {
 		return err
 	}
 	for _, j := range job.jobs {
@@ -576,7 +604,7 @@ func (s *Store) executeJob(job *readJob) error {
 	for si := range job.segs {
 		converted[si] = make([]*frame.Frame, len(job.segs[si].srcs))
 	}
-	if err := s.runJobs(len(tasks), func(ti int) error {
+	if err := s.runJobs(ctx, len(tasks), func(ti int) error {
 		t := tasks[ti]
 		src := job.segs[t.seg].srcs[t.i]
 		if len(src.job.frames) == 0 {
@@ -597,14 +625,14 @@ func (s *Store) executeJob(job *readJob) error {
 	}
 
 	if !job.r.codec.Compressed() {
-		return s.assembleRaw(job, converted)
+		return s.assembleRaw(ctx, job, converted)
 	}
-	return s.assembleCompressed(job, converted)
+	return s.assembleCompressed(ctx, job, converted)
 }
 
 // assembleRaw joins converted frames in order and produces the output in
 // the requested pixel layout (conversion parallelized per frame).
-func (s *Store) assembleRaw(job *readJob, converted [][]*frame.Frame) error {
+func (s *Store) assembleRaw(ctx context.Context, job *readJob, converted [][]*frame.Frame) error {
 	var frames []*frame.Frame
 	for si := range converted {
 		frames = append(frames, converted[si]...)
@@ -612,7 +640,7 @@ func (s *Store) assembleRaw(job *readJob, converted [][]*frame.Frame) error {
 	job.outFrames = frames
 	outFmt := frame.PixelFormat(job.r.pixfmt)
 	conv := make([]*frame.Frame, len(frames))
-	if err := s.runJobs(len(frames), func(i int) error {
+	if err := s.runJobs(ctx, len(frames), func(i int) error {
 		if frames[i].Format == outFmt {
 			conv[i] = frames[i]
 		} else {
@@ -628,7 +656,7 @@ func (s *Store) assembleRaw(job *readJob, converted [][]*frame.Frame) error {
 
 // assembleCompressed interleaves passthrough bitstreams with re-encoded
 // frame runs, encoding output GOPs in parallel and preserving order.
-func (s *Store) assembleCompressed(job *readJob, converted [][]*frame.Frame) error {
+func (s *Store) assembleCompressed(ctx context.Context, job *readJob, converted [][]*frame.Frame) error {
 	r := job.r
 	type encodeChunk struct {
 		frames []*frame.Frame
@@ -665,7 +693,7 @@ func (s *Store) assembleCompressed(job *readJob, converted [][]*frame.Frame) err
 	flush()
 
 	sizes := make([]int64, len(chunks))
-	if err := s.runJobs(len(chunks), func(i int) error {
+	if err := s.runJobs(ctx, len(chunks), func(i int) error {
 		data, _, err := codec.EncodeGOP(chunks[i].frames, r.codec, r.quality)
 		if err != nil {
 			return err

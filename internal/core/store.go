@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -190,6 +191,12 @@ var ErrNotFound = errors.New("core: video not found")
 
 // ErrExists is returned when creating a video that already exists.
 var ErrExists = errors.New("core: video already exists")
+
+// ErrInvalidSpec marks read parameters the store can never satisfy
+// (unknown codec, interval outside the video, bad resolution/ROI/fps).
+// Serving layers match it to distinguish a client's bad request from a
+// real storage failure.
+var ErrInvalidSpec = errors.New("core: invalid read spec")
 
 // errVideosNeeded reports that an operation under a lock set followed a
 // duplicate/joint reference into a video whose lock is not held. The
@@ -518,7 +525,13 @@ func resolveRefIn(held map[string]*videoState, ref GOPRef) (*videoState, *PhysMe
 // shared counter; the semaphore is re-acquired per task so concurrent
 // reads interleave fairly on the pool rather than running to completion
 // one at a time.
-func (s *Store) runJobs(n int, run func(i int) error) error {
+//
+// Cancellation is first-error-wins: each worker checks ctx before
+// claiming its next task, so a cancelled read stops consuming CPU at the
+// next task boundary (an in-flight GOP decode finishes, then the worker
+// exits). The context's cause is folded into the returned error alongside
+// any task errors that already occurred.
+func (s *Store) runJobs(ctx context.Context, n int, run func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -526,25 +539,52 @@ func (s *Store) runJobs(n int, run func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
+	errs := make([]error, n+1)
 	var next atomic.Int64
+	var bailed atomic.Bool // some worker abandoned tasks due to cancellation
 	var wg sync.WaitGroup
+	// A non-cancellable context (Done() == nil: Read's default) skips the
+	// per-task cancellation branch entirely, keeping the batch path free.
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						bailed.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				s.workSem <- struct{}{}
+				// The semaphore wait can be long on a loaded pool; bail out
+				// of it (and don't run the task) once cancelled, so a dead
+				// read stops consuming CPU slots it hasn't acquired yet.
+				if done != nil {
+					select {
+					case s.workSem <- struct{}{}:
+					case <-done:
+						bailed.Store(true)
+						return
+					}
+				} else {
+					s.workSem <- struct{}{}
+				}
 				errs[i] = run(i)
 				<-s.workSem
 			}
 		}()
 	}
 	wg.Wait()
+	if bailed.Load() {
+		errs[n] = context.Cause(ctx) // recorded once, not per worker
+	}
 	return errors.Join(errs...)
 }
 

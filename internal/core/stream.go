@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+)
+
+// This file implements the streaming read path: the same plan/snapshot
+// phase as Read, but phase B yields output units — encoded GOPs for
+// compressed reads, frame batches for raw reads — in order, as the
+// parallel decode pipeline produces them, instead of buffering the full
+// ReadResult. It exists for the serving layer: a network client can start
+// consuming the first GOP while later GOPs still decode, and a client that
+// disconnects cancels the remaining decode work instead of paying for an
+// answer nobody will read.
+//
+// Differences from the batch path, by design:
+//
+//   - Streaming reads never cache-admit their result and never drive
+//     deferred compression: admission needs the whole output in memory,
+//     which is exactly what streaming avoids. A serving layer that wants
+//     hot-response reuse caches encoded responses itself (see
+//     internal/server).
+//   - Decode memory is bounded: at most ~2*Workers units are produced
+//     ahead of the consumer, and a decoded GOP's frames are released once
+//     the last unit that references them has been produced. Passthrough
+//     bytes are the exception: phase A snapshots every stored GOP the
+//     plan touches (including aligned same-format GOPs emitted as-is)
+//     under the video lock, so a pure-passthrough read holds its encoded
+//     response up front — compressed bytes, roughly the response size,
+//     orders of magnitude smaller than the decoded frames the look-ahead
+//     window bounds. Making those lazy would mean re-locking per GOP in
+//     phase B and re-validating against eviction/compaction; the
+//     snapshot-under-lock design is what keeps phase B lock-free.
+//   - Output bytes are identical to Read: units are chunked exactly the
+//     way assembleRaw/assembleCompressed chunk, and conversion/encoding
+//     goes through the same pure functions.
+
+// ReadBatch is one in-order unit of a streaming read's output: a run of
+// decoded frames in the requested layout (raw reads) or a single encoded
+// GOP (compressed reads).
+type ReadBatch struct {
+	Frames []*frame.Frame
+	GOP    []byte
+}
+
+// FrameCount returns the number of frames the batch carries.
+func (b *ReadBatch) FrameCount() int {
+	if len(b.Frames) > 0 {
+		return len(b.Frames)
+	}
+	if len(b.GOP) > 0 {
+		if hd, err := codec.DecodeHeader(b.GOP); err == nil {
+			return hd.FrameCount
+		}
+	}
+	return 0
+}
+
+// streamUnit is one ordered output unit and its precomputed work: either a
+// passthrough stored bitstream or a run of frame sources to transcode.
+type streamUnit struct {
+	pass []byte       // non-nil: stored GOP emitted as-is, no CPU work
+	srcs []frameSrc   // transcode run (chunked to one output GOP)
+	jobs []*decodeJob // distinct decode jobs srcs depend on
+
+	batch *ReadBatch
+	err   error
+	done  chan struct{} // closed when batch/err is set
+}
+
+// errStreamClosed is the cancel cause installed by ReadStream.Close.
+var errStreamClosed = errors.New("core: read stream closed")
+
+// ReadStream is an in-order iterator over the output of a streaming read.
+// Call Next until it returns io.EOF (or another error), then — or at any
+// earlier point — Close. Next and Stats must be called from one goroutine;
+// Close is safe to call from any goroutine (e.g. a connection watchdog)
+// and cancels the remaining work.
+type ReadStream struct {
+	// Width, Height, FPS describe the output configuration, as in
+	// ReadResult (valid immediately, before the first Next).
+	Width  int
+	Height int
+	FPS    int
+
+	s       *Store
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	r       resolvedSpec
+	units   []*streamUnit
+	next    int           // consumer cursor
+	claim   atomic.Int64  // worker claim counter
+	ahead   chan struct{} // bounds units materialized ahead of the consumer
+	decoded atomic.Int64
+	stats   ReadStats
+	err     error // terminal consumer-side state (io.EOF or failure)
+}
+
+// ReadStream begins a streaming read. The plan/snapshot phase (phase A of
+// the read pipeline) runs synchronously under the video lock, so a non-nil
+// error here has the same meaning as from Read; the CPU-heavy work then
+// runs on the store's worker pool as the caller iterates. Cancelling ctx —
+// or calling Close — abandons the remaining decode work at the next GOP
+// boundary. Safe for concurrent use.
+func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*ReadStream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	var (
+		out *ReadResult
+		job *readJob
+	)
+	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
+		var err error
+		out, job, _, _, err = s.prepareRead(held, held[video], spec)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := &ReadStream{
+		Width: out.Width, Height: out.Height, FPS: out.FPS,
+		s: s, r: job.r, stats: out.Stats,
+	}
+	st.ctx, st.cancel = context.WithCancelCause(ctx)
+	st.units = buildStreamUnits(job)
+	for _, u := range st.units {
+		for _, j := range u.jobs {
+			j.refs.Add(1)
+		}
+	}
+	workers := s.opts.Workers
+	if workers > len(st.units) {
+		workers = len(st.units)
+	}
+	st.ahead = make(chan struct{}, 2*s.opts.Workers)
+	for w := 0; w < workers; w++ {
+		go st.worker()
+	}
+	return st, nil
+}
+
+// buildStreamUnits chunks a snapshotted readJob into ordered output units,
+// mirroring the batch path's assembly exactly: passthrough segments emit
+// as-is, and runs of transcoded frames are cut into GOPFrames-sized chunks
+// with pending frames carried across adjacent transcode segments — so a
+// compressed stream's GOPs are byte-identical to Read's GOPs, in the same
+// order.
+func buildStreamUnits(job *readJob) []*streamUnit {
+	var units []*streamUnit
+	var pending []frameSrc
+	flush := func() {
+		for i := 0; i < len(pending); i += job.gopFrames {
+			j := i + job.gopFrames
+			if j > len(pending) {
+				j = len(pending)
+			}
+			units = append(units, newStreamUnit(pending[i:j]))
+		}
+		pending = nil
+	}
+	for si := range job.segs {
+		seg := &job.segs[si]
+		if seg.pass != nil {
+			flush()
+			units = append(units, &streamUnit{pass: seg.pass, done: make(chan struct{})})
+			continue
+		}
+		pending = append(pending, seg.srcs...)
+	}
+	flush()
+	return units
+}
+
+// newStreamUnit builds a transcode unit, deduplicating its decode jobs.
+func newStreamUnit(srcs []frameSrc) *streamUnit {
+	u := &streamUnit{srcs: srcs, done: make(chan struct{})}
+	seen := make(map[*decodeJob]bool, len(srcs))
+	for _, src := range srcs {
+		if !seen[src.job] {
+			seen[src.job] = true
+			u.jobs = append(u.jobs, src.job)
+		}
+	}
+	return u
+}
+
+// worker claims units in order and produces them. Claims happen strictly
+// in increasing index order, so when a worker observes cancellation every
+// unit before the first unclaimed index is guaranteed to complete — that
+// is what lets Next surface errors in stream order.
+func (st *ReadStream) worker() {
+	for {
+		// Backpressure: don't run ahead of the consumer by more than the
+		// ahead window. Tokens are released by Next as units are consumed.
+		select {
+		case st.ahead <- struct{}{}:
+		case <-st.ctx.Done():
+			return
+		}
+		i := int(st.claim.Add(1)) - 1
+		if i >= len(st.units) {
+			return
+		}
+		u := st.units[i]
+		u.batch, u.err = st.produce(u)
+		if u.err != nil {
+			st.cancel(u.err) // stops other workers at their next claim
+		}
+		close(u.done)
+	}
+}
+
+// acquireSlot takes one slot of the store's worker pool, giving up if the
+// stream is cancelled while waiting — a dead stream must not consume CPU
+// slots it hasn't acquired yet. Callers release with <-st.s.workSem.
+func (st *ReadStream) acquireSlot() error {
+	select {
+	case st.s.workSem <- struct{}{}:
+		return nil
+	case <-st.ctx.Done():
+		return context.Cause(st.ctx)
+	}
+}
+
+// produce computes one unit's output: lazy deduplicated GOP decode, frame
+// conversion, and (for compressed output) re-encode, all on the worker
+// pool's CPU budget.
+func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
+	if u.pass != nil {
+		return &ReadBatch{GOP: u.pass}, nil
+	}
+	s := st.s
+	for _, j := range u.jobs {
+		j.once.Do(func() {
+			if j.runErr = st.acquireSlot(); j.runErr != nil {
+				return
+			}
+			j.runErr = j.run()
+			<-s.workSem
+			if j.runErr == nil {
+				st.decoded.Add(int64(j.decoded))
+			}
+		})
+		if j.runErr != nil {
+			return nil, j.runErr
+		}
+	}
+
+	// Convert (and maybe encode) under one pool slot; parallelism comes
+	// from units racing each other, bounded by the pool.
+	if err := st.acquireSlot(); err != nil {
+		return nil, err
+	}
+	defer func() { <-s.workSem }()
+	frames := make([]*frame.Frame, 0, len(u.srcs))
+	for _, src := range u.srcs {
+		if err := context.Cause(st.ctx); err != nil {
+			return nil, err
+		}
+		if len(src.job.frames) == 0 {
+			return nil, fmt.Errorf("core: decoded GOP is empty")
+		}
+		idx := src.idx
+		if idx >= len(src.job.frames) {
+			idx = len(src.job.frames) - 1
+		}
+		f, err := convertFrame(src.job.frames[idx], src.p, st.r)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+
+	var batch *ReadBatch
+	if st.r.codec.Compressed() {
+		data, _, err := codec.EncodeGOP(frames, st.r.codec, st.r.quality)
+		if err != nil {
+			return nil, err
+		}
+		batch = &ReadBatch{GOP: data}
+	} else {
+		outFmt := frame.PixelFormat(st.r.pixfmt)
+		conv := make([]*frame.Frame, len(frames))
+		for i, f := range frames {
+			if f.Format == outFmt {
+				conv[i] = f
+			} else {
+				conv[i] = f.Convert(outFmt)
+			}
+		}
+		batch = &ReadBatch{Frames: conv}
+	}
+	// Release decoded source frames once the last unit that needs them has
+	// been produced, keeping streaming memory bounded.
+	for _, j := range u.jobs {
+		if j.refs.Add(-1) == 0 {
+			j.frames = nil
+		}
+	}
+	return batch, nil
+}
+
+// Next returns the next output unit in stream order, io.EOF after the
+// last one, or the first error (in stream order) the read hit. After a
+// non-EOF error the stream is dead and Next keeps returning that error.
+func (st *ReadStream) Next() (*ReadBatch, error) {
+	if st.err != nil {
+		if st.err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, st.err
+	}
+	if st.next >= len(st.units) {
+		st.finish(io.EOF)
+		return nil, io.EOF
+	}
+	u := st.units[st.next]
+	// Prefer a completed unit over cancellation: an error at a later unit
+	// cancels the stream context, but every earlier CLAIMED unit still
+	// runs to completion, and its output is still valid — so on
+	// cancellation, give up on this unit only if no worker claimed it
+	// (then nobody will close done). Claims are ordered, so claim > next
+	// means exactly that this unit was claimed.
+	select {
+	case <-u.done:
+	case <-st.ctx.Done():
+		if int(st.claim.Load()) > st.next {
+			<-u.done // claimed units always complete; deliver in order
+			break
+		}
+		st.finish(context.Cause(st.ctx))
+		return nil, st.err
+	}
+	if u.err != nil {
+		st.finish(u.err)
+		return nil, st.err
+	}
+	st.next++
+	select {
+	case <-st.ahead: // free one backpressure token
+	default:
+	}
+	batch := u.batch
+	u.batch = nil
+	return batch, nil
+}
+
+// finish records the stream's terminal state and stops the workers.
+func (st *ReadStream) finish(err error) {
+	if st.err == nil {
+		st.err = err
+		st.cancel(err)
+	}
+}
+
+// Close cancels any remaining work. It is safe to call from any goroutine,
+// multiple times, and after Next has returned io.EOF (where it is a
+// no-op). It never blocks on in-flight decode work.
+func (st *ReadStream) Close() error {
+	st.cancel(errStreamClosed)
+	return nil
+}
+
+// Stats reports the read's execution statistics. Plan fields are valid
+// immediately; GOPsDecoded grows as the stream progresses. Admitted is
+// always false: streaming reads do not cache-admit their result.
+func (st *ReadStream) Stats() ReadStats {
+	stats := st.stats
+	stats.GOPsDecoded = int(st.decoded.Load())
+	return stats
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// admission bounds the reads the server executes concurrently. It is the
+// serving-layer analogue of the store's bounded worker pool: the pool
+// bounds CPU fan-out per read, admission bounds how many reads contend
+// for it at all. Requests beyond MaxInFlight wait in a bounded queue
+// (FIFO by semaphore fairness-ish: Go channels are unordered under
+// contention, which is acceptable here); requests beyond the queue — or
+// beyond a single client's per-client allowance — are rejected
+// immediately so an aggressive client degrades into 429s instead of
+// tying up every slot.
+type admission struct {
+	slots     chan struct{} // capacity = max in-flight reads
+	maxQueued int64
+	perClient int
+
+	queued atomic.Int64 // current waiters (gauge)
+
+	mu      sync.Mutex
+	clients map[string]int // in-flight + queued reads per client key
+}
+
+// Admission rejection reasons, surfaced as 429s by the handler.
+var (
+	errQueueFull      = errors.New("server: read queue full")
+	errPerClientLimit = errors.New("server: per-client read limit reached")
+)
+
+func newAdmission(maxInFlight, maxQueued, perClient int) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueued: int64(maxQueued),
+		perClient: perClient,
+		clients:   make(map[string]int),
+	}
+}
+
+// acquire admits one read for the given client key, blocking in the queue
+// when every slot is busy. It returns a release function on success. On
+// failure the error is errQueueFull / errPerClientLimit (reject, no
+// waiting) or the context's error (the client gave up while queued).
+func (a *admission) acquire(ctx context.Context, client string) (release func(), err error) {
+	a.mu.Lock()
+	if a.clients[client] >= a.perClient {
+		a.mu.Unlock()
+		return nil, errPerClientLimit
+	}
+	a.clients[client]++
+	a.mu.Unlock()
+	done := func() {
+		a.mu.Lock()
+		if a.clients[client]--; a.clients[client] == 0 {
+			delete(a.clients, client)
+		}
+		a.mu.Unlock()
+	}
+
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; done() }, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueued {
+		a.queued.Add(-1)
+		done()
+		return nil, errQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; done() }, nil
+	case <-ctx.Done():
+		done()
+		return nil, context.Cause(ctx)
+	}
+}
+
+// queueDepth reports the current number of queued (waiting) reads.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
+// inFlight reports the current number of admitted, running reads.
+func (a *admission) inFlight() int64 { return int64(len(a.slots)) }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// responseCache is a byte-bounded LRU of hot encoded read responses. It
+// complements — not duplicates — the store's own materialized-view cache:
+// the store caches decoded fragments as physical videos (paying admission
+// and eviction policy), while this cache holds fully-assembled compressed
+// responses so a repeated hot request skips planning and transcoding
+// entirely. Only compressed reads are cached (raw responses are far too
+// large to be worth pinning); entries for a video are invalidated whenever
+// that video is written to or deleted.
+type responseCache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+	// gens tracks invalidation generations per video, drawn from one
+	// global monotonic epoch. A response assembled across a concurrent
+	// write must not be inserted after that write's invalidation ran — it
+	// would pin a stale prefix until the NEXT write — so put refuses
+	// entries whose generation (snapshotted before the read began) is no
+	// longer current. A video's entry is removed when the video is
+	// deleted (removeVideo), so the map is bounded by LIVE videos, not by
+	// every name ever served; generation() for an absent name returns the
+	// global epoch, which has necessarily advanced past any snapshot
+	// taken while the old entry existed.
+	epoch uint64
+	gens  map[string]uint64
+}
+
+// cacheEntry is one cached response: the encoded GOPs plus the output
+// header the handler needs to replay them.
+type cacheEntry struct {
+	key    string
+	video  string
+	gops   [][]byte
+	width  int
+	height int
+	fps    int
+	codec  string
+	bytes  int64
+}
+
+func newResponseCache(maxBytes int64) *responseCache {
+	return &responseCache{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		gens:  make(map[string]uint64),
+	}
+}
+
+// enabled reports whether the cache stores anything at all.
+func (c *responseCache) enabled() bool { return c.max > 0 }
+
+// maxBytes returns the configured byte budget.
+func (c *responseCache) maxBytes() int64 { return c.max }
+
+// generation returns the video's current invalidation generation.
+// Snapshot it before starting the read whose response you intend to put.
+func (c *responseCache) generation(video string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.gens[video]; ok {
+		return g
+	}
+	return c.epoch
+}
+
+// get returns the cached response for a key, refreshing its recency.
+func (c *responseCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts a response, evicting least-recently-used entries to fit.
+// Responses larger than the whole cache are dropped silently, as are
+// responses whose video was invalidated since gen was snapshotted (the
+// entry would be a stale prefix).
+func (c *responseCache) put(e *cacheEntry, gen uint64) {
+	e.bytes = 0
+	for _, g := range e.gops {
+		e.bytes += int64(len(g))
+	}
+	if c.max <= 0 || e.bytes > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.gens[e.video]
+	if !ok {
+		cur = c.epoch // video deleted since the snapshot: epoch advanced
+	}
+	if cur != gen {
+		return
+	}
+	if el, ok := c.items[e.key]; ok {
+		c.bytes -= el.Value.(*cacheEntry).bytes
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+	}
+	for c.bytes+e.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*cacheEntry)
+		c.bytes -= old.bytes
+		c.ll.Remove(back)
+		delete(c.items, old.key)
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+}
+
+// invalidateVideo drops every cached response for a video and bumps its
+// generation so in-flight reads that began before the write cannot
+// re-insert stale entries. Called on writes so clients never see a stale
+// prefix.
+func (c *responseCache) invalidateVideo(video string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.gens[video] = c.epoch
+	c.dropVideoLocked(video)
+}
+
+// removeVideo is invalidateVideo for a video that no longer exists: the
+// entries are dropped, the epoch advances (so pending inserts are
+// refused), and the gens entry is released — a long-running daemon must
+// not retain state for every video name ever served.
+func (c *responseCache) removeVideo(video string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	delete(c.gens, video)
+	c.dropVideoLocked(video)
+}
+
+// dropVideoLocked evicts every entry for a video. Caller holds c.mu.
+func (c *responseCache) dropVideoLocked(video string) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.video == video {
+			c.bytes -= e.bytes
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+// stats reports current occupancy.
+func (c *responseCache) stats() (entries int, bytes int64, max int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.max
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/frame"
+)
+
+// Client is a minimal Go client for the vssd wire protocol, used by the
+// examples, the serving benchmark, and the smoke tests. It is not a
+// public SDK — external callers can speak the protocol with any HTTP
+// client — but it keeps the framing logic in one place.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7744".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Name optionally identifies this client for per-client admission
+	// limits (sent as X-VSS-Client).
+	Name string
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Name != "" {
+		req.Header.Set("X-VSS-Client", c.Name)
+	}
+	return c.http().Do(req)
+}
+
+// errorFrom drains a failed response into an error.
+func errorFrom(resp *http.Response) error {
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+}
+
+// Create registers a video.
+func (c *Client) Create(ctx context.Context, name string, budget int64) error {
+	path := "/videos/" + url.PathEscape(name)
+	if budget != 0 {
+		path += "?budget=" + strconv.FormatInt(budget, 10)
+	}
+	resp, err := c.do(ctx, http.MethodPut, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return errorFrom(resp)
+	}
+	return nil
+}
+
+// Delete removes a video.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/videos/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return errorFrom(resp)
+	}
+	return nil
+}
+
+// WriteGOPs appends already-encoded GOPs to a video. Empty GOPs are
+// rejected up front: a zero-length chunk is the wire terminator, so
+// framing one would silently truncate the batch server-side.
+func (c *Client) WriteGOPs(ctx context.Context, name string, fps int, gops [][]byte) error {
+	var body bytes.Buffer
+	for i, g := range gops {
+		if len(g) == 0 {
+			return fmt.Errorf("empty GOP at index %d (zero-length chunks terminate the stream)", i)
+		}
+		if err := writeChunk(&body, g); err != nil {
+			return err
+		}
+	}
+	path := fmt.Sprintf("/videos/%s/gops?fps=%d", url.PathEscape(name), fps)
+	resp, err := c.do(ctx, http.MethodPost, path, &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorFrom(resp)
+	}
+	return nil
+}
+
+// ReadHeader describes a streaming read response.
+type ReadHeader struct {
+	Width, Height, FPS int
+	Codec              string
+	Format             frame.PixelFormat // raw reads
+	FrameBytes         int               // raw reads: bytes per frame payload
+	CacheHit           bool
+}
+
+// StreamingRead issues a read and returns the response header plus a
+// chunk iterator. next returns io.EOF after the terminator chunk; a
+// closed connection without a terminator surfaces as an error, so
+// truncated streams are never mistaken for complete ones. Callers must
+// drain next to io.EOF or call stop.
+func (c *Client) StreamingRead(ctx context.Context, name, query string) (hdr ReadHeader, next func() ([]byte, error), stop func(), err error) {
+	path := "/videos/" + url.PathEscape(name) + "/read"
+	if query != "" {
+		path += "?" + query
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return hdr, nil, nil, errorFrom(resp)
+	}
+	h := resp.Header
+	hdr.Width, _ = strconv.Atoi(h.Get("X-VSS-Width"))
+	hdr.Height, _ = strconv.Atoi(h.Get("X-VSS-Height"))
+	hdr.FPS, _ = strconv.Atoi(h.Get("X-VSS-FPS"))
+	hdr.Codec = h.Get("X-VSS-Codec")
+	hdr.FrameBytes, _ = strconv.Atoi(h.Get("X-VSS-Frame-Bytes"))
+	hdr.CacheHit = h.Get("X-VSS-Cache") == "hit"
+	if f := h.Get("X-VSS-Format"); f != "" {
+		hdr.Format, _ = frame.ParsePixelFormat(f)
+	}
+	var sawEOF bool
+	next = func() ([]byte, error) {
+		if sawEOF {
+			return nil, io.EOF
+		}
+		var lenHdr [4]byte
+		if _, err := io.ReadFull(resp.Body, lenHdr[:]); err != nil {
+			return nil, fmt.Errorf("stream truncated before terminator: %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenHdr[:])
+		if n == 0 {
+			sawEOF = true
+			resp.Body.Close()
+			return nil, io.EOF
+		}
+		if n > maxChunkBytes {
+			// Validate before allocating: the length came off the wire.
+			return nil, fmt.Errorf("chunk length %d exceeds limit %d", n, maxChunkBytes)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, fmt.Errorf("stream truncated mid-chunk: %w", err)
+		}
+		return buf, nil
+	}
+	return hdr, next, func() { resp.Body.Close() }, nil
+}
+
+// ReadAll issues a read and drains the whole stream, returning the raw
+// chunk payloads (GOPs for compressed reads, frame batches for raw).
+func (c *Client) ReadAll(ctx context.Context, name, query string) (ReadHeader, [][]byte, error) {
+	hdr, next, stop, err := c.StreamingRead(ctx, name, query)
+	if err != nil {
+		return hdr, nil, err
+	}
+	defer stop()
+	var chunks [][]byte
+	for {
+		chunk, err := next()
+		if err == io.EOF {
+			return hdr, chunks, nil
+		}
+		if err != nil {
+			return hdr, nil, err
+		}
+		chunks = append(chunks, chunk)
+	}
+}
+
+// Metrics fetches and decodes the /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, errorFrom(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return snap, err
+	}
+	return snap, json.Unmarshal(data, &snap)
+}
+
+// Stat fetches a video's metadata.
+func (c *Client) Stat(ctx context.Context, name string) (VideoStat, error) {
+	var stat VideoStat
+	resp, err := c.do(ctx, http.MethodGet, "/videos/"+url.PathEscape(name), nil)
+	if err != nil {
+		return stat, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stat, errorFrom(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return stat, err
+	}
+	return stat, json.Unmarshal(data, &stat)
+}
+
+// Maintain triggers one maintenance pass.
+func (c *Client) Maintain(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodPost, "/maintain", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorFrom(resp)
+	}
+	return nil
+}

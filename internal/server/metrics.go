@@ -1,0 +1,84 @@
+package server
+
+import "sync/atomic"
+
+// metrics is the server's live counter registry. Every field is updated
+// with atomics on the request path and read wholesale by the /metrics
+// endpoint; gauges (queue depth, in-flight reads, cache occupancy) are
+// sampled from their owning components at snapshot time instead of being
+// double-counted here.
+type metrics struct {
+	readsStarted   atomic.Int64
+	readsCompleted atomic.Int64
+	readsCancelled atomic.Int64 // client disconnected mid-stream
+	readErrors     atomic.Int64
+
+	admissionRejected atomic.Int64 // 429s: queue full or per-client limit
+	admissionAborted  atomic.Int64 // client gave up while queued
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	gopsDecoded atomic.Int64 // aggregated ReadStats across served reads
+	bytesRead   atomic.Int64 // stored bytes touched by served reads
+	bytesSent   atomic.Int64 // payload bytes written to clients
+
+	writes      atomic.Int64
+	gopsWritten atomic.Int64
+}
+
+// ReadMetrics is the reads section of a metrics snapshot.
+type ReadMetrics struct {
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Errors    int64 `json:"errors"`
+	InFlight  int64 `json:"in_flight"`
+	// Aggregated core.ReadStats across every served read.
+	GOPsDecoded int64 `json:"gops_decoded"`
+	BytesRead   int64 `json:"bytes_read"`
+	BytesSent   int64 `json:"bytes_sent"`
+}
+
+// AdmissionMetrics is the admission-controller section of a snapshot.
+type AdmissionMetrics struct {
+	MaxInFlight  int   `json:"max_in_flight"`
+	MaxQueued    int   `json:"max_queued"`
+	MaxPerClient int   `json:"max_per_client"`
+	QueueDepth   int64 `json:"queue_depth"`
+	Rejected     int64 `json:"rejected"`
+	Aborted      int64 `json:"aborted"`
+}
+
+// CacheMetrics is the response-cache section of a snapshot.
+type CacheMetrics struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Bytes    int64   `json:"bytes"`
+	MaxBytes int64   `json:"max_bytes"`
+}
+
+// WriteMetrics is the writes section of a snapshot.
+type WriteMetrics struct {
+	Writes      int64 `json:"writes"`
+	GOPsWritten int64 `json:"gops_written"`
+}
+
+// VideoMetrics is one video's row in the store section of a snapshot.
+type VideoMetrics struct {
+	Bytes int64 `json:"bytes"`
+	// DeferredLevel is the deferred-compression level the maintenance
+	// controller would apply right now (0 = inactive).
+	DeferredLevel int `json:"deferred_level"`
+}
+
+// MetricsSnapshot is the JSON document served by /metrics.
+type MetricsSnapshot struct {
+	Reads     ReadMetrics             `json:"reads"`
+	Admission AdmissionMetrics        `json:"admission"`
+	Cache     CacheMetrics            `json:"cache"`
+	Writes    WriteMetrics            `json:"writes"`
+	Videos    map[string]VideoMetrics `json:"videos"`
+}

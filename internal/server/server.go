@@ -1,0 +1,647 @@
+// Package server implements vssd's HTTP serving subsystem: the VSS store
+// exposed over the network with the production-shape concerns the library
+// cannot express — an admission controller that bounds in-flight reads
+// (with a bounded wait queue and per-client limits), streaming read
+// responses backed by core.ReadStream so a disconnected client cancels
+// its in-flight decode work, a byte-bounded LRU of hot encoded responses,
+// and a /metrics endpoint surfacing read statistics, cache hit rates,
+// deferred-compression levels, and queue depths.
+//
+// # Endpoints
+//
+//	GET    /videos                 list videos
+//	PUT    /videos/{name}          create (?budget=bytes; <0 unlimited)
+//	DELETE /videos/{name}          delete
+//	GET    /videos/{name}          metadata and physical-view summary
+//	POST   /videos/{name}/gops     GOP-level encoded write (?fps=), body framed
+//	GET    /videos/{name}/read     streaming read (spec in query parameters)
+//	GET    /metrics                live metrics snapshot (JSON)
+//	POST   /maintain               run one maintenance pass
+//
+// # Wire format
+//
+// Binary bodies — the write request body and the read response body — are
+// sequences of framed chunks: a 4-byte big-endian payload length followed
+// by the payload. A read stream is terminated by a zero-length chunk; if
+// the connection closes without one, the client knows the stream was
+// truncated (server-side error or cancellation). For compressed reads
+// each chunk is one encoded GOP; for raw reads each chunk is a batch of
+// frames, concatenated in the pixel layout the response headers describe.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/frame"
+	"repro/vss"
+)
+
+// Config tunes the serving subsystem. The zero value selects defaults
+// sized for a single-node deployment.
+type Config struct {
+	// MaxInFlightReads bounds concurrently executing reads (admitted past
+	// the queue). 0 defaults to 2*GOMAXPROCS: enough to keep the store's
+	// worker pool busy while bounding memory.
+	MaxInFlightReads int
+	// MaxQueuedReads bounds reads waiting for a slot before new arrivals
+	// are rejected with 429. 0 defaults to 4*MaxInFlightReads.
+	MaxQueuedReads int
+	// MaxReadsPerClient bounds one client's in-flight + queued reads
+	// (keyed by X-VSS-Client, falling back to the remote IP). 0 defaults
+	// to MaxInFlightReads.
+	MaxReadsPerClient int
+	// CacheBytes bounds the hot-response LRU. 0 disables response
+	// caching; the store's own materialized-view cache still applies.
+	CacheBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlightReads <= 0 {
+		c.MaxInFlightReads = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueuedReads <= 0 {
+		c.MaxQueuedReads = 4 * c.MaxInFlightReads
+	}
+	if c.MaxReadsPerClient <= 0 {
+		c.MaxReadsPerClient = c.MaxInFlightReads
+	}
+	return c
+}
+
+// Server serves one vss.System over HTTP. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	sys   *vss.System
+	cfg   Config
+	adm   *admission
+	cache *responseCache
+	m     metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server around an open system.
+func New(sys *vss.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:   sys,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlightReads, cfg.MaxQueuedReads, cfg.MaxReadsPerClient),
+		cache: newResponseCache(cfg.CacheBytes),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /videos", s.handleList)
+	s.mux.HandleFunc("GET /videos/{name}", s.handleStat)
+	s.mux.HandleFunc("PUT /videos/{name}", s.handleCreate)
+	s.mux.HandleFunc("DELETE /videos/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /videos/{name}/gops", s.handleWriteGOPs)
+	s.mux.HandleFunc("GET /videos/{name}/read", s.handleRead)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /maintain", s.handleMaintain)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError maps store errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, vss.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, vss.ErrExists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, vss.ErrInvalidSpec):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// clientFault reports whether a read failure was the client's own doing —
+// those map to 4xx and must not count toward server read-error metrics.
+func clientFault(err error) bool {
+	return errors.Is(err, vss.ErrNotFound) || errors.Is(err, vss.ErrInvalidSpec)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clientKey identifies a client for per-client admission limits.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-VSS-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.sys.Videos()
+	sort.Strings(names)
+	writeJSON(w, map[string][]string{"videos": names})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var budget int64
+	if b := r.URL.Query().Get("budget"); b != "" {
+		var err error
+		if budget, err = strconv.ParseInt(b, 10, 64); err != nil {
+			http.Error(w, "bad budget: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.sys.Create(name, budget); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.sys.Delete(name); err != nil {
+		httpError(w, err)
+		return
+	}
+	s.cache.removeVideo(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ViewStat summarizes one physical view in a stat response.
+type ViewStat struct {
+	ID       int    `json:"id"`
+	Width    int    `json:"width"`
+	Height   int    `json:"height"`
+	FPS      int    `json:"fps"`
+	Codec    string `json:"codec"`
+	Quality  int    `json:"quality"`
+	GOPs     int    `json:"gops"`
+	Bytes    int64  `json:"bytes"`
+	Original bool   `json:"original"`
+}
+
+// VideoStat is the stat response for one video.
+type VideoStat struct {
+	Name     string     `json:"name"`
+	Duration float64    `json:"duration"`
+	FPS      int        `json:"fps"`
+	Width    int        `json:"width"`
+	Height   int        `json:"height"`
+	Budget   int64      `json:"budget"`
+	Bytes    int64      `json:"bytes"`
+	Views    []ViewStat `json:"views"`
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, phys, err := s.sys.Store().Info(name)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	stat := VideoStat{
+		Name: v.Name, Duration: v.Duration, FPS: v.FPS,
+		Width: v.Width, Height: v.Height, Budget: v.Budget,
+	}
+	sort.Slice(phys, func(i, j int) bool { return phys[i].ID < phys[j].ID })
+	for i := range phys {
+		p := &phys[i]
+		stat.Bytes += p.Bytes()
+		stat.Views = append(stat.Views, ViewStat{
+			ID: p.ID, Width: p.Width, Height: p.Height, FPS: p.FPS,
+			Codec: string(p.Codec), Quality: p.Quality,
+			GOPs: len(p.GOPs), Bytes: p.Bytes(), Original: p.Orig,
+		})
+	}
+	writeJSON(w, stat)
+}
+
+// maxWriteBody caps a single GOP-write request (DoS hygiene; bulk loads
+// should be split across requests anyway so commits interleave fairly).
+const maxWriteBody = 1 << 30
+
+func (s *Server) handleWriteGOPs(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	fps, err := strconv.Atoi(r.URL.Query().Get("fps"))
+	if err != nil || fps <= 0 {
+		http.Error(w, "fps query parameter required (positive integer)", http.StatusBadRequest)
+		return
+	}
+	gops, err := readChunks(http.MaxBytesReader(w, r.Body, maxWriteBody))
+	if err != nil {
+		http.Error(w, "bad GOP framing: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(gops) == 0 {
+		http.Error(w, "no GOPs in request body", http.StatusBadRequest)
+		return
+	}
+	if err := s.sys.WriteEncoded(name, fps, gops); err != nil {
+		httpError(w, err)
+		return
+	}
+	// The video grew: cached responses for it are stale prefixes now.
+	s.cache.invalidateVideo(name)
+	s.m.writes.Add(1)
+	s.m.gopsWritten.Add(int64(len(gops)))
+	writeJSON(w, map[string]int{"gops": len(gops)})
+}
+
+// parseReadSpec builds a vss.ReadSpec from read query parameters, plus a
+// canonical cache key suffix covering every parameter that affects bytes.
+func parseReadSpec(q map[string][]string) (vss.ReadSpec, string, error) {
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var spec vss.ReadSpec
+	var err error
+	num := func(k string) float64 {
+		s := get(k)
+		if s == "" || err != nil {
+			return 0
+		}
+		v, perr := strconv.ParseFloat(s, 64)
+		if perr != nil {
+			err = fmt.Errorf("bad %s: %v", k, perr)
+		}
+		return v
+	}
+	spec.T.Start = num("start")
+	spec.T.End = num("end")
+	spec.T.FPS = int(num("fps"))
+	spec.S.Width = int(num("width"))
+	spec.S.Height = int(num("height"))
+	spec.P.Quality = int(num("quality"))
+	spec.P.MinPSNR = num("minpsnr")
+	if err != nil {
+		return spec, "", err
+	}
+	if roi := get("roi"); roi != "" {
+		parts := strings.Split(roi, ",")
+		if len(parts) != 4 {
+			return spec, "", fmt.Errorf("bad roi: want x0,y0,x1,y1")
+		}
+		var r vss.Rect
+		for i, dst := range []*int{&r.X0, &r.Y0, &r.X1, &r.Y1} {
+			v, perr := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if perr != nil {
+				return spec, "", fmt.Errorf("bad roi: %v", perr)
+			}
+			*dst = v
+		}
+		spec.S.ROI = &r
+	}
+	if cd := get("codec"); cd != "" && cd != "raw" {
+		spec.P.Codec = vss.Codec(cd)
+		// Validate here, not just in the store's resolve: the codec string
+		// is embedded in the response-cache key, and the cache is consulted
+		// before the store ever sees the spec — a free-form codec must not
+		// reach either.
+		if !spec.P.Codec.Valid() {
+			return spec, "", fmt.Errorf("unknown codec %q", cd)
+		}
+	}
+	if f := get("format"); f != "" {
+		pf, perr := frame.ParsePixelFormat(f)
+		if perr != nil {
+			return spec, "", perr
+		}
+		spec.P.Format = pf
+	}
+	key := fmt.Sprintf("s=%g,e=%g,f=%d,w=%d,h=%d,c=%s,q=%d,p=%g,fmt=%d,roi=%v",
+		spec.T.Start, spec.T.End, spec.T.FPS, spec.S.Width, spec.S.Height,
+		spec.P.Codec, spec.P.Quality, spec.P.MinPSNR, spec.P.Format, spec.S.ROI)
+	return spec, key, nil
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, key, err := parseReadSpec(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: bound the reads in flight before touching the store.
+	release, err := s.adm.acquire(r.Context(), clientKey(r))
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull), errors.Is(err, errPerClientLimit):
+			s.m.admissionRejected.Add(1)
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default: // client disconnected while queued
+			s.m.admissionAborted.Add(1)
+		}
+		return
+	}
+	defer release()
+	s.m.readsStarted.Add(1)
+
+	compressed := spec.P.Codec != "" && spec.P.Codec != vss.RawCodec
+	// %q-quote the video name so the key is injective: names may contain
+	// any of the spec-suffix characters, and a separator-only join would
+	// let a crafted (name, spec) pair collide with another video's entry.
+	cacheKey := fmt.Sprintf("%q|%s", name, key)
+	var cacheGen uint64
+	cacheable := compressed && s.cache.enabled()
+	if cacheable {
+		if e, ok := s.cache.get(cacheKey); ok {
+			s.m.cacheHits.Add(1)
+			s.replayCached(w, e)
+			return
+		}
+		s.m.cacheMisses.Add(1)
+		// Snapshot the invalidation generation BEFORE the read plans and
+		// snapshots data, so a write landing mid-stream voids the insert.
+		cacheGen = s.cache.generation(name)
+	}
+
+	// Stream the read: the request context is the read's context, so a
+	// client that disconnects mid-stream cancels the remaining decode
+	// work at the next GOP boundary.
+	st, err := s.sys.ReadStream(r.Context(), name, spec)
+	if err != nil {
+		if !clientFault(err) {
+			s.m.readErrors.Add(1)
+		}
+		httpError(w, err)
+		return
+	}
+	defer st.Close()
+
+	if !compressed && int64(spec.P.Format.Size(st.Width, st.Height)) > maxChunkBytes {
+		// One frame must fit in one wire chunk; anything bigger (a >256MiB
+		// frame needs an ~300-megapixel output) is an absurd request, not
+		// a serving case.
+		st.Close()
+		http.Error(w, "requested frame size exceeds the wire chunk limit", http.StatusBadRequest)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-VSS-Width", strconv.Itoa(st.Width))
+	h.Set("X-VSS-Height", strconv.Itoa(st.Height))
+	h.Set("X-VSS-FPS", strconv.Itoa(st.FPS))
+	if compressed {
+		h.Set("X-VSS-Codec", string(spec.P.Codec))
+	} else {
+		h.Set("X-VSS-Codec", "raw")
+		h.Set("X-VSS-Format", spec.P.Format.String())
+		h.Set("X-VSS-Frame-Bytes", strconv.Itoa(spec.P.Format.Size(st.Width, st.Height)))
+	}
+	flusher, _ := w.(http.Flusher)
+
+	// Accumulate compressed GOPs for a cache insert only while they could
+	// possibly fit: with the cache disabled (or a response outgrowing it)
+	// holding the full output would silently reinstate the ReadResult
+	// memory footprint streaming exists to avoid.
+	var cached [][]byte
+	var cachedBytes int64
+	wrote := false // any body byte committed yet?
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Distinguish "client went away" from a real read failure.
+			// Before the first body byte an error response is still
+			// possible; after it, the stream just ends without a
+			// terminator chunk, so the client sees truncation, never
+			// silent partial data.
+			switch {
+			case r.Context().Err() != nil:
+				s.m.readsCancelled.Add(1)
+			case !wrote:
+				s.m.readErrors.Add(1)
+				httpError(w, err)
+			default:
+				s.m.readErrors.Add(1)
+			}
+			s.noteReadStats(st)
+			return
+		}
+		var sent int64
+		var werr error
+		if batch.GOP != nil {
+			sent, werr = int64(len(batch.GOP))+4, writeChunk(w, batch.GOP)
+		} else {
+			if len(batch.Frames) == 0 {
+				continue // nothing to frame; zero-length chunks mean EOF
+			}
+			sent, werr = writeFrameChunk(w, batch.Frames)
+		}
+		wrote = true
+		if werr != nil {
+			s.m.readsCancelled.Add(1)
+			s.noteReadStats(st)
+			return
+		}
+		s.m.bytesSent.Add(sent)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if cacheable {
+			cached = append(cached, batch.GOP)
+			if cachedBytes += int64(len(batch.GOP)); cachedBytes > s.cache.maxBytes() {
+				cacheable, cached = false, nil
+			}
+		}
+	}
+	if err := writeChunk(w, nil); err == nil { // clean-EOF terminator
+		s.m.bytesSent.Add(4)
+	}
+	s.m.readsCompleted.Add(1)
+	s.noteReadStats(st)
+	if cacheable {
+		s.cache.put(&cacheEntry{
+			key: cacheKey, video: name, gops: cached,
+			width: st.Width, height: st.Height, fps: st.FPS,
+			codec: string(spec.P.Codec),
+		}, cacheGen)
+	}
+}
+
+// replayCached serves a hot response from the LRU without touching the
+// store.
+func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-VSS-Width", strconv.Itoa(e.width))
+	h.Set("X-VSS-Height", strconv.Itoa(e.height))
+	h.Set("X-VSS-FPS", strconv.Itoa(e.fps))
+	h.Set("X-VSS-Codec", e.codec)
+	h.Set("X-VSS-Cache", "hit")
+	for _, g := range e.gops {
+		if err := writeChunk(w, g); err != nil {
+			s.m.readsCancelled.Add(1)
+			return
+		}
+		s.m.bytesSent.Add(int64(len(g)) + 4)
+	}
+	if err := writeChunk(w, nil); err == nil {
+		s.m.bytesSent.Add(4)
+	}
+	s.m.readsCompleted.Add(1)
+}
+
+// noteReadStats folds a finished (or abandoned) stream's ReadStats into
+// the aggregate metrics.
+func (s *Server) noteReadStats(st *vss.ReadStream) {
+	stats := st.Stats()
+	s.m.gopsDecoded.Add(int64(stats.GOPsDecoded))
+	s.m.bytesRead.Add(stats.BytesRead)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := MetricsSnapshot{
+		Reads: ReadMetrics{
+			Started:     s.m.readsStarted.Load(),
+			Completed:   s.m.readsCompleted.Load(),
+			Cancelled:   s.m.readsCancelled.Load(),
+			Errors:      s.m.readErrors.Load(),
+			InFlight:    s.adm.inFlight(),
+			GOPsDecoded: s.m.gopsDecoded.Load(),
+			BytesRead:   s.m.bytesRead.Load(),
+			BytesSent:   s.m.bytesSent.Load(),
+		},
+		Admission: AdmissionMetrics{
+			MaxInFlight:  s.cfg.MaxInFlightReads,
+			MaxQueued:    s.cfg.MaxQueuedReads,
+			MaxPerClient: s.cfg.MaxReadsPerClient,
+			QueueDepth:   s.adm.queueDepth(),
+			Rejected:     s.m.admissionRejected.Load(),
+			Aborted:      s.m.admissionAborted.Load(),
+		},
+		Writes: WriteMetrics{
+			Writes:      s.m.writes.Load(),
+			GOPsWritten: s.m.gopsWritten.Load(),
+		},
+		Videos: make(map[string]VideoMetrics),
+	}
+	hits, misses := s.m.cacheHits.Load(), s.m.cacheMisses.Load()
+	entries, bytes, max := s.cache.stats()
+	snap.Cache = CacheMetrics{Hits: hits, Misses: misses, Entries: entries, Bytes: bytes, MaxBytes: max}
+	if hits+misses > 0 {
+		snap.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	for _, name := range s.sys.Videos() {
+		total, err := s.sys.TotalBytes(name)
+		if err != nil {
+			continue // deleted while we iterated
+		}
+		snap.Videos[name] = VideoMetrics{Bytes: total, DeferredLevel: s.sys.DeferredLevel(name)}
+	}
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.Maintain(); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// writeFrameChunk writes a batch of raw frames as framed chunks — length
+// header first, then each frame's pixel data directly — avoiding the
+// per-batch copy into a contiguous payload buffer that the steady-state
+// raw serving loop would otherwise pay (multi-MB per batch). Batches
+// whose bytes exceed maxChunkBytes are split at whole-frame boundaries so
+// the server never emits a chunk its own protocol limit (or a conforming
+// client) would reject; handleRead guarantees a single frame fits.
+// Returns the total wire bytes written (chunk headers included).
+func writeFrameChunk(w io.Writer, frames []*frame.Frame) (int64, error) {
+	var written int64
+	for len(frames) > 0 {
+		var chunkBytes int64
+		n := 0
+		for _, f := range frames {
+			if n > 0 && chunkBytes+int64(len(f.Data)) > maxChunkBytes {
+				break
+			}
+			chunkBytes += int64(len(f.Data))
+			n++
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(chunkBytes))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return written, err
+		}
+		written += 4
+		for _, f := range frames[:n] {
+			if _, err := w.Write(f.Data); err != nil {
+				return written, err
+			}
+			written += int64(len(f.Data))
+		}
+		frames = frames[n:]
+	}
+	return written, nil
+}
+
+// writeChunk writes one framed chunk: 4-byte big-endian length + payload.
+// A nil payload writes the zero-length clean-EOF terminator.
+func writeChunk(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// maxChunkBytes bounds a single framed chunk. Chunk lengths come off the
+// wire, so they must be validated BEFORE allocation — a 4-byte request
+// claiming a 4GiB chunk must cost nothing, not an OOM.
+const maxChunkBytes = 1 << 28 // 256MiB; far beyond any real GOP or batch
+
+// readChunks reads framed chunks until EOF or a zero-length terminator.
+func readChunks(r io.Reader) ([][]byte, error) {
+	var out [][]byte
+	var hdr [4]byte
+	for {
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 {
+			return out, nil
+		}
+		if n > maxChunkBytes {
+			return nil, fmt.Errorf("chunk length %d exceeds limit %d", n, maxChunkBytes)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("truncated chunk: %w", err)
+		}
+		out = append(out, buf)
+	}
+}

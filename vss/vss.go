@@ -73,9 +73,27 @@
 //   - EncodeWorkers: 1 restores the serial inline-encode path exactly
 //     (deterministic profiling); whatever the setting, encode work shares
 //     the store-wide Options.Workers CPU budget with the read pipeline.
+//
+// # Streaming reads and serving
+//
+// ReadStream yields a read's output incrementally — encoded GOPs for
+// compressed reads, frame batches for raw reads — in order, as the
+// parallel decode pipeline produces them, byte-identical to the batch
+// Read. Both ReadStream and ReadContext accept a context.Context;
+// cancelling it abandons the remaining decode work at the next GOP
+// boundary, so a caller serving a network client stops burning CPU the
+// moment the client disconnects. Streaming reads trade cache admission
+// for bounded memory: their results are never admitted as materialized
+// views.
+//
+// The vssd daemon (cmd/vssd, internal/server) serves a System over HTTP
+// on top of ReadStream, adding admission control (bounded in-flight reads
+// with queueing and per-client limits), a hot-response LRU, and live
+// /metrics; see examples/serving for a walkthrough.
 package vss
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/codec"
@@ -142,6 +160,18 @@ type WriteOptions = core.WriteOptions
 // ReadResult carries the frames or encoded GOPs a read produced.
 type ReadResult = core.ReadResult
 
+// ReadStats reports how a read was executed: plan method and cost, GOPs
+// decoded, bytes touched, and whether the result was cache-admitted.
+type ReadStats = core.ReadStats
+
+// ReadStream is an in-order iterator over a streaming read's output; see
+// System.ReadStream.
+type ReadStream = core.ReadStream
+
+// ReadBatch is one unit of a ReadStream: a run of decoded frames (raw
+// reads) or one encoded GOP (compressed reads).
+type ReadBatch = core.ReadBatch
+
 // Writer is a streaming write handle; whole GOPs become readable as they
 // are appended (non-blocking writes, prefix reads). A Writer must be
 // confined to one goroutine, and frames passed to Append are borrowed by
@@ -161,10 +191,14 @@ const (
 // JointStats summarizes a joint-compression sweep.
 type JointStats = core.JointStats
 
-// ErrNotFound and ErrExists are returned for unknown/duplicate videos.
+// ErrNotFound and ErrExists are returned for unknown/duplicate videos;
+// ErrInvalidSpec marks read parameters that can never be satisfied
+// (match with errors.Is to distinguish caller mistakes from storage
+// failures).
 var (
-	ErrNotFound = core.ErrNotFound
-	ErrExists   = core.ErrExists
+	ErrNotFound    = core.ErrNotFound
+	ErrExists      = core.ErrExists
+	ErrInvalidSpec = core.ErrInvalidSpec
 )
 
 // System is an open VSS store.
@@ -224,6 +258,30 @@ func (s *System) OpenWriterWith(name string, spec WriteSpec, opts WriteOptions) 
 func (s *System) Read(name string, spec ReadSpec) (*ReadResult, error) {
 	return s.store.Read(name, spec)
 }
+
+// ReadContext is Read with cancellation: when ctx is cancelled the read's
+// remaining decode work is abandoned at the next GOP boundary and the
+// context's error is returned.
+func (s *System) ReadContext(ctx context.Context, name string, spec ReadSpec) (*ReadResult, error) {
+	return s.store.ReadContext(ctx, name, spec)
+}
+
+// ReadStream begins a streaming read: planning runs synchronously, then
+// output units — encoded GOPs for compressed reads, frame batches for raw
+// reads — arrive from the returned stream's Next in order, as the parallel
+// decode pipeline produces them, byte-identical to what Read would have
+// returned all at once. Cancelling ctx (or calling Close) stops the
+// remaining decode work; streaming reads never cache-admit their result.
+// This is the read path the vssd serving daemon uses so a disconnected
+// client stops consuming CPU.
+func (s *System) ReadStream(ctx context.Context, name string, spec ReadSpec) (*ReadStream, error) {
+	return s.store.ReadStream(ctx, name, spec)
+}
+
+// DeferredLevel reports the deferred-compression level the maintenance
+// controller would apply to the video right now; 0 means inactive. Exposed
+// for operational metrics (the vssd /metrics endpoint).
+func (s *System) DeferredLevel(name string) int { return s.store.DeferredLevel(name) }
 
 // Videos lists the logical videos in the store.
 func (s *System) Videos() []string { return s.store.Videos() }

@@ -1,6 +1,9 @@
 package vss_test
 
 import (
+	"context"
+	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/visualroad"
@@ -116,6 +119,45 @@ func TestPublicAPIPipelinedWriter(t *testing.T) {
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIStreamingRead(t *testing.T) {
+	sys := openSys(t)
+	sys.Create("v", 0)
+	if err := sys.Write("v", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(24)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.ReadStream(context.Background(), "v", vss.ReadSpec{P: vss.Physical{Codec: vss.HEVC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	total := 0
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += batch.FrameCount()
+	}
+	if total != 24 {
+		t.Errorf("streamed %d frames, want 24", total)
+	}
+	if st.Stats().GOPsDecoded == 0 {
+		t.Error("stream stats report no decoded GOPs")
+	}
+	// Cancellation: an already-cancelled context refuses to start.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.ReadStream(ctx, "v", vss.ReadSpec{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadStream on cancelled ctx: %v", err)
+	}
+	if _, err := sys.ReadContext(ctx, "v", vss.ReadSpec{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadContext on cancelled ctx: %v", err)
 	}
 }
 
