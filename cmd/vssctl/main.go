@@ -22,18 +22,31 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/backendcli"
 	"repro/internal/visualroad"
 	"repro/vss"
 )
 
 func main() {
 	store := flag.String("store", "", "store directory (required)")
+	shards := flag.Int("shards", 0, "shard GOP storage across N roots under the store directory (0 = single root)")
+	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
+	backendKind := flag.String("backend", "", "storage backend override: localfs (default; sharding via -shards)")
 	flag.Parse()
 	if *store == "" || flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	sys, err := vss.Open(*store, vss.Options{})
+	if *backendKind == "mem" {
+		// A one-shot CLI with a process-local GOP store can only plant
+		// catalog rows whose data evaporates at exit, wedging the store.
+		fatal(fmt.Errorf("-backend mem is process-local and useless in a one-shot CLI (it would leave catalog metadata with no data); use vssd -backend mem or the library"))
+	}
+	backend, err := backendcli.Open("vssctl", *store, *backendKind, *shards, *shardRoots, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := vss.Open(*store, vss.Options{Backend: backend})
 	if err != nil {
 		fatal(err)
 	}
@@ -68,8 +81,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR COMMAND [flags]
+	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N] COMMAND [flags]
 commands: create write read delete stat compact joint maintain ls
+
+A store written by a sharded vssd (-shards / -shard-roots) must be opened
+with the same sharding flags, or its GOPs will appear missing.
 
 maintain runs one pass of background maintenance (deferred lossless
 compression under budget pressure, then compaction of contiguous cached

@@ -9,6 +9,20 @@
 //	vssd -store /var/lib/vss
 //	vssd -store /tmp/vss -addr 127.0.0.1:7744 -max-inflight 16 -cache-mb 256
 //	vssd -store /tmp/vss -maintain 30s
+//	vssd -store /tmp/vss -shards 4
+//	vssd -store /tmp/vss -shard-roots /disk1/vss,/disk2/vss
+//
+// Storage backend selection: by default GOPs live in a single tree under
+// <store>/data. -shards N spreads them across N roots under the store
+// directory (data-shard0..N-1) by a stable hash; -shard-roots pins the
+// roots explicitly (one per disk in a real deployment — order matters and
+// must be stable across restarts). -backend mem serves GOP data from
+// memory, for benchmarking only: the metadata catalog under
+// <store>/catalog is ALWAYS on disk, so after a restart it describes
+// videos whose in-memory bytes are gone (reads fail, recreating errors
+// with already-exists) — point -backend mem at a fresh or throwaway
+// store directory. A store must be reopened with the same backend
+// configuration it was written with.
 //
 // Shut down with SIGINT/SIGTERM; in-flight requests get a grace period to
 // drain before the store is closed.
@@ -26,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backendcli"
 	"repro/internal/server"
 	"repro/vss"
 )
@@ -39,6 +54,9 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "hot-response cache size in MiB (0 disables)")
 	workers := flag.Int("workers", 0, "store CPU worker pool size (0 = GOMAXPROCS)")
 	maintain := flag.Duration("maintain", 0, "background maintenance interval (0 disables)")
+	shards := flag.Int("shards", 0, "shard GOP storage across N roots under the store directory (0 = single root)")
+	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
+	backendKind := flag.String("backend", "", "storage backend override: localfs|mem (default localfs; sharding via -shards)")
 	flag.Parse()
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "usage: vssd -store DIR [-addr HOST:PORT] [flags]")
@@ -46,7 +64,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := vss.Open(*store, vss.Options{Workers: *workers})
+	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *shardRoots, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := vss.Open(*store, vss.Options{Workers: *workers, Backend: backend})
 	if err != nil {
 		fatal(err)
 	}

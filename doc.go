@@ -66,7 +66,39 @@
 // bounded wait queue and per-client limits (429 beyond them), a
 // byte-bounded LRU of hot encoded responses invalidated on writes, and a
 // /metrics endpoint surfacing read statistics, cache hit rates, queue
-// depths, and per-video deferred-compression levels. See examples/serving
-// for an end-to-end walkthrough and internal/server's package comment for
-// the endpoint and wire-format reference.
+// depths, per-video deferred-compression levels, and storage-backend
+// counters. See examples/serving for an end-to-end walkthrough and
+// internal/server's package comment for the endpoint and wire-format
+// reference.
+//
+// # Storage layout and backends
+//
+// The physical layer follows Figure 2 of the paper — one directory per
+// logical video, one subdirectory per physical video (materialized
+// view), one file per GOP, written atomically and hard-linked for
+// compaction — but the layout is addressed logically as (video,
+// physical-video dir, sequence) behind the storage.Backend interface
+// (internal/storage), so where GOPs physically live is pluggable
+// (vss.Options.Backend):
+//
+//   - localfs (default): a single root under <store>/data.
+//   - sharded: N roots with each GOP placed by a stable hash of its
+//     address — one root per disk spreads IO, per-shard operations run
+//     in parallel, and a degraded shard fails per GOP instead of
+//     store-wide. vssd/vssctl select it with -shards N (conventional
+//     roots under the store directory) or -shard-roots for explicit,
+//     order-stable disk paths.
+//   - mem: in-memory, for tests and IO-free benchmarks; CI re-runs the
+//     core suite against it (VSS_BACKEND=mem) to enforce backend parity.
+//
+// The metadata catalog always stays on the local filesystem under
+// <store>/catalog. On the read side, GOP bytes are fetched by an
+// asynchronous IO-prefetch stage that runs ahead of the decode workers
+// with a bounded look-ahead window (2*Workers), overlapping backend or
+// shard IO with decode for both batch and streaming reads; a prefetched
+// GOP that changed identity mid-flight (evicted, jointly compressed,
+// lossless-recompressed) is detected per GOP and re-snapshotted under
+// the video lock. The io bench experiment measures cold reads across
+// backends with and without prefetch; see examples/sharded for a
+// multi-root walkthrough.
 package repro

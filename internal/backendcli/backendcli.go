@@ -1,0 +1,55 @@
+// Package backendcli resolves the storage-backend CLI flags that vssd
+// and vssctl share (-backend, -shards, -shard-roots), so both binaries
+// select backends identically — a store written by a sharded daemon is
+// inspected with the same flags — and both warn about the same traps.
+package backendcli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Open resolves the flag triple into a storage backend. nil means "the
+// library default" (localfs under <store>/data). Conflicting or unknown
+// combinations error rather than silently picking a winner.
+//
+// When no flag picks a backend and the VSS_BACKEND environment variable
+// is set, the library will honor the variable (its test-suite parity
+// hook) — a daemon silently serving an empty volatile store because of
+// a stray exported variable is an operator trap, so that case prints a
+// loud warning to warn, tagged with prog. An explicit `-backend
+// localfs` pins localfs and ignores the variable.
+func Open(prog, store, kind string, shards int, shardRoots string, warn io.Writer) (storage.Backend, error) {
+	sharding := shards > 0 || shardRoots != ""
+	switch kind {
+	case "":
+	case "localfs":
+		if sharding {
+			return nil, fmt.Errorf("-backend localfs conflicts with -shards/-shard-roots")
+		}
+		return storage.Open(filepath.Join(store, "data"))
+	case "mem":
+		if sharding {
+			return nil, fmt.Errorf("-backend mem conflicts with -shards/-shard-roots")
+		}
+		return storage.NewMem(), nil
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want localfs or mem; sharding via -shards)", kind)
+	}
+	if shardRoots != "" {
+		return storage.OpenSharded(strings.Split(shardRoots, ","))
+	}
+	if shards > 0 {
+		return storage.OpenSharded(core.ShardRoots(store, shards))
+	}
+	if env := os.Getenv("VSS_BACKEND"); env != "" {
+		fmt.Fprintf(warn, "%s: WARNING: no backend flags given; the store will honor VSS_BACKEND=%q (mem is volatile: data will not survive this process)\n", prog, env)
+	}
+	return nil, nil
+}

@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"fig21", "End-to-end application performance by client count", Fig21},
 		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
 		{"serve", "Serving: HTTP streaming read throughput by concurrent clients", ServeExp},
+		{"io", "Cold reads by storage backend (localfs/sharded/mem, prefetch on/off)", IOExp},
 	}
 }
 

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/visualroad"
+)
+
+// ColdReadConfig is one storage configuration of the cold-read sweep.
+type ColdReadConfig struct {
+	// Name labels the configuration (and the BenchmarkColdRead
+	// sub-benchmark, which CI's overlap report keys on).
+	Name string
+	// Backend constructs the storage backend under dir; nil selects the
+	// default localfs.
+	Backend func(dir string) (storage.Backend, error)
+	// Eager disables the IO-prefetch stage (the pre-prefetch baseline).
+	Eager bool
+}
+
+// SlowBackend wraps a Backend and adds fixed latency to every ReadGOP,
+// simulating a cold disk or network-attached store (a warm OS page cache
+// makes local reads near-free, which hides exactly the latency the
+// prefetch stage exists to overlap). Writes are unaffected.
+type SlowBackend struct {
+	storage.Backend
+	Delay time.Duration
+}
+
+func (s *SlowBackend) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	time.Sleep(s.Delay)
+	return s.Backend.ReadGOP(video, physDir, seq)
+}
+
+// Unwrap exposes the wrapped backend so wrap-chasing interface checks
+// (storage.TempSweeper forwarding) reach the real store.
+func (s *SlowBackend) Unwrap() storage.Backend { return s.Backend }
+
+// ColdLatency is the per-GOP read latency the *-cold configurations
+// inject: the order of one HDD seek / networked-store round trip.
+const ColdLatency = 2 * time.Millisecond
+
+func slowLocal(dir string) (storage.Backend, error) {
+	b, err := storage.Open(filepath.Join(dir, "data"))
+	if err != nil {
+		return nil, err
+	}
+	return &SlowBackend{Backend: b, Delay: ColdLatency}, nil
+}
+
+// ColdReadConfigs sweeps the three backends plus the no-prefetch
+// baselines. It is the single source for both the io experiment and the
+// root BenchmarkColdRead harness, so the CI overlap report (which reads
+// the benchmark names) cannot drift from the experiment. The
+// localfs-cold pair is the anchor: with real per-read latency, the
+// prefetch stage overlaps backend IO with decode while the eager
+// baseline serializes every read ahead of compute.
+func ColdReadConfigs() []ColdReadConfig {
+	return []ColdReadConfig{
+		{Name: "localfs"},
+		{Name: "localfs-noprefetch", Eager: true},
+		{Name: "localfs-cold", Backend: slowLocal},
+		{Name: "localfs-cold-noprefetch", Backend: slowLocal, Eager: true},
+		{Name: "sharded4", Backend: func(dir string) (storage.Backend, error) {
+			return storage.OpenSharded(core.ShardRoots(dir, 4))
+		}},
+		{Name: "mem", Backend: func(dir string) (storage.Backend, error) {
+			return storage.NewMem(), nil
+		}},
+	}
+}
+
+// runColdRead writes the standard workload compressed, then times
+// uncached full-length raw reads — the cold path, where every GOP is
+// fetched from the backend and decoded. Caching is disabled so every
+// read pays the full fetch+decode cost. Returns the best-of-k read time
+// and the stored bytes one read touches.
+func runColdRead(cfg ColdReadConfig, reads int) (time.Duration, int64, int, error) {
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cleanup()
+	opts := core.Options{GOPFrames: 8, BudgetMultiple: -1, DisableCache: true, DisablePrefetch: cfg.Eager}
+	if cfg.Backend != nil {
+		if opts.Backend, err = cfg.Backend(dir); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	s, err := core.Open(dir, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer s.Close()
+	frames := visualroad.Generate(visualroad.Config{
+		Width: benchW, Height: benchH, FPS: benchFPS, Seed: 3301,
+	}, benchSeconds*benchFPS)
+	if err := s.Create("video", -1); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s.Write("video", core.WriteSpec{FPS: benchFPS, Codec: codec.H264, Quality: 85}, frames); err != nil {
+		return 0, 0, 0, err
+	}
+	var best time.Duration
+	var bytes int64
+	for i := 0; i < reads; i++ {
+		var res *core.ReadResult
+		d, err := timeIt(func() error {
+			var err error
+			res, err = s.Read("video", core.ReadSpec{})
+			return err
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+		bytes = res.Stats.BytesRead
+	}
+	return best, bytes, len(frames), nil
+}
+
+// IOExp measures cold-read performance by storage backend and prefetch
+// setting. The localfs-cold vs localfs-cold-noprefetch pair isolates the
+// asynchronous IO-prefetch stage under realistic backend latency
+// (backend reads overlapping decode); the plain localfs pair shows the
+// page-cache-warm case where IO is near-free; sharded4 adds multi-root
+// placement; mem is the no-IO compute ceiling.
+func IOExp(w io.Writer) error {
+	header(w, "IO: cold reads by storage backend (prefetch on/off)")
+	fmt.Fprintf(w, "%-20s %12s %12s %12s\n", "Backend", "Read ms", "MB/s", "Frames/sec")
+	for _, cfg := range ColdReadConfigs() {
+		d, bytes, frames, err := runColdRead(cfg, 3)
+		if err != nil {
+			return fmt.Errorf("io %s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(w, "%-20s %12.1f %12.1f %12.1f\n",
+			cfg.Name, float64(d.Milliseconds()),
+			float64(bytes)/(1<<20)/d.Seconds(), fps(frames, d))
+	}
+	return nil
+}

@@ -87,12 +87,13 @@ func (s *Store) FindJointCandidates() ([]PairCandidate, int, error) {
 				return
 			}
 			var stats ReadStats
+			c := &snapCollector{stats: &stats, eager: true}
 			for i := range p.GOPs {
 				g := &p.GOPs[i]
 				if g.Joint != nil || g.DupOf != nil {
 					continue
 				}
-				snap, err := s.snapshotGOP(held, vs, p, g, &stats)
+				snap, err := s.snapshotGOP(held, vs, p, g, c)
 				if err != nil {
 					continue // unreadable page: skip it, not the sweep
 				}
@@ -218,7 +219,7 @@ func (s *Store) FeatureMatchCheck(a, b GOPRef) (bool, error) {
 // chase duplicate/joint references (expanding the set via withVideos).
 func (s *Store) firstFrameIn(held map[string]*videoState, vs *videoState, p *PhysMeta, g *GOPMeta) (*frame.Frame, error) {
 	var stats ReadStats
-	snap, err := s.snapshotGOP(held, vs, p, g, &stats)
+	snap, err := s.snapshotGOP(held, vs, p, g, &snapCollector{stats: &stats, eager: true})
 	if err != nil {
 		return nil, err
 	}

@@ -109,12 +109,21 @@ func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
 	return true, s.savePhys(v.Name, c.phys)
 }
 
+// tempSweepAge is how old a crash-orphaned write temp must be before
+// maintenance reclaims it. Live atomicWrite temps exist for
+// milliseconds; an hour leaves a colossal safety margin while still
+// reclaiming crash leftovers on the first maintenance pass after them.
+const tempSweepAge = time.Hour
+
 // Maintain runs one background maintenance pass over every video:
-// deferred compression pressure and physical video compaction. The paper
-// runs these "in a background thread when no other requests are being
-// executed" and "periodically and non-quiescently". Maintenance holds at
-// most one video's lock at a time, so it never blocks foreground reads
-// and writes of other videos.
+// deferred compression pressure and physical video compaction, then a
+// sweep of crash-orphaned write temp files (unique temp names mean no
+// later write ever renames an orphan away, and doing the full-tree walk
+// here keeps it off the open and foreground paths). The paper runs
+// maintenance "in a background thread when no other requests are being
+// executed" and "periodically and non-quiescently". It holds at most one
+// video's lock at a time, so it never blocks foreground reads and writes
+// of other videos.
 func (s *Store) Maintain() error {
 	for _, name := range s.videoNames() {
 		vs := s.acquire(name)
@@ -133,7 +142,7 @@ func (s *Store) Maintain() error {
 			return err
 		}
 	}
-	return nil
+	return s.files.SweepTemps(tempSweepAge)
 }
 
 // StartBackground launches the maintenance loop at the given interval and

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -18,18 +20,33 @@ import (
 // a single read — run in parallel:
 //
 //	Phase A (video lock held): resolve the request, pick the minimal-cost
-//	  plan, and SNAPSHOT the bytes of every stored GOP the plan touches
-//	  (chasing duplicate/joint references through the held lock set).
-//	Phase B (no locks): decode, crop/resize/convert, and re-encode on the
-//	  store's bounded worker pool, fanning out per GOP and per output
-//	  chunk and joining in frame order.
+//	  plan, and snapshot the decode RECIPE of every stored GOP the plan
+//	  touches (chasing duplicate/joint references through the held lock
+//	  set), registering one fetch descriptor per stored GOP to read.
+//	Phase B (no locks): an asynchronous IO-prefetch stage reads GOP bytes
+//	  from the storage backend ahead of the decode workers (bounded
+//	  look-ahead, 2*Workers), overlapping backend IO with decode; the
+//	  workers decode, crop/resize/convert, and re-encode on the store's
+//	  bounded worker pool, fanning out per GOP and per output chunk and
+//	  joining in frame order.
 //	Phase C (video lock re-acquired): cache admission, eviction, and
 //	  deferred-compression pressure against the video's current state.
 //
-// Because phase A copies every byte the plan needs while holding the
-// lock, phase B is immune to concurrent eviction, compaction, and joint
-// compression; phase C revalidates admission against whatever the video
-// looks like by then.
+// Deferring the byte reads out of phase A is what lets disk (or shard)
+// IO overlap with compute — the pre-prefetch design read every byte
+// synchronously under the video lock. The price is a race: between
+// phase A and the fetch, maintenance may evict, jointly compress, or
+// lossless-recompress a planned GOP. The prefetch stage detects this
+// per GOP (the file is gone, or its size no longer matches the metadata
+// snapshot) and falls back to re-snapshotting that one GOP under the
+// lock, where metadata is authoritative; Options.DisablePrefetch
+// restores the fully-eager phase A. Passthrough GOPs (stored bitstreams
+// emitted as-is, no decode) are still snapshotted eagerly in phase A:
+// they have no compute to overlap with, and keeping them consistent
+// under the lock preserves the byte-identical stream/batch contract.
+//
+// Phase C revalidates admission against whatever the video looks like
+// by then.
 
 // ReadStats reports how a read was executed.
 type ReadStats struct {
@@ -78,23 +95,60 @@ func snapPhys(p *PhysMeta) physSnap {
 	return physSnap{width: p.Width, height: p.Height, roi: p.ROI}
 }
 
-// gopSnap carries the stored bytes and decode recipe of one GOP, captured
-// under the video lock in phase A and decoded lock-free in phase B.
+// gopFetch is one deferred backend read: phase A records the GOP's
+// address and expected size under the video lock, the prefetch stage of
+// phase B performs the read. ready is closed once data/err is set.
+type gopFetch struct {
+	video, dir string
+	seq        int
+	want       int64 // stored size per the metadata snapshot (staleness check)
+
+	ready  chan struct{}
+	data   []byte
+	err    error
+	window chan struct{} // look-ahead tokens, released as fetches are consumed
+	bytes  *atomic.Int64 // the read's BytesRead accumulator
+}
+
+// wait blocks until the fetch completes (or ctx is cancelled), releases
+// the fetch's look-ahead token, and returns the bytes.
+func (f *gopFetch) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.ready:
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+	select {
+	case <-f.window:
+	default:
+	}
+	return f.data, f.err
+}
+
+// gopSnap carries the decode recipe of one GOP plus its stored bytes —
+// captured eagerly under the video lock in phase A (prefetch disabled,
+// passthrough, re-snapshots) or resolved from fetch descriptors by the
+// prefetch stage of phase B.
 type gopSnap struct {
 	data          []byte
+	fetch         *gopFetch // non-nil: data arrives via the prefetch stage
 	losslessLevel int
 	joint         *GOPJoint
-	partner       []byte // partner container bytes for right-role joint GOPs
-	width, height int    // physical resolution (joint reconstruction canvas)
+	partner       []byte    // partner container bytes for right-role joint GOPs
+	partnerFetch  *gopFetch // non-nil: partner arrives via the prefetch stage
+	width, height int       // physical resolution (joint reconstruction canvas)
 }
 
 // decodeJob is one GOP decode executed on the worker pool. from/to bound
 // the returned frames ([from, to); to = -1 means to the end). The batch
-// path (executeJob) runs every job eagerly via runJobs; the streaming path
+// path (executeJob) runs every job eagerly via runJobsPrepared (resolve
+// in the prepare hook, decode under the CPU slot); the streaming path
 // (ReadStream) decodes lazily through once, on the first unit that needs
 // the GOP, and drops frames once refs units have consumed them.
 type decodeJob struct {
 	snap     gopSnap
+	key      jobKey        // identity for the stale-fetch re-snapshot fallback
+	bytes    *atomic.Int64 // BytesRead accumulator for re-snapshot reads
 	from, to int
 	frames   []*frame.Frame
 	decoded  int // GOP streams decoded, for ReadStats
@@ -104,10 +158,78 @@ type decodeJob struct {
 	refs   atomic.Int32 // streaming: units still needing frames
 }
 
-func (j *decodeJob) run() error {
-	frames, decoded, err := decodeSnap(j.snap, j.from, j.to)
+func (j *decodeJob) decode(snap gopSnap) error {
+	frames, decoded, err := decodeSnap(snap, j.from, j.to)
 	j.frames, j.decoded = frames, decoded
 	return err
+}
+
+// decodeResolved decodes the resolved snapshot. When the bytes came from
+// a prefetched fetch, a decode failure retries once from a fresh
+// under-lock snapshot: an in-place rewrite that lands on the same byte
+// count slips past fetchStale's size check, and the retry converts that
+// razor-thin race into a correct read instead of a spurious decode
+// error. Genuine corruption still surfaces — eagerly snapshotted bytes
+// never retry, and a retry that decodes no better reports the failure.
+func (j *decodeJob) decodeResolved(snap gopSnap, s *Store) error {
+	err := j.decode(snap)
+	if err == nil || (snap.fetch == nil && snap.partnerFetch == nil) {
+		return err
+	}
+	fresh, rerr := s.resnapshotGOP(j.key, j.bytes)
+	if rerr != nil {
+		return err // the original decode error, not the retry's
+	}
+	return j.decode(fresh)
+}
+
+// fetchStale reports whether a prefetched read raced a metadata change
+// and must be retried under the video lock: the file vanished (eviction
+// or compaction won) or its size no longer matches the phase-A snapshot
+// (joint compression or deferred lossless rewrote it in place).
+func fetchStale(err error, got int, want int64) bool {
+	if err != nil {
+		return errors.Is(err, fs.ErrNotExist)
+	}
+	return int64(got) != want
+}
+
+// resolve materializes the job's snapshot: wait for the prefetched
+// bytes, or — when the fetch proves stale — re-snapshot this one GOP
+// under the video lock, which re-resolves its current recipe
+// (duplicate/joint/lossless state may all have changed) and reads its
+// bytes while nothing can move them.
+func (j *decodeJob) resolve(ctx context.Context, s *Store) (gopSnap, error) {
+	snap := j.snap
+	if snap.fetch != nil {
+		data, err := snap.fetch.wait(ctx)
+		if err != nil || fetchStale(err, len(data), snap.fetch.want) {
+			// Any early exit must consume (and discard) the partner fetch
+			// too: its look-ahead token has to return to the window, or a
+			// run of failing joint GOPs (a degraded shard erroring with
+			// something other than ENOENT) would shrink the window until
+			// the fetchers wedge.
+			if snap.partnerFetch != nil {
+				snap.partnerFetch.wait(ctx) //nolint:errcheck
+			}
+			if fetchStale(err, len(data), snap.fetch.want) {
+				return s.resnapshotGOP(j.key, j.bytes)
+			}
+			return gopSnap{}, err
+		}
+		snap.data = data
+	}
+	if snap.partnerFetch != nil {
+		data, err := snap.partnerFetch.wait(ctx)
+		if fetchStale(err, len(data), snap.partnerFetch.want) {
+			return s.resnapshotGOP(j.key, j.bytes)
+		}
+		if err != nil {
+			return gopSnap{}, err
+		}
+		snap.partner = data
+	}
+	return snap, nil
 }
 
 // frameSrc names one output frame of a transcoded segment: a frame of a
@@ -134,6 +256,8 @@ type readJob struct {
 	gopFrames int
 	jobs      []*decodeJob
 	segs      []readSeg
+	fetches   []*gopFetch  // backend reads for the prefetch stage, plan order
+	bytesRead atomic.Int64 // stored bytes fetched by phase B
 
 	// Phase B outputs.
 	outFrames []*frame.Frame // raw path: RGB frames at ROI resolution
@@ -153,10 +277,33 @@ type readBuilder struct {
 	vs      *videoState
 	r       resolvedSpec
 	stats   *ReadStats
+	c       *snapCollector
 	jobs    map[jobKey]*decodeJob
 	order   []*decodeJob
 	segs    []readSeg
 	touched map[int]*PhysMeta
+}
+
+// snapCollector threads the snapshot policy of one read through
+// snapshotGOP: eager reads GOP bytes immediately under the video lock
+// (counting into stats — the pre-prefetch behavior, used when prefetch
+// is disabled and by stale-fetch re-snapshots); otherwise each stored
+// GOP registers a fetch descriptor for the phase-B prefetch stage.
+type snapCollector struct {
+	stats   *ReadStats
+	eager   bool
+	bytes   *atomic.Int64 // phase-B BytesRead accumulator, shared with fetches
+	fetches []*gopFetch
+}
+
+// fetchFor registers one deferred backend read.
+func (c *snapCollector) fetchFor(video, dir string, seq int, want int64) *gopFetch {
+	f := &gopFetch{
+		video: video, dir: dir, seq: seq, want: want,
+		ready: make(chan struct{}), bytes: c.bytes,
+	}
+	c.fetches = append(c.fetches, f)
+	return f
 }
 
 type jobKey struct {
@@ -189,6 +336,22 @@ func (s *Store) ReadContext(ctx context.Context, video string, spec ReadSpec) (*
 	if err := context.Cause(ctx); err != nil {
 		return nil, err
 	}
+	out, err := s.readOnce(ctx, video, spec, s.opts.DisablePrefetch)
+	if errors.Is(err, errDanglingRef) && !s.opts.DisablePrefetch {
+		// The prefetch stage lost a race the eager design could not lose:
+		// a planned GOP was evicted (and is not merely rewritten) between
+		// phase A and its fetch. The video itself is intact — a fresh
+		// plan reads it from the surviving views — so retry once with the
+		// pre-prefetch eager snapshot, which reads every byte under the
+		// lock and is immune by construction.
+		return s.readOnce(ctx, video, spec, true)
+	}
+	return out, err
+}
+
+// readOnce runs one full read attempt (phases A, B, C). eager selects
+// the under-lock byte snapshot instead of the prefetch stage.
+func (s *Store) readOnce(ctx context.Context, video string, spec ReadSpec, eager bool) (*ReadResult, error) {
 	var (
 		out       *ReadResult
 		job       *readJob
@@ -201,18 +364,20 @@ func (s *Store) ReadContext(ctx context.Context, video string, spec ReadSpec) (*
 	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
 		var err error
 		vsA = held[video]
-		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec)
+		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec, eager)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase B: CPU-heavy decode/convert/encode, no locks held.
+	// Phase B: IO prefetch + CPU-heavy decode/convert/encode, no locks
+	// held.
 	if err := s.executeJob(ctx, job); err != nil {
 		return nil, err
 	}
 	out.Stats.GOPsDecoded += job.decoded
+	out.Stats.BytesRead += job.bytesRead.Load()
 	r := job.r
 	if r.codec.Compressed() {
 		out.GOPs = job.outGOPs
@@ -286,8 +451,9 @@ func (s *Store) withVideos(primary []string, fn func(held map[string]*videoState
 }
 
 // prepareRead is phase A: plan the read and snapshot everything phase B
-// needs. Caller holds the locks in held, which must include vs.
-func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec ReadSpec) (*ReadResult, *readJob, []int, float64, error) {
+// needs (byte reads included when eager, fetch descriptors otherwise).
+// Caller holds the locks in held, which must include vs.
+func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec ReadSpec, eager bool) (*ReadResult, *readJob, []int, float64, error) {
 	v := vs.meta
 	r, err := s.resolve(v, spec)
 	if err != nil {
@@ -314,8 +480,10 @@ func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec Re
 		}
 	}
 
+	job := &readJob{r: r, gopFrames: s.opts.GOPFrames}
 	b := &readBuilder{
 		s: s, held: held, vs: vs, r: r, stats: &out.Stats,
+		c:       &snapCollector{stats: &out.Stats, eager: eager, bytes: &job.bytesRead},
 		jobs:    make(map[jobKey]*decodeJob),
 		touched: make(map[int]*PhysMeta),
 	}
@@ -336,7 +504,7 @@ func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec Re
 	if err := s.saveVideo(v); err != nil {
 		return nil, nil, nil, 0, err
 	}
-	job := &readJob{r: r, gopFrames: s.opts.GOPFrames, jobs: b.order, segs: b.segs}
+	job.jobs, job.segs, job.fetches = b.order, b.segs, b.c.fetches
 	return out, job, plan.Fragments(), parentMSE, nil
 }
 
@@ -347,11 +515,11 @@ func (b *readBuilder) jobFor(vs *videoState, p *PhysMeta, g *GOPMeta, from, to i
 	if j, ok := b.jobs[key]; ok {
 		return j, nil
 	}
-	snap, err := b.s.snapshotGOP(b.held, vs, p, g, b.stats)
+	snap, err := b.s.snapshotGOP(b.held, vs, p, g, b.c)
 	if err != nil {
 		return nil, err
 	}
-	j := &decodeJob{snap: snap, from: from, to: to}
+	j := &decodeJob{snap: snap, key: key, bytes: b.c.bytes, from: from, to: to}
 	b.jobs[key] = j
 	b.order = append(b.order, j)
 	return j, nil
@@ -505,46 +673,138 @@ func (b *readBuilder) runSrcs(p *PhysMeta, a, bEnd float64) ([]frameSrc, error) 
 	return srcs, nil
 }
 
-// snapshotGOP captures the stored bytes and decode recipe of one GOP,
-// resolving duplicate pointers and joint partners through the held lock
-// set. Returns errVideosNeeded when a reference escapes the set.
-func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *PhysMeta, g *GOPMeta, stats *ReadStats) (gopSnap, error) {
+// snapshotGOP captures the decode recipe of one GOP, resolving duplicate
+// pointers and joint partners through the held lock set. Bytes are read
+// immediately (eager collector) or registered as fetch descriptors for
+// the prefetch stage. Returns errVideosNeeded when a reference escapes
+// the set.
+func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *PhysMeta, g *GOPMeta, c *snapCollector) (gopSnap, error) {
 	if g.DupOf != nil {
 		dvs, dp, dg, err := resolveRefIn(held, *g.DupOf)
 		if err != nil {
 			return gopSnap{}, err
 		}
-		return s.snapshotGOP(held, dvs, dp, dg, stats)
+		return s.snapshotGOP(held, dvs, dp, dg, c)
 	}
 	// For right-role joint GOPs, resolve the partner BEFORE any IO so a
 	// missing lock costs nothing.
 	var partnerP *PhysMeta
+	var partnerG *GOPMeta
 	if g.Joint != nil && g.Joint.Role == "right" {
 		var err error
-		_, partnerP, _, err = resolveRefIn(held, g.Joint.Partner)
+		_, partnerP, partnerG, err = resolveRefIn(held, g.Joint.Partner)
 		if err != nil {
 			return gopSnap{}, err
 		}
 	}
-	data, err := s.files.ReadGOP(vs.meta.Name, p.Dir, g.Seq)
-	if err != nil {
-		return gopSnap{}, err
+	snap := gopSnap{losslessLevel: g.Lossless, width: p.Width, height: p.Height}
+	if c.eager {
+		data, err := s.files.ReadGOP(vs.meta.Name, p.Dir, g.Seq)
+		if err != nil {
+			return gopSnap{}, err
+		}
+		c.stats.BytesRead += int64(len(data))
+		snap.data = data
+	} else {
+		snap.fetch = c.fetchFor(vs.meta.Name, p.Dir, g.Seq, g.Bytes)
 	}
-	stats.BytesRead += int64(len(data))
-	snap := gopSnap{data: data, losslessLevel: g.Lossless, width: p.Width, height: p.Height}
 	if g.Joint != nil {
 		j := *g.Joint
 		snap.joint = &j
 		if partnerP != nil {
-			pdata, err := s.files.ReadGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq)
-			if err != nil {
-				return gopSnap{}, err
+			if c.eager {
+				pdata, err := s.files.ReadGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq)
+				if err != nil {
+					return gopSnap{}, err
+				}
+				c.stats.BytesRead += int64(len(pdata))
+				snap.partner = pdata
+			} else {
+				snap.partnerFetch = c.fetchFor(j.Partner.Video, partnerP.Dir, j.Partner.Seq, partnerG.Bytes)
 			}
-			stats.BytesRead += int64(len(pdata))
-			snap.partner = pdata
 		}
 	}
 	return snap, nil
+}
+
+// resnapshotGOP re-snapshots one GOP under its video's lock after the
+// prefetch stage found the stored bytes changed identity between
+// planning and fetch (evicted, jointly compressed, or lossless-
+// recompressed). The job key addresses the GOP as the plan saw it;
+// duplicate and joint references are re-chased from current metadata,
+// so the returned snapshot is internally consistent whatever happened
+// in between. A GOP that is truly gone surfaces as a dangling-ref error.
+func (s *Store) resnapshotGOP(key jobKey, bytes *atomic.Int64) (gopSnap, error) {
+	var snap gopSnap
+	var stats ReadStats
+	c := &snapCollector{stats: &stats, eager: true}
+	err := s.withVideos([]string{key.video}, func(held map[string]*videoState) error {
+		vs := held[key.video]
+		p := vs.byID(key.phys)
+		if p == nil {
+			return fmt.Errorf("%w: phys %d of %s", errDanglingRef, key.phys, key.video)
+		}
+		g := findGOP(p, key.seq)
+		if g == nil {
+			return fmt.Errorf("%w: seq %d of %s/%d", errDanglingRef, key.seq, key.video, key.phys)
+		}
+		var err error
+		snap, err = s.snapshotGOP(held, vs, p, g, c)
+		return err
+	})
+	if err != nil {
+		return gopSnap{}, err
+	}
+	if bytes != nil {
+		bytes.Add(stats.BytesRead)
+	}
+	return snap, nil
+}
+
+// startPrefetch launches the asynchronous IO stage of phase B: fetchers
+// issue backend reads in plan order, running at most 2*Workers fetched-
+// but-unconsumed GOPs ahead of the decode workers — the same look-ahead
+// discipline that bounds streaming reads. Fetchers need no CPU-pool
+// slot (they only block on IO), so backend reads overlap decode work
+// slot-for-slot. They exit when every fetch is issued or ctx is
+// cancelled; waiters observe cancellation through their own ctx select,
+// so no fetch is ever waited on forever.
+func (s *Store) startPrefetch(ctx context.Context, fetches []*gopFetch) {
+	if len(fetches) == 0 {
+		return
+	}
+	window := make(chan struct{}, 2*s.opts.Workers)
+	for _, f := range fetches {
+		f.window = window
+	}
+	workers := s.opts.Workers
+	if workers > len(fetches) {
+		workers = len(fetches)
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fetches) {
+					return
+				}
+				f := fetches[i]
+				select {
+				case window <- struct{}{}:
+				case <-ctx.Done():
+					f.err = context.Cause(ctx)
+					close(f.ready)
+					return
+				}
+				f.data, f.err = s.files.ReadGOP(f.video, f.dir, f.seq)
+				if f.err == nil && f.bytes != nil {
+					f.bytes.Add(int64(len(f.data)))
+				}
+				close(f.ready)
+			}
+		}()
+	}
 }
 
 // decodeSnap decodes frames [from, to) of a snapshotted GOP. It is a pure
@@ -584,8 +844,29 @@ func decodeSnap(snap gopSnap, from, to int) ([]*frame.Frame, int, error) {
 // stops workers between tasks; see runJobs for the first-error-wins
 // contract.
 func (s *Store) executeJob(ctx context.Context, job *readJob) error {
-	// 1. Decode every needed GOP in parallel.
-	if err := s.runJobs(ctx, len(job.jobs), func(i int) error { return job.jobs[i].run() }); err != nil {
+	// 0. Launch the IO-prefetch stage ahead of the decode workers; the
+	// deferred cancel tears the fetchers down if decode fails early.
+	dctx := ctx
+	if len(job.fetches) > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		s.startPrefetch(dctx, job.fetches)
+	}
+
+	// 1. Decode every needed GOP in parallel. The fetch wait runs in the
+	// prepare hook — outside the task's CPU slot — so a decode stalled on
+	// backend IO never occupies the pool (the same discipline the
+	// streaming path applies before acquireSlot).
+	snaps := make([]gopSnap, len(job.jobs))
+	if err := s.runJobsPrepared(dctx, len(job.jobs),
+		func(i int) error {
+			var err error
+			snaps[i], err = job.jobs[i].resolve(dctx, s)
+			return err
+		},
+		func(i int) error { return job.jobs[i].decodeResolved(snaps[i], s) },
+	); err != nil {
 		return err
 	}
 	for _, j := range job.jobs {

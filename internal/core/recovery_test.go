@@ -4,15 +4,28 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 )
 
-// findGOPFile locates one on-disk GOP file of the store.
+// skipWithoutGOPFiles skips tests that reach around the API and poke
+// GOP files on disk when the suite runs against a backend that has none
+// (VSS_BACKEND=mem, the CI backend-parity run).
+func skipWithoutGOPFiles(t *testing.T) {
+	t.Helper()
+	if os.Getenv("VSS_BACKEND") == "mem" {
+		t.Skip("test manipulates on-disk GOP files; mem backend has none")
+	}
+}
+
+// findGOPFile locates one on-disk GOP file of the store. It walks the
+// whole store directory (not just data/) so it finds GOPs under sharded
+// roots too; the catalog holds no .gop files.
 func findGOPFile(t *testing.T, dir string) string {
 	t.Helper()
 	var found string
-	filepath.Walk(filepath.Join(dir, "data"), func(path string, info os.FileInfo, err error) error {
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err == nil && !info.IsDir() && filepath.Ext(path) == ".gop" && found == "" {
 			found = path
 		}
@@ -25,6 +38,7 @@ func findGOPFile(t *testing.T, dir string) string {
 }
 
 func TestCorruptGOPFileSurfacesError(t *testing.T) {
+	skipWithoutGOPFiles(t)
 	dir := t.TempDir()
 	s, err := Open(dir, Options{GOPFrames: 8})
 	if err != nil {
@@ -48,6 +62,7 @@ func TestCorruptGOPFileSurfacesError(t *testing.T) {
 }
 
 func TestMissingGOPFileSurfacesError(t *testing.T) {
+	skipWithoutGOPFiles(t)
 	dir := t.TempDir()
 	s, err := Open(dir, Options{GOPFrames: 8})
 	if err != nil {
@@ -93,6 +108,7 @@ func TestReopenAfterUncleanShutdown(t *testing.T) {
 }
 
 func TestOrphanedTempFilesIgnored(t *testing.T) {
+	skipWithoutGOPFiles(t)
 	dir := t.TempDir()
 	s, err := Open(dir, Options{GOPFrames: 8})
 	if err != nil {
@@ -103,11 +119,74 @@ func TestOrphanedTempFilesIgnored(t *testing.T) {
 	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 63)); err != nil {
 		t.Fatal(err)
 	}
-	// A crash mid-WriteGOP leaves a .tmp file; it must not disturb reads.
+	// A crash mid-WriteGOP leaves a uniquely named temp file (the shape
+	// storage.atomicWrite's os.CreateTemp produces); it must not disturb
+	// reads, and — once old enough that it cannot be a live writer's —
+	// the background maintenance pass must sweep it.
 	gop := findGOPFile(t, dir)
-	os.WriteFile(gop+".tmp", []byte("partial"), 0o644)
+	tmp := filepath.Join(filepath.Dir(gop), "."+filepath.Base(gop)+".tmp-123456")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Read("v", ReadSpec{}); err != nil {
 		t.Errorf("orphan temp file broke reads: %v", err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("crash-orphaned temp file not swept by maintenance (stat err %v)", err)
+	}
+	if _, err := s.Read("v", ReadSpec{}); err != nil {
+		t.Errorf("read after temp sweep: %v", err)
+	}
+}
+
+func TestOrphanedPhysRecoveryReclaimsStorage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("v", -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(16, 64, 48, 77)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that lost the video row but kept its physical
+	// rows: recovery must drop the orphaned rows AND reclaim their GOP
+	// files — no later operation ever visits a physical video the
+	// catalog no longer reaches, so a row-only cleanup leaks the disk
+	// space forever.
+	if err := s.cat.Delete("videos", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{GOPFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if keys := s2.cat.Keys("phys"); len(keys) != 0 {
+		t.Errorf("orphaned phys rows survived recovery: %v", keys)
+	}
+	leaked := 0
+	err = s2.files.Walk(func(video, physDir string, seq int, size int64) error {
+		leaked++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked != 0 {
+		t.Errorf("%d GOP files leaked after orphan recovery", leaked)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -54,6 +55,22 @@ type Options struct {
 	// bounded regardless of client count. 0 selects GOMAXPROCS; 1 makes
 	// read execution fully serial (useful for deterministic profiling).
 	Workers int
+	// Backend selects the physical GOP store. nil selects the default
+	// single-root localfs backend under <dir>/data — unless the
+	// VSS_BACKEND environment variable overrides it ("mem", or
+	// "sharded:N" for N roots under <dir>; the hook that lets CI run the
+	// whole suite against another backend without code changes). Pass
+	// storage.OpenSharded roots for multi-disk deployments or
+	// storage.NewMem for IO-free operation; the vss package re-exports
+	// constructors. The catalog always lives on the local filesystem
+	// under <dir>/catalog regardless of backend.
+	Backend storage.Backend
+	// DisablePrefetch reverts GOP fetch to the synchronous under-lock
+	// snapshot of the pre-prefetch read path: stored bytes are read in
+	// phase A while the video lock is held instead of on the asynchronous
+	// IO-prefetch stage that overlaps backend reads with decode. Exists
+	// for the io benchmark's baseline and for debugging.
+	DisablePrefetch bool
 
 	// GreedyPlanner selects the dependency-naive greedy baseline instead
 	// of the solver (Section 6.1 comparison).
@@ -173,7 +190,7 @@ func (vs *videoState) original() *PhysMeta {
 // internally safe for concurrent use.
 type Store struct {
 	opts  Options
-	files *storage.Store
+	files *storage.Instrumented // metrics-wrapped Options.Backend
 	cat   *catalog.DB
 	est   *quality.Estimator
 
@@ -214,7 +231,7 @@ var errDanglingRef = errors.New("core: dangling GOP ref")
 
 // Open opens (creating if necessary) a VSS store in dir.
 func Open(dir string, opts Options) (*Store, error) {
-	files, err := storage.Open(filepath.Join(dir, "data"))
+	backend, err := backendFor(dir, opts.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +241,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		opts:   opts.withDefaults(),
-		files:  files,
+		files:  storage.Instrument(backend),
 		cat:    cat,
 		est:    quality.NewEstimator(nil),
 		videos: make(map[string]*videoState),
@@ -236,6 +253,47 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	return s, nil
 }
+
+// backendFor resolves the effective storage backend: an explicit
+// Options.Backend wins; otherwise the VSS_BACKEND environment variable
+// may redirect the default ("mem" for a process-shared in-memory store,
+// "sharded:N" for N roots under dir — the hook CI uses to run the test
+// suite against other backends); otherwise localfs under <dir>/data.
+func backendFor(dir string, explicit storage.Backend) (storage.Backend, error) {
+	if explicit != nil {
+		return explicit, nil
+	}
+	switch env := os.Getenv("VSS_BACKEND"); {
+	case env == "" || env == "localfs":
+		return storage.Open(filepath.Join(dir, "data"))
+	case env == "mem":
+		return storage.SharedMem(dir), nil
+	case strings.HasPrefix(env, "sharded:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(env, "sharded:"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: bad VSS_BACKEND %q: want sharded:N with N >= 1", env)
+		}
+		return storage.OpenSharded(ShardRoots(dir, n))
+	default:
+		return nil, fmt.Errorf("core: unknown VSS_BACKEND %q", env)
+	}
+}
+
+// ShardRoots returns the conventional shard root directories for a store
+// at dir: <dir>/data-shard0 .. data-shard{n-1}. Using the convention (in
+// vssd, vssctl, and the env hook) keeps independent processes agreeing
+// on placement for the same -shards count.
+func ShardRoots(dir string, n int) []string {
+	roots := make([]string, n)
+	for i := range roots {
+		roots[i] = filepath.Join(dir, fmt.Sprintf("data-shard%d", i))
+	}
+	return roots
+}
+
+// BackendStats snapshots the storage backend's operation counters
+// (reads/writes, bytes, cumulative latency). Safe for concurrent use.
+func (s *Store) BackendStats() storage.BackendStats { return s.files.Stats() }
 
 // load hydrates the in-memory metadata cache from the catalog. It runs
 // before the store is published, so no locking is needed.
@@ -274,8 +332,16 @@ func (s *Store) load() error {
 		}
 		vs := s.videos[video]
 		if vs == nil {
-			// Orphaned physical record (video deleted mid-crash): drop it.
-			s.cat.Delete("phys", key)
+			// Orphaned physical record (video deleted mid-crash): drop the
+			// catalog row AND its GOP directory, or the crash leaks the
+			// orphan's disk space forever (no later operation ever visits a
+			// physical video that is not in the catalog). Cleanup is
+			// best-effort — a degraded shard must not make the whole store
+			// unopenable — so on failure the row is KEPT and the reclaim
+			// retries on the next (healthy) open.
+			if err := s.files.DeletePhysical(video, p.Dir); err == nil {
+				s.cat.Delete("phys", key)
+			}
 			continue
 		}
 		vs.phys[id] = &p
@@ -532,6 +598,15 @@ func resolveRefIn(held map[string]*videoState, ref GOPRef) (*videoState, *PhysMe
 // exits). The context's cause is folded into the returned error alongside
 // any task errors that already occurred.
 func (s *Store) runJobs(ctx context.Context, n int, run func(i int) error) error {
+	return s.runJobsPrepared(ctx, n, nil, run)
+}
+
+// runJobsPrepared is runJobs with an optional prepare hook that executes
+// BEFORE the task's semaphore slot is acquired. Work that blocks on IO —
+// waiting out a prefetched GOP fetch — belongs in prepare, so a task
+// stalled on the backend never occupies a CPU slot another read could
+// use. A prepare error records as the task's error and skips run.
+func (s *Store) runJobsPrepared(ctx context.Context, n int, prepare, run func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -562,6 +637,11 @@ func (s *Store) runJobs(ctx context.Context, n int, run func(i int) error) error
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if prepare != nil {
+					if errs[i] = prepare(i); errs[i] != nil {
+						continue
+					}
 				}
 				// The semaphore wait can be long on a loaded pool; bail out
 				// of it (and don't run the task) once cancelled, so a dead

@@ -27,17 +27,18 @@ import (
 //     which is exactly what streaming avoids. A serving layer that wants
 //     hot-response reuse caches encoded responses itself (see
 //     internal/server).
-//   - Decode memory is bounded: at most ~2*Workers units are produced
-//     ahead of the consumer, and a decoded GOP's frames are released once
-//     the last unit that references them has been produced. Passthrough
-//     bytes are the exception: phase A snapshots every stored GOP the
-//     plan touches (including aligned same-format GOPs emitted as-is)
-//     under the video lock, so a pure-passthrough read holds its encoded
-//     response up front — compressed bytes, roughly the response size,
-//     orders of magnitude smaller than the decoded frames the look-ahead
-//     window bounds. Making those lazy would mean re-locking per GOP in
-//     phase B and re-validating against eviction/compaction; the
-//     snapshot-under-lock design is what keeps phase B lock-free.
+//   - Decode memory is bounded twice over: at most ~2*Workers units are
+//     produced ahead of the consumer, and the IO-prefetch stage fetches
+//     at most 2*Workers stored GOPs ahead of the decode workers (see
+//     startPrefetch in reader.go); a decoded GOP's frames are released
+//     once the last unit that references them has been produced.
+//     Passthrough bytes are the exception: phase A snapshots aligned
+//     same-format GOPs emitted as-is under the video lock, so a pure-
+//     passthrough read holds its encoded response up front — compressed
+//     bytes, roughly the response size, orders of magnitude smaller than
+//     the decoded frames the look-ahead window bounds. They carry no
+//     decode work to overlap with, and keeping them consistent under the
+//     lock preserves the byte-identical stream/batch contract.
 //   - Output bytes are identical to Read: units are chunked exactly the
 //     way assembleRaw/assembleCompressed chunk, and conversion/encoding
 //     goes through the same pure functions.
@@ -94,6 +95,7 @@ type ReadStream struct {
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
 	r       resolvedSpec
+	job     *readJob // fetch descriptors + BytesRead accumulator
 	units   []*streamUnit
 	next    int           // consumer cursor
 	claim   atomic.Int64  // worker claim counter
@@ -109,6 +111,15 @@ type ReadStream struct {
 // runs on the store's worker pool as the caller iterates. Cancelling ctx —
 // or calling Close — abandons the remaining decode work at the next GOP
 // boundary. Safe for concurrent use.
+//
+// One contract difference from Read: if eviction under extreme budget
+// pressure deletes a planned GOP between planning and its prefetch (a
+// race the per-GOP re-snapshot cannot repair when the data is truly
+// gone), a batch Read silently retries with a fresh plan, but a stream —
+// which may already have delivered units of the old plan — surfaces the
+// dangling-ref error to the consumer, who retries the request. Rewritten
+// GOPs (joint compression, deferred lossless) are repaired in place on
+// both paths.
 func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*ReadStream, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -122,7 +133,7 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 	)
 	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
 		var err error
-		out, job, _, _, err = s.prepareRead(held, held[video], spec)
+		out, job, _, _, err = s.prepareRead(held, held[video], spec, s.opts.DisablePrefetch)
 		return err
 	})
 	if err != nil {
@@ -131,7 +142,7 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 
 	st := &ReadStream{
 		Width: out.Width, Height: out.Height, FPS: out.FPS,
-		s: s, r: job.r, stats: out.Stats,
+		s: s, r: job.r, job: job, stats: out.Stats,
 	}
 	st.ctx, st.cancel = context.WithCancelCause(ctx)
 	st.units = buildStreamUnits(job)
@@ -140,6 +151,10 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 			j.refs.Add(1)
 		}
 	}
+	// The IO-prefetch stage runs ahead of the stream's decode workers
+	// exactly as it does for batch reads; its fetchers stop when the
+	// stream context is cancelled (Close, error, or EOF).
+	s.startPrefetch(st.ctx, job.fetches)
 	workers := s.opts.Workers
 	if workers > len(st.units) {
 		workers = len(st.units)
@@ -244,10 +259,17 @@ func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
 	s := st.s
 	for _, j := range u.jobs {
 		j.once.Do(func() {
+			// Wait for the prefetched bytes BEFORE taking a CPU slot: a
+			// unit stalled on IO must not occupy the pool.
+			snap, err := j.resolve(st.ctx, s)
+			if err != nil {
+				j.runErr = err
+				return
+			}
 			if j.runErr = st.acquireSlot(); j.runErr != nil {
 				return
 			}
-			j.runErr = j.run()
+			j.runErr = j.decodeResolved(snap, s)
 			<-s.workSem
 			if j.runErr == nil {
 				st.decoded.Add(int64(j.decoded))
@@ -374,10 +396,12 @@ func (st *ReadStream) Close() error {
 }
 
 // Stats reports the read's execution statistics. Plan fields are valid
-// immediately; GOPsDecoded grows as the stream progresses. Admitted is
-// always false: streaming reads do not cache-admit their result.
+// immediately; GOPsDecoded and BytesRead grow as the stream progresses
+// (prefetched GOP bytes count once fetched). Admitted is always false:
+// streaming reads do not cache-admit their result.
 func (st *ReadStream) Stats() ReadStats {
 	stats := st.stats
 	stats.GOPsDecoded = int(st.decoded.Load())
+	stats.BytesRead += st.job.bytesRead.Load()
 	return stats
 }

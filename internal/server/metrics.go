@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/vss"
+)
 
 // metrics is the server's live counter registry. Every field is updated
 // with atomics on the request path and read wholesale by the /metrics
@@ -81,4 +85,8 @@ type MetricsSnapshot struct {
 	Cache     CacheMetrics            `json:"cache"`
 	Writes    WriteMetrics            `json:"writes"`
 	Videos    map[string]VideoMetrics `json:"videos"`
+	// Storage is the backend section: which backend kind serves the
+	// store plus its cumulative read/write byte and latency counters
+	// (vss.BackendStats, sampled at snapshot time).
+	Storage vss.BackendStats `json:"storage"`
 }

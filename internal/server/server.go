@@ -536,7 +536,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Writes:      s.m.writes.Load(),
 			GOPsWritten: s.m.gopsWritten.Load(),
 		},
-		Videos: make(map[string]VideoMetrics),
+		Videos:  make(map[string]VideoMetrics),
+		Storage: s.sys.BackendStats(),
 	}
 	hits, misses := s.m.cacheHits.Load(), s.m.cacheMisses.Load()
 	entries, bytes, max := s.cache.stats()

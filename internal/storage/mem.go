@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory Backend: a map from GOP address to bytes. It
+// exists for tests and IO-free benchmarking (the decode pipeline's
+// compute ceiling), and as the simplest possible reference for the
+// Backend contract. Contents do not survive the process.
+type Mem struct {
+	mu   sync.RWMutex
+	gops map[memKey][]byte
+}
+
+type memKey struct {
+	video string
+	phys  string
+	seq   int
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{gops: make(map[memKey][]byte)}
+}
+
+// sharedMems backs SharedMem: one Mem per key, for the lifetime of the
+// process.
+var (
+	sharedMemMu sync.Mutex
+	sharedMems  = map[string]*Mem{}
+)
+
+// SharedMem returns a process-wide in-memory backend for key (by
+// convention the store directory), creating it on first use. It makes
+// close-and-reopen cycles work under the mem backend the way they do on
+// a filesystem — the data is still there — which is what lets an entire
+// filesystem-oriented test suite run against Mem for backend parity.
+func SharedMem(key string) *Mem {
+	sharedMemMu.Lock()
+	defer sharedMemMu.Unlock()
+	m, ok := sharedMems[key]
+	if !ok {
+		m = NewMem()
+		sharedMems[key] = m
+	}
+	return m
+}
+
+// Name identifies the backend kind.
+func (m *Mem) Name() string { return "mem" }
+
+func (m *Mem) WriteGOP(video, physDir string, seq int, data []byte) error {
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.gops[memKey{video, physDir, seq}] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Mem) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.gops[memKey{video, physDir, seq}]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: mem %s/%s/%d.gop: %w", video, physDir, seq, fs.ErrNotExist)
+	}
+	// Return a copy: localfs hands every reader a fresh buffer, and read
+	// bytes can flow to API callers verbatim (passthrough reads), whose
+	// mutations must not reach back into the store — backend parity over
+	// a copy-free fast path.
+	return append([]byte(nil), data...), nil
+}
+
+func (m *Mem) GOPSize(video, physDir string, seq int) (int64, error) {
+	m.mu.RLock()
+	data, ok := m.gops[memKey{video, physDir, seq}]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("storage: mem %s/%s/%d.gop: %w", video, physDir, seq, fs.ErrNotExist)
+	}
+	return int64(len(data)), nil
+}
+
+func (m *Mem) DeleteGOP(video, physDir string, seq int) error {
+	m.mu.Lock()
+	delete(m.gops, memKey{video, physDir, seq})
+	m.mu.Unlock()
+	return nil
+}
+
+// LinkGOP copies the value reference: stored slices are never mutated
+// in place (writes replace them, reads hand out copies), so source and
+// destination share bytes exactly like a hard link, and deleting one
+// never disturbs the other.
+func (m *Mem) LinkGOP(video, srcDir string, srcSeq int, dstVideo, dstDir string, dstSeq int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.gops[memKey{video, srcDir, srcSeq}]
+	if !ok {
+		return fmt.Errorf("storage: mem %s/%s/%d.gop: %w", video, srcDir, srcSeq, fs.ErrNotExist)
+	}
+	m.gops[memKey{dstVideo, dstDir, dstSeq}] = data
+	return nil
+}
+
+func (m *Mem) DeletePhysical(video, physDir string) error {
+	m.mu.Lock()
+	for k := range m.gops {
+		if k.video == video && k.phys == physDir {
+			delete(m.gops, k)
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Mem) DeleteVideo(video string) error {
+	m.mu.Lock()
+	for k := range m.gops {
+		if k.video == video {
+			delete(m.gops, k)
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Walk visits a snapshot of the stored GOPs in deterministic
+// (video, physDir, seq) order.
+func (m *Mem) Walk(fn func(video, physDir string, seq int, size int64) error) error {
+	m.mu.RLock()
+	keys := make([]memKey, 0, len(m.gops))
+	sizes := make(map[memKey]int64, len(m.gops))
+	for k, v := range m.gops {
+		keys = append(keys, k)
+		sizes[k] = int64(len(v))
+	}
+	m.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.video != b.video {
+			return a.video < b.video
+		}
+		if a.phys != b.phys {
+			return a.phys < b.phys
+		}
+		return a.seq < b.seq
+	})
+	for _, k := range keys {
+		if err := fn(k.video, k.phys, k.seq, sizes[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

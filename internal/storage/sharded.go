@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Sharded distributes GOPs across N filesystem roots by a stable hash of
+// the GOP's logical address (video, physDir, seq). Every shard is an
+// ordinary localfs Store, so a sharded deployment's on-disk layout is N
+// independent Figure-2 trees; which shard holds a GOP is a pure function
+// of its address, never of write order, so any process that opens the
+// same roots in the same order sees the same placement.
+//
+// Failure model: a degraded shard (unmounted disk, bad permissions)
+// surfaces errors only on operations whose GOPs hash to it — the store
+// keeps serving every GOP on healthy shards. Whole-video operations
+// (DeletePhysical, DeleteVideo, Walk) fan out to all shards in parallel
+// and join errors.
+type Sharded struct {
+	shards []*Store
+}
+
+// OpenSharded creates (if needed) and opens one localfs store per root.
+// At least one root is required; the root ORDER is part of the store's
+// identity — reopening with the same roots in a different order scatters
+// reads to the wrong shards.
+func OpenSharded(roots []string) (*Sharded, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("storage: sharded backend needs at least one root")
+	}
+	shards := make([]*Store, len(roots))
+	for i, root := range roots {
+		s, err := Open(root)
+		if err != nil {
+			return nil, fmt.Errorf("storage: shard %d: %w", i, err)
+		}
+		shards[i] = s
+	}
+	return &Sharded{shards: shards}, nil
+}
+
+// Name identifies the backend kind.
+func (s *Sharded) Name() string { return "sharded" }
+
+// Shards returns the number of shard roots.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardOf maps a GOP address to its shard index (stable FNV-1a hash).
+func (s *Sharded) shardOf(video, physDir string, seq int) int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", video, physDir, seq)
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// shardErr tags an error with the shard it came from, so a degraded
+// shard is identifiable per GOP. The chain (fs.ErrNotExist etc.) is
+// preserved for errors.Is.
+func shardErr(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("shard %d: %w", i, err)
+}
+
+func (s *Sharded) WriteGOP(video, physDir string, seq int, data []byte) error {
+	i := s.shardOf(video, physDir, seq)
+	return shardErr(i, s.shards[i].WriteGOP(video, physDir, seq, data))
+}
+
+func (s *Sharded) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	i := s.shardOf(video, physDir, seq)
+	data, err := s.shards[i].ReadGOP(video, physDir, seq)
+	return data, shardErr(i, err)
+}
+
+func (s *Sharded) GOPSize(video, physDir string, seq int) (int64, error) {
+	i := s.shardOf(video, physDir, seq)
+	n, err := s.shards[i].GOPSize(video, physDir, seq)
+	return n, shardErr(i, err)
+}
+
+func (s *Sharded) DeleteGOP(video, physDir string, seq int) error {
+	i := s.shardOf(video, physDir, seq)
+	return shardErr(i, s.shards[i].DeleteGOP(video, physDir, seq))
+}
+
+// LinkGOP hard-links when source and destination hash to the same shard
+// (same filesystem); across shards it degrades to a copy, the same
+// fallback a link-less filesystem gets.
+func (s *Sharded) LinkGOP(video, srcDir string, srcSeq int, dstVideo, dstDir string, dstSeq int) error {
+	si := s.shardOf(video, srcDir, srcSeq)
+	di := s.shardOf(dstVideo, dstDir, dstSeq)
+	if si == di {
+		return shardErr(si, s.shards[si].LinkGOP(video, srcDir, srcSeq, dstVideo, dstDir, dstSeq))
+	}
+	data, err := s.shards[si].ReadGOP(video, srcDir, srcSeq)
+	if err != nil {
+		return shardErr(si, err)
+	}
+	return shardErr(di, s.shards[di].WriteGOP(dstVideo, dstDir, dstSeq, data))
+}
+
+// fanOut runs fn against every shard in parallel and joins the errors.
+func (s *Sharded) fanOut(fn func(i int, shard *Store) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, shard := range s.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = shardErr(i, fn(i, shard))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (s *Sharded) DeletePhysical(video, physDir string) error {
+	return s.fanOut(func(_ int, shard *Store) error {
+		return shard.DeletePhysical(video, physDir)
+	})
+}
+
+func (s *Sharded) DeleteVideo(video string) error {
+	return s.fanOut(func(_ int, shard *Store) error {
+		return shard.DeleteVideo(video)
+	})
+}
+
+// SweepTemps reclaims crash-orphaned temp files on every shard in
+// parallel (see TempSweeper).
+func (s *Sharded) SweepTemps(olderThan time.Duration) error {
+	return s.fanOut(func(_ int, shard *Store) error {
+		return shard.SweepTemps(olderThan)
+	})
+}
+
+// Walk visits every GOP on every shard. Shards are walked sequentially
+// (fn is not required to be concurrency-safe); within the store, order
+// is unspecified as per the Backend contract.
+func (s *Sharded) Walk(fn func(video, physDir string, seq int, size int64) error) error {
+	for i, shard := range s.shards {
+		if err := shard.Walk(fn); err != nil {
+			return shardErr(i, err)
+		}
+	}
+	return nil
+}

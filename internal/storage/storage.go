@@ -16,9 +16,13 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 )
 
-// Store provides file operations under a root directory.
+// Store provides file operations under a root directory. It is the
+// "localfs" Backend: the paper's single-root layout.
 type Store struct {
 	root string
 }
@@ -31,8 +35,64 @@ func Open(dir string) (*Store, error) {
 	return &Store{root: dir}, nil
 }
 
+// TempSweeper is implemented by backends whose writes stage through
+// on-disk temp files. Unique temp names (see atomicWrite) mean no later
+// write ever renames a crash orphan away, so something must reclaim
+// them; the store's background maintenance pass calls SweepTemps so the
+// full-tree walk never sits on an open or foreground path.
+type TempSweeper interface {
+	// SweepTemps removes crash-orphaned temp files older than olderThan
+	// (the age guard keeps a concurrent writer's live temp safe).
+	SweepTemps(olderThan time.Duration) error
+}
+
+// SweepTemps removes crash-orphaned atomicWrite temp files anywhere
+// under the root. Only temps older than olderThan are removed: a live
+// atomicWrite's temp exists for milliseconds, so any realistic age
+// threshold makes the sweep safe against concurrent writers.
+func (s *Store) SweepTemps(olderThan time.Duration) error {
+	cutoff := time.Now().Add(-olderThan)
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || !isTempName(d.Name()) {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil || fi.ModTime().After(cutoff) {
+			return nil // vanished mid-walk, or possibly still being written
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// isTempName reports whether a file name matches atomicWrite's
+// ".<base>.tmp-<random>" temp pattern, or the legacy "<base>.tmp" shape
+// earlier releases staged through (those relied on the next write
+// renaming over the shared name, which unique temp names no longer do —
+// the sweep is now the only path that reclaims either kind of crash
+// orphan).
+func isTempName(name string) bool {
+	return (strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-")) ||
+		strings.HasSuffix(name, ".tmp")
+}
+
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
+
+// Name identifies the backend kind.
+func (s *Store) Name() string { return "localfs" }
 
 // PhysicalDirName renders the directory name for a physical video, e.g.
 // "p000002-960x540r30.hevc".
@@ -45,14 +105,42 @@ func (s *Store) gopPath(video, physDir string, seq int) string {
 	return filepath.Join(s.root, video, physDir, fmt.Sprintf("%d.gop", seq))
 }
 
-// WriteGOP atomically writes one GOP file.
+// WriteGOP atomically writes one GOP file. The temp file gets a unique
+// name (not a shared path+".tmp"), so two concurrent writers of the same
+// GOP cannot interleave into a torn file: each writes its own temp and
+// the renames race cleanly, last whole file wins.
 func (s *Store) WriteGOP(video, physDir string, seq int, data []byte) error {
-	path := s.gopPath(video, physDir, seq)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return atomicWrite(s.gopPath(video, physDir, seq), data)
+}
+
+// atomicWrite writes path via a uniquely named temp file in the same
+// directory plus a rename.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := f.Name()
+	// CreateTemp makes mode-0600 files; restore the store's historical
+	// 0644 (modulo umask via Chmod's exactness) so readers running as a
+	// different user — backup jobs, a separate analytics uid — keep
+	// working.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("storage: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -154,29 +242,42 @@ func (s *Store) VideoSize(video string) (int64, error) {
 	return total, nil
 }
 
-// WriteBlob and ReadBlob store auxiliary per-physical-video artifacts
-// (joint compression sidecars) under the physical directory.
-func (s *Store) WriteBlob(video, physDir, name string, data []byte) error {
-	path := filepath.Join(s.root, video, physDir, name)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+// Walk visits every stored GOP file as (video, physDir, seq, size).
+// Temp files and non-GOP artifacts are skipped.
+func (s *Store) Walk(fn func(video, physDir string, seq int, size int64) error) error {
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		parts := strings.Split(rel, string(filepath.Separator))
+		if len(parts) != 3 || !strings.HasSuffix(parts[2], ".gop") {
+			return nil
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(parts[2], ".gop"))
+		if err != nil {
+			return nil // orphaned temp or foreign file
+		}
+		fi, err := d.Info()
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // deleted mid-walk
+			}
+			return err
+		}
+		return fn(parts[0], parts[1], seq, fi.Size())
+	})
+	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	return nil
-}
-
-// ReadBlob reads an auxiliary artifact.
-func (s *Store) ReadBlob(video, physDir, name string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(s.root, video, physDir, name))
-	if err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
-	}
-	return data, nil
 }

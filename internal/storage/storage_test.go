@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestWriteReadGOP(t *testing.T) {
@@ -116,23 +117,43 @@ func TestVideoSize(t *testing.T) {
 	}
 }
 
-func TestBlobs(t *testing.T) {
-	s, _ := Open(t.TempDir())
-	if err := s.WriteBlob("v", "p1", "joint.meta", []byte("meta")); err != nil {
-		t.Fatal(err)
-	}
-	got, err := s.ReadBlob("v", "p1", "joint.meta")
-	if err != nil || string(got) != "meta" {
-		t.Fatalf("blob: %v %q", err, got)
-	}
-	if _, err := s.ReadBlob("v", "p1", "nope"); err == nil {
-		t.Error("missing blob should error")
-	}
-}
-
 func TestPhysicalDirName(t *testing.T) {
 	got := PhysicalDirName(2, 960, 540, 30, "hevc")
 	if got != "p000002-960x540r30.hevc" {
 		t.Errorf("dir name %q", got)
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteGOP("v", "p1", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-atomicWrite leaves a uniquely named temp; because no
+	// later write reuses the name, the sweep must reclaim it.
+	tmp := filepath.Join(dir, "v", "p1", ".0.gop.tmp-999999")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The age guard protects a concurrent writer's live temp: a fresh
+	// temp survives an hour-threshold sweep.
+	if err := s.SweepTemps(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("fresh temp swept despite age guard: %v", err)
+	}
+	if err := s.SweepTemps(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("orphaned temp survived sweep (stat err %v)", err)
+	}
+	if got, err := s.ReadGOP("v", "p1", 0); err != nil || string(got) != "x" {
+		t.Errorf("real GOP disturbed by sweep: %v %q", err, got)
 	}
 }

@@ -90,6 +90,31 @@
 // on top of ReadStream, adding admission control (bounded in-flight reads
 // with queueing and per-client limits), a hot-response LRU, and live
 // /metrics; see examples/serving for a walkthrough.
+//
+// # Storage backends
+//
+// The physical GOP store is pluggable behind the Backend interface
+// (Options.Backend, or OpenWith). Three implementations ship:
+//
+//   - NewLocalBackend: one filesystem root, the paper's Figure 2 layout
+//     (<root>/<video>/<phys>/<seq>.gop). The default, rooted at
+//     <dir>/data.
+//   - NewShardedBackend: N filesystem roots with each GOP placed by a
+//     stable hash of its (video, physical video, sequence) address —
+//     spread load across disks, with per-shard parallel IO and degraded
+//     shards surfacing errors per GOP rather than store-wide. Root ORDER
+//     is part of the store's identity: reopen with the same roots in the
+//     same order (ShardRoots encodes the conventional layout vssd's
+//     -shards flag uses).
+//   - NewMemBackend: in-memory, for tests and IO-free benchmarking.
+//
+// The catalog always lives on the local filesystem under <dir>/catalog.
+// Whatever the backend, the read path fetches GOP bytes on an
+// asynchronous IO-prefetch stage that runs ahead of the decode workers
+// (bounded look-ahead, 2*Workers), so backend latency overlaps decode
+// compute for both Read and ReadStream; System.BackendStats exposes
+// per-backend read/write byte and latency counters (also served by vssd
+// /metrics). See examples/sharded for a multi-root walkthrough.
 package vss
 
 import (
@@ -99,6 +124,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/storage"
 )
 
 // Frame is a decoded video frame (see internal/frame for pixel layouts).
@@ -201,6 +227,33 @@ var (
 	ErrInvalidSpec = core.ErrInvalidSpec
 )
 
+// Backend is the pluggable physical GOP store; see the package notes on
+// storage backends. Implementations must be safe for concurrent use.
+type Backend = storage.Backend
+
+// BackendStats snapshots a backend's operation counters: reads/writes,
+// bytes moved, and cumulative latency (mean latency = nanos/ops).
+type BackendStats = storage.BackendStats
+
+// NewLocalBackend opens (creating if necessary) a single-root localfs
+// backend — the default physical layout, one directory tree under root.
+func NewLocalBackend(root string) (Backend, error) { return storage.Open(root) }
+
+// NewShardedBackend opens (creating if necessary) one localfs root per
+// element of roots and places each GOP on a shard chosen by a stable
+// hash of its address. Reopen with the same roots in the same order.
+func NewShardedBackend(roots []string) (Backend, error) { return storage.OpenSharded(roots) }
+
+// NewMemBackend returns an empty in-memory backend (contents do not
+// survive the process).
+func NewMemBackend() Backend { return storage.NewMem() }
+
+// ShardRoots returns the conventional shard root directories for a
+// store at dir: <dir>/data-shard0 .. data-shard{n-1}. It is how vssd's
+// and vssctl's -shards flag derives roots, so independent processes
+// agree on placement for the same count.
+func ShardRoots(dir string, n int) []string { return core.ShardRoots(dir, n) }
+
 // System is an open VSS store.
 type System struct {
 	store *core.Store
@@ -214,6 +267,17 @@ func Open(dir string, opts Options) (*System, error) {
 	}
 	return &System{store: s}, nil
 }
+
+// OpenWith is Open with an explicit storage backend; it is shorthand
+// for setting Options.Backend.
+func OpenWith(dir string, opts Options, backend Backend) (*System, error) {
+	opts.Backend = backend
+	return Open(dir, opts)
+}
+
+// BackendStats snapshots the storage backend's read/write byte and
+// latency counters. Safe for concurrent use.
+func (s *System) BackendStats() BackendStats { return s.store.BackendStats() }
 
 // Close flushes metadata and closes the store.
 func (s *System) Close() error { return s.store.Close() }

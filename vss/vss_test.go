@@ -175,3 +175,49 @@ func TestPublicAPIMaintenance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIBackends(t *testing.T) {
+	dir := t.TempDir()
+	roots := vss.ShardRoots(dir, 3)
+	if len(roots) != 3 || roots[0] == roots[1] {
+		t.Fatalf("shard roots %v", roots)
+	}
+	backend, err := vss.NewShardedBackend(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := vss.OpenWith(dir, vss.Options{GOPFrames: 8}, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Create("cam", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write("cam", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(16)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Read("cam", vss.ReadSpec{T: vss.Temporal{Start: 0, End: 1}})
+	if err != nil || len(res.Frames) != 8 {
+		t.Fatalf("sharded read: %v, %d frames", err, len(res.Frames))
+	}
+	st := sys.BackendStats()
+	if st.Backend != "sharded" || st.Writes == 0 || st.Reads == 0 || st.BytesRead == 0 {
+		t.Errorf("backend stats %+v", st)
+	}
+
+	memSys, err := vss.OpenWith(t.TempDir(), vss.Options{GOPFrames: 8}, vss.NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memSys.Close()
+	if err := memSys.Create("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := memSys.Write("m", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(8)); err != nil {
+		t.Fatal(err)
+	}
+	if st := memSys.BackendStats(); st.Backend != "mem" {
+		t.Errorf("mem backend stats %+v", st)
+	}
+}
