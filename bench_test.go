@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/visualroad"
 	"repro/vss"
@@ -109,6 +110,41 @@ func BenchmarkServeExperiment(b *testing.B) { runExperiment(b, "serve") }
 // BenchmarkIOExperiment regenerates the io experiment (cold reads by
 // storage backend, prefetch on/off).
 func BenchmarkIOExperiment(b *testing.B) { runExperiment(b, "io") }
+
+// BenchmarkDegradedExperiment regenerates the degraded experiment
+// (replicated reads with a wiped shard root: healthy vs failover vs
+// scrub-repaired).
+func BenchmarkDegradedExperiment(b *testing.B) { runExperiment(b, "degraded") }
+
+// BenchmarkDegradedRead measures one uncached full-video raw read per
+// replication/failure state of the 4-root sharded backend
+// (bench.DegradedConfigs, the same sweep the degraded experiment runs):
+// healthy at replicas=1 and 2, one root wiped with reads served through
+// replica failover, and the same failure after a scrub pass restored
+// full replication. Healthy-r2 vs onedown-r2-failover prices the
+// failover detour; onedown-r2-scrubbed should return to healthy speed.
+func BenchmarkDegradedRead(b *testing.B) {
+	for _, cfg := range bench.DegradedConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			s, frames, err := bench.SetupDegraded(cfg, b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Read("video", core.ReadSpec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Frames) != frames {
+					b.Fatalf("read %d frames, want %d", len(res.Frames), frames)
+				}
+			}
+			b.ReportMetric(float64(frames*b.N)/b.Elapsed().Seconds(), "fps")
+		})
+	}
+}
 
 // BenchmarkColdRead measures one uncached full-video raw read — the cold
 // path, where every stored GOP is fetched from the storage backend and

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckGoBlock(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		ok   bool
+	}{
+		{"full file clean", "package p\n\nfunc F() int { return 1 }", true},
+		{"full file unformatted", "package p\nfunc F() int {return 1}", false},
+		{"fragment clean", "sys, _ := vss.Open(dir, vss.Options{})\ndefer sys.Close()", true},
+		{"fragment with block", "if err != nil {\n\tlog.Fatal(err)\n}", true},
+		{"fragment space-indented", "if err != nil {\n    log.Fatal(err)\n}", false},
+		{"not go", "this is prose, not go", false},
+		{"empty", "   \n", false},
+	}
+	for _, c := range cases {
+		msg := checkGoBlock(c.body)
+		if c.ok && msg != "" {
+			t.Errorf("%s: unexpected problem %q", c.name, msg)
+		}
+		if !c.ok && msg == "" {
+			t.Errorf("%s: problem not detected", c.name)
+		}
+	}
+}
+
+func TestSplitFencedHidesCodeFromLinkScan(t *testing.T) {
+	src := "a [real](target.md) link\n```go\nm := map[string]int{}\nx := m[\"k\"](1)\n```\nafter\n"
+	blocks, prose, unclosed := splitFenced(src)
+	if len(blocks) != 1 || blocks[0].lang != "go" || !strings.Contains(blocks[0].body, "map[string]int") {
+		t.Fatalf("blocks %+v", blocks)
+	}
+	if unclosed != 0 {
+		t.Fatalf("spurious unclosed fence at line %d", unclosed)
+	}
+	links := scanLinks(prose)
+	if len(links) != 1 || links[0].target != "target.md" || links[0].line != 1 {
+		t.Fatalf("links %+v", links)
+	}
+}
+
+// TestUnclosedFenceIsLoud: a fence left open swallows the rest of the
+// file from every check — that must be reported, not silently passed.
+func TestUnclosedFenceIsLoud(t *testing.T) {
+	_, _, unclosed := splitFenced("ok\n```go\nn := 1\n")
+	if unclosed != 2 {
+		t.Fatalf("unclosed fence reported at line %d, want 2", unclosed)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte("```go\nn := 1\n\na [bad](gone.md) link\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkFile(path, dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "unclosed code fence") {
+		t.Fatalf("problems %v, want the unclosed fence reported", problems)
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := `# Doc
+
+A [good link](exists.md) and a [bad one](missing.md).
+An [external](https://example.com/x) and an [anchor](#section) are skipped.
+
+` + "```go\nn := 1\nfmt.Println(n)\n```\n\n```go\nthis does not parse\n```\n"
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkFile(path, dir)
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems (bad link, unparseable block), got %d: %v", len(problems), problems)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "missing.md") || !strings.Contains(joined, "does not parse") {
+		t.Errorf("problems %v", problems)
+	}
+}

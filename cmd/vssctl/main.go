@@ -31,6 +31,7 @@ func main() {
 	store := flag.String("store", "", "store directory (required)")
 	shards := flag.Int("shards", 0, "shard GOP storage across N roots under the store directory (0 = single root)")
 	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
+	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots (needs -shards/-shard-roots; 1 = no replication)")
 	backendKind := flag.String("backend", "", "storage backend override: localfs (default; sharding via -shards)")
 	flag.Parse()
 	if *store == "" || flag.NArg() < 1 {
@@ -42,7 +43,7 @@ func main() {
 		// catalog rows whose data evaporates at exit, wedging the store.
 		fatal(fmt.Errorf("-backend mem is process-local and useless in a one-shot CLI (it would leave catalog metadata with no data); use vssd -backend mem or the library"))
 	}
-	backend, err := backendcli.Open("vssctl", *store, *backendKind, *shards, *shardRoots, os.Stderr)
+	backend, err := backendcli.Open("vssctl", *store, *backendKind, *shards, *replicas, *shardRoots, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,13 +85,17 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N] COMMAND [flags]
 commands: create write read delete stat compact joint maintain ls
 
-A store written by a sharded vssd (-shards / -shard-roots) must be opened
-with the same sharding flags, or its GOPs will appear missing.
+A store written by a sharded vssd (-shards / -shard-roots, plus
+-replicas when replicated) must be opened with the same sharding flags,
+or its GOPs will appear missing.
 
 maintain runs one pass of background maintenance (deferred lossless
-compression under budget pressure, then compaction of contiguous cached
-views) across every video — the same pass vssd's -maintain loop runs on
-an interval. Use it to trigger storage reclamation without writing Go.`)
+compression under budget pressure, compaction of contiguous cached
+views, and — with -replicas — a replication scrub that re-copies missing
+or stale replicas) across every video — the same pass vssd's -maintain
+loop runs on an interval. Use it to trigger storage reclamation, or to
+restore full replication after swapping out a dead shard root, without
+writing Go.`)
 }
 
 func fatal(err error) {

@@ -10,13 +10,20 @@
 //	vssd -store /tmp/vss -addr 127.0.0.1:7744 -max-inflight 16 -cache-mb 256
 //	vssd -store /tmp/vss -maintain 30s
 //	vssd -store /tmp/vss -shards 4
+//	vssd -store /tmp/vss -shards 4 -replicas 2 -maintain 30s
 //	vssd -store /tmp/vss -shard-roots /disk1/vss,/disk2/vss
 //
 // Storage backend selection: by default GOPs live in a single tree under
 // <store>/data. -shards N spreads them across N roots under the store
 // directory (data-shard0..N-1) by a stable hash; -shard-roots pins the
 // roots explicitly (one per disk in a real deployment — order matters and
-// must be stable across restarts). -backend mem serves GOP data from
+// must be stable across restarts). -replicas R keeps each GOP on R
+// distinct roots: reads fail over when a root degrades, and the
+// -maintain loop's scrub pass re-copies missing replicas, so the store
+// survives losing a disk (run with -maintain when using -replicas; the
+// "replication" section of /metrics reports failovers, per-shard health,
+// and scrub results). Raising -replicas on an existing store is safe;
+// changing -shards or root order is not. -backend mem serves GOP data from
 // memory, for benchmarking only: the metadata catalog under
 // <store>/catalog is ALWAYS on disk, so after a restart it describes
 // videos whose in-memory bytes are gone (reads fail, recreating errors
@@ -56,6 +63,7 @@ func main() {
 	maintain := flag.Duration("maintain", 0, "background maintenance interval (0 disables)")
 	shards := flag.Int("shards", 0, "shard GOP storage across N roots under the store directory (0 = single root)")
 	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
+	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots (needs -shards/-shard-roots; 1 = no replication)")
 	backendKind := flag.String("backend", "", "storage backend override: localfs|mem (default localfs; sharding via -shards)")
 	flag.Parse()
 	if *store == "" {
@@ -64,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *shardRoots, os.Stderr)
+	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *replicas, *shardRoots, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}

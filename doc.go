@@ -4,10 +4,12 @@
 // The public API lives in repro/vss; the storage manager in
 // internal/core; substrates (codec, vision, clustering, solver, catalog,
 // storage, indexes, cost and quality models) under internal/. See
-// README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for recorded
-// paper-vs-measured results. bench_test.go wraps every evaluation
-// experiment in a testing.B harness; cmd/vssbench runs them standalone.
+// README.md for the system overview, quickstart, and benchmark results;
+// docs/ARCHITECTURE.md for the paper-section → package map and the
+// locking/pipeline invariants; docs/METRICS.md for the vssd /metrics
+// reference; and examples/README.md for the example index. bench_test.go
+// wraps every evaluation experiment in a testing.B harness; cmd/vssbench
+// runs them standalone.
 //
 // # Concurrency
 //
@@ -87,7 +89,14 @@
 //     in parallel, and a degraded shard fails per GOP instead of
 //     store-wide. vssd/vssctl select it with -shards N (conventional
 //     roots under the store directory) or -shard-roots for explicit,
-//     order-stable disk paths.
+//     order-stable disk paths. With -replicas R every GOP lives on R
+//     distinct roots (primary + ring successors): writes fan out with
+//     first-success durability, reads fail over past degraded roots
+//     (repeat offenders demote to last resort), and the maintenance
+//     pass scrubs placements, re-copying missing or stale replicas from
+//     a healthy copy with the catalog as the size oracle — so losing a
+//     disk is a slowdown, not an outage, and replication converges back
+//     to R on its own.
 //   - mem: in-memory, for tests and IO-free benchmarks; CI re-runs the
 //     core suite against it (VSS_BACKEND=mem) to enforce backend parity.
 //

@@ -1,12 +1,13 @@
 // Sharded-backend walkthrough: open a store whose GOPs are spread
-// across multiple filesystem roots (one per disk in a real deployment),
-// write a video, observe the placement, and read it back — including a
-// reopen, which must use the same roots in the same order.
+// across multiple filesystem roots (one per disk in a real deployment)
+// with 2-way replication, write a video, observe the placement, wipe one
+// root to simulate a dead disk — reads keep working via failover — and
+// run a maintenance scrub that restores full replication.
 //
 // The equivalent daemon deployment is:
 //
-//	vssd -store DIR -shards 3            # conventional roots under DIR
-//	vssctl -store DIR -shards 3 stat     # inspect with the same flags
+//	vssd -store DIR -shards 3 -replicas 2 -maintain 30s
+//	vssctl -store DIR -shards 3 -replicas 2 stat    # inspect, same flags
 package main
 
 import (
@@ -28,16 +29,22 @@ func main() {
 
 	// Three shard roots under one temp dir; in production each would be
 	// a different disk (vss.ShardRoots derives the conventional layout
-	// vssd's -shards flag uses).
+	// vssd's -shards flag uses). replicas=2 keeps every GOP on two
+	// distinct roots: the primary its address hashes to, plus the next
+	// root on the ring.
 	roots := vss.ShardRoots(dir, 3)
-	backend, err := vss.NewShardedBackend(roots)
-	if err != nil {
-		log.Fatal(err)
+	open := func() *vss.System {
+		backend, err := vss.NewShardedBackend(roots, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := vss.OpenWith(dir, vss.Options{}, backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
 	}
-	sys, err := vss.OpenWith(dir, vss.Options{}, backend)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sys := open()
 
 	const fps = 8
 	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: fps, Seed: 7}, 12*fps)
@@ -49,8 +56,9 @@ func main() {
 	}
 
 	// Placement is a stable hash of each GOP's (video, physical video,
-	// sequence) address: the same roots always yield the same layout.
-	for i, root := range roots {
+	// sequence) address: the same roots always yield the same layout,
+	// and with replicas=2 each GOP appears under two of them.
+	countGOPs := func(root string) int {
 		n := 0
 		filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 			if err == nil && !info.IsDir() && filepath.Ext(path) == ".gop" {
@@ -58,11 +66,12 @@ func main() {
 			}
 			return nil
 		})
-		fmt.Printf("shard %d (%s): %d GOPs\n", i, filepath.Base(root), n)
+		return n
+	}
+	for i, root := range roots {
+		fmt.Printf("shard %d (%s): %d GOPs\n", i, filepath.Base(root), countGOPs(root))
 	}
 
-	// Reads fan IO across the shards on the prefetch stage ahead of the
-	// decode workers; a degraded shard would fail only its own GOPs.
 	res, err := sys.Read("cam", vss.ReadSpec{
 		S: vss.Spatial{Width: 120, Height: 68},
 		T: vss.Temporal{Start: 2, End: 8},
@@ -75,24 +84,34 @@ func main() {
 		res.FrameCount(), res.Width, res.Height,
 		st.Backend, st.Reads, float64(st.BytesRead)/1024)
 
-	// Reopen with the SAME roots in the SAME order: every GOP is found
-	// again. (Different order or count would scatter reads to the wrong
-	// shards — the root list is part of the store's identity.)
+	// Simulate losing a disk: wipe shard 0's contents behind the store's
+	// back. Every GOP whose primary or secondary lived there still has a
+	// surviving replica, so reads keep returning complete data — the
+	// failover counter shows the detour.
 	if err := sys.Close(); err != nil {
 		log.Fatal(err)
 	}
-	backend, err = vss.NewShardedBackend(roots)
-	if err != nil {
+	if err := os.RemoveAll(roots[0]); err != nil {
 		log.Fatal(err)
 	}
-	sys, err = vss.OpenWith(dir, vss.Options{}, backend)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sys = open()
 	defer sys.Close()
-	res, err = sys.Read("cam", vss.ReadSpec{T: vss.Temporal{Start: 0, End: 4}})
+	res, err = sys.Read("cam", vss.ReadSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after reopen: read %d frames\n", res.FrameCount())
+	rep, _ := sys.ReplicationStats()
+	fmt.Printf("after wiping shard 0: read %d frames (failovers=%d)\n",
+		res.FrameCount(), rep.Failovers)
+
+	// One maintenance pass scrubs the placements and re-copies the lost
+	// replicas from the survivors: shard 0 fills back up and the store is
+	// fully replicated again.
+	if err := sys.Maintain(); err != nil {
+		log.Fatal(err)
+	}
+	rep, _ = sys.ReplicationStats()
+	fmt.Printf("scrub: checked=%d repaired=%d unrecoverable=%d; shard 0 holds %d GOPs again\n",
+		rep.LastScrub.Checked, rep.LastScrub.Repaired, rep.LastScrub.Unrecoverable,
+		countGOPs(roots[0]))
 }

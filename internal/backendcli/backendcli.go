@@ -1,7 +1,8 @@
 // Package backendcli resolves the storage-backend CLI flags that vssd
-// and vssctl share (-backend, -shards, -shard-roots), so both binaries
-// select backends identically — a store written by a sharded daemon is
-// inspected with the same flags — and both warn about the same traps.
+// and vssctl share (-backend, -shards, -shard-roots, -replicas), so both
+// binaries select backends identically — a store written by a sharded
+// daemon is inspected with the same flags — and both warn about the same
+// traps.
 package backendcli
 
 import (
@@ -15,9 +16,14 @@ import (
 	"repro/internal/storage"
 )
 
-// Open resolves the flag triple into a storage backend. nil means "the
+// Open resolves the flag tuple into a storage backend. nil means "the
 // library default" (localfs under <store>/data). Conflicting or unknown
 // combinations error rather than silently picking a winner.
+//
+// replicas > 1 requires a sharded backend (-shards or -shard-roots) and
+// keeps each GOP on that many distinct shard roots, with read failover
+// and scrub-repair; replicas <= 1 keeps a single copy. It must not
+// exceed the number of roots.
 //
 // When no flag picks a backend and the VSS_BACKEND environment variable
 // is set, the library will honor the variable (its test-suite parity
@@ -25,8 +31,11 @@ import (
 // a stray exported variable is an operator trap, so that case prints a
 // loud warning to warn, tagged with prog. An explicit `-backend
 // localfs` pins localfs and ignores the variable.
-func Open(prog, store, kind string, shards int, shardRoots string, warn io.Writer) (storage.Backend, error) {
+func Open(prog, store, kind string, shards, replicas int, shardRoots string, warn io.Writer) (storage.Backend, error) {
 	sharding := shards > 0 || shardRoots != ""
+	if replicas > 1 && !sharding {
+		return nil, fmt.Errorf("-replicas %d needs a sharded backend (-shards or -shard-roots)", replicas)
+	}
 	switch kind {
 	case "":
 	case "localfs":
@@ -43,10 +52,10 @@ func Open(prog, store, kind string, shards int, shardRoots string, warn io.Write
 		return nil, fmt.Errorf("unknown -backend %q (want localfs or mem; sharding via -shards)", kind)
 	}
 	if shardRoots != "" {
-		return storage.OpenSharded(strings.Split(shardRoots, ","))
+		return storage.OpenShardedReplicated(strings.Split(shardRoots, ","), replicas)
 	}
 	if shards > 0 {
-		return storage.OpenSharded(core.ShardRoots(store, shards))
+		return storage.OpenShardedReplicated(core.ShardRoots(store, shards), replicas)
 	}
 	if env := os.Getenv("VSS_BACKEND"); env != "" {
 		fmt.Fprintf(warn, "%s: WARNING: no backend flags given; the store will honor VSS_BACKEND=%q (mem is volatile: data will not survive this process)\n", prog, env)

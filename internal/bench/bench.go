@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
 		{"serve", "Serving: HTTP streaming read throughput by concurrent clients", ServeExp},
 		{"io", "Cold reads by storage backend (localfs/sharded/mem, prefetch on/off)", IOExp},
+		{"degraded", "Replicated reads with a wiped shard root (healthy vs failover vs scrubbed)", DegradedExp},
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"time"
 
@@ -88,7 +89,7 @@ func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 	c := cands[0]
 	g := findGOP(c.phys, c.seq)
-	data, err := s.files.ReadGOP(v.Name, c.phys.Dir, g.Seq)
+	data, err := s.readGOP(v.Name, c.phys.Dir, g.Seq, g.Bytes)
 	if err != nil {
 		return false, err
 	}
@@ -119,11 +120,15 @@ const tempSweepAge = time.Hour
 // deferred compression pressure and physical video compaction, then a
 // sweep of crash-orphaned write temp files (unique temp names mean no
 // later write ever renames an orphan away, and doing the full-tree walk
-// here keeps it off the open and foreground paths). The paper runs
-// maintenance "in a background thread when no other requests are being
-// executed" and "periodically and non-quiescently". It holds at most one
-// video's lock at a time, so it never blocks foreground reads and writes
-// of other videos.
+// here keeps it off the open and foreground paths), and finally — when
+// the backend keeps redundant copies — a replication scrub that
+// re-copies missing or stale replicas from a healthy copy so a
+// briefly-degraded shard root converges back to full R-way replication
+// (ScrubStats are surfaced via ReplicationStats and vssd /metrics). The
+// paper runs maintenance "in a background thread when no other requests
+// are being executed" and "periodically and non-quiescently". It holds
+// at most one video's lock at a time, so it never blocks foreground
+// reads and writes of other videos.
 func (s *Store) Maintain() error {
 	for _, name := range s.videoNames() {
 		vs := s.acquire(name)
@@ -142,7 +147,11 @@ func (s *Store) Maintain() error {
 			return err
 		}
 	}
-	return s.files.SweepTemps(tempSweepAge)
+	// The scrub must run even when the temp sweep fails: a root degraded
+	// enough to error the sweep is exactly the situation whose lost
+	// replicas the scrub re-copies onto the healthy roots (Scrub itself
+	// tolerates unwalkable shards). Both errors surface, joined.
+	return errors.Join(s.files.SweepTemps(tempSweepAge), s.scrub())
 }
 
 // StartBackground launches the maintenance loop at the given interval and

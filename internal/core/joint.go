@@ -143,7 +143,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if gL.Frames != gR.Frames {
 		return nil, nil // temporal misalignment: not a joint candidate
 	}
-	dataL, err := s.files.ReadGOP(vsL.meta.Name, pL.Dir, gL.Seq)
+	dataL, err := s.readGOP(vsL.meta.Name, pL.Dir, gL.Seq, gL.Bytes)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +151,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if err != nil {
 		return nil, err
 	}
-	dataR, err := s.files.ReadGOP(vsR.meta.Name, pR.Dir, gR.Seq)
+	dataR, err := s.readGOP(vsR.meta.Name, pR.Dir, gR.Seq, gR.Bytes)
 	if err != nil {
 		return nil, err
 	}

@@ -582,7 +582,7 @@ func (b *readBuilder) buildCompressed(plan *Plan) error {
 			aligned := ga >= rn.a-timeEps && gb <= rn.b+timeEps &&
 				g.Joint == nil && g.DupOf == nil && g.Lossless == 0
 			if aligned {
-				data, err := b.s.files.ReadGOP(v.Name, p.Dir, g.Seq)
+				data, err := b.s.readGOP(v.Name, p.Dir, g.Seq, g.Bytes)
 				if err != nil {
 					return err
 				}
@@ -699,7 +699,7 @@ func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *Phys
 	}
 	snap := gopSnap{losslessLevel: g.Lossless, width: p.Width, height: p.Height}
 	if c.eager {
-		data, err := s.files.ReadGOP(vs.meta.Name, p.Dir, g.Seq)
+		data, err := s.readGOP(vs.meta.Name, p.Dir, g.Seq, g.Bytes)
 		if err != nil {
 			return gopSnap{}, err
 		}
@@ -713,7 +713,7 @@ func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *Phys
 		snap.joint = &j
 		if partnerP != nil {
 			if c.eager {
-				pdata, err := s.files.ReadGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq)
+				pdata, err := s.readGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq, partnerG.Bytes)
 				if err != nil {
 					return gopSnap{}, err
 				}
@@ -797,7 +797,7 @@ func (s *Store) startPrefetch(ctx context.Context, fetches []*gopFetch) {
 					close(f.ready)
 					return
 				}
-				f.data, f.err = s.files.ReadGOP(f.video, f.dir, f.seq)
+				f.data, f.err = s.readGOP(f.video, f.dir, f.seq, f.want)
 				if f.err == nil && f.bytes != nil {
 					f.bytes.Add(int64(len(f.data)))
 				}

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,6 +38,48 @@ func findGOPFile(t *testing.T, dir string) string {
 	return found
 }
 
+// damageEveryCopy applies damage to EVERY stored copy of one GOP
+// address: under a replicated backend (VSS_BACKEND=sharded:N:R) the
+// same relative path exists on several shard roots, and damaging fewer
+// than all of them is, by design, not an error — read failover serves
+// the intact survivors. Returns how many copies were damaged.
+func damageEveryCopy(t *testing.T, dir string, damage func(path string) error) int {
+	t.Helper()
+	one := findGOPFile(t, dir)
+	rel, err := filepath.Rel(dir, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the backend root (data/ or data-shardK/); the remainder is
+	// the GOP's logical address path, identical on every root.
+	parts := strings.SplitN(rel, string(filepath.Separator), 2)
+	if len(parts) != 2 {
+		t.Fatalf("unexpected GOP path layout %q", rel)
+	}
+	damaged := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "data") {
+			continue
+		}
+		p := filepath.Join(dir, e.Name(), parts[1])
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		if err := damage(p); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatalf("no copies of %q damaged", parts[1])
+	}
+	return damaged
+}
+
 func TestCorruptGOPFileSurfacesError(t *testing.T) {
 	skipWithoutGOPFiles(t)
 	dir := t.TempDir()
@@ -51,11 +94,10 @@ func TestCorruptGOPFileSurfacesError(t *testing.T) {
 	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 60)); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a stored GOP behind the store's back.
-	path := findGOPFile(t, dir)
-	if err := os.WriteFile(path, []byte("corrupted"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// Corrupt a stored GOP behind the store's back (every replica of it).
+	damageEveryCopy(t, dir, func(path string) error {
+		return os.WriteFile(path, []byte("corrupted"), 0o644)
+	})
 	if _, err := s.Read("v", ReadSpec{}); err == nil {
 		t.Error("read over corrupt GOP should error, not return garbage")
 	}
@@ -73,9 +115,7 @@ func TestMissingGOPFileSurfacesError(t *testing.T) {
 	if err := s.Write("v", WriteSpec{FPS: 4, Codec: codec.H264}, scene(8, 64, 48, 61)); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(findGOPFile(t, dir)); err != nil {
-		t.Fatal(err)
-	}
+	damageEveryCopy(t, dir, os.Remove)
 	if _, err := s.Read("v", ReadSpec{}); err == nil {
 		t.Error("read over missing GOP should error")
 	}

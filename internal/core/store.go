@@ -57,10 +57,11 @@ type Options struct {
 	Workers int
 	// Backend selects the physical GOP store. nil selects the default
 	// single-root localfs backend under <dir>/data — unless the
-	// VSS_BACKEND environment variable overrides it ("mem", or
-	// "sharded:N" for N roots under <dir>; the hook that lets CI run the
-	// whole suite against another backend without code changes). Pass
-	// storage.OpenSharded roots for multi-disk deployments or
+	// VSS_BACKEND environment variable overrides it ("mem", "sharded:N"
+	// for N roots under <dir>, or "sharded:N:R" for N roots with R-way
+	// replication; the hook that lets CI run the whole suite against
+	// another backend without code changes). Pass storage.OpenSharded /
+	// storage.OpenShardedReplicated roots for multi-disk deployments or
 	// storage.NewMem for IO-free operation; the vss package re-exports
 	// constructors. The catalog always lives on the local filesystem
 	// under <dir>/catalog regardless of backend.
@@ -269,11 +270,20 @@ func backendFor(dir string, explicit storage.Backend) (storage.Backend, error) {
 	case env == "mem":
 		return storage.SharedMem(dir), nil
 	case strings.HasPrefix(env, "sharded:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(env, "sharded:"))
+		spec := strings.TrimPrefix(env, "sharded:")
+		nStr, rStr, hasR := strings.Cut(spec, ":")
+		n, err := strconv.Atoi(nStr)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("core: bad VSS_BACKEND %q: want sharded:N with N >= 1", env)
+			return nil, fmt.Errorf("core: bad VSS_BACKEND %q: want sharded:N[:R] with N >= 1", env)
 		}
-		return storage.OpenSharded(ShardRoots(dir, n))
+		replicas := 1
+		if hasR {
+			replicas, err = strconv.Atoi(rStr)
+			if err != nil || replicas < 1 || replicas > n {
+				return nil, fmt.Errorf("core: bad VSS_BACKEND %q: want sharded:N:R with 1 <= R <= N", env)
+			}
+		}
+		return storage.OpenShardedReplicated(ShardRoots(dir, n), replicas)
 	default:
 		return nil, fmt.Errorf("core: unknown VSS_BACKEND %q", env)
 	}
@@ -294,6 +304,100 @@ func ShardRoots(dir string, n int) []string {
 // BackendStats snapshots the storage backend's operation counters
 // (reads/writes, bytes, cumulative latency). Safe for concurrent use.
 func (s *Store) BackendStats() storage.BackendStats { return s.files.Stats() }
+
+// ReplicationStats snapshots replica placement, read-failover, per-shard
+// health, and scrub counters when the backend keeps redundant copies
+// (the replicated sharded backend). ok is false for backends with no
+// replication (localfs, mem). Safe for concurrent use.
+func (s *Store) ReplicationStats() (storage.ReplicationStats, bool) {
+	sc := storage.AsScrubber(s.files)
+	if sc == nil {
+		return storage.ReplicationStats{}, false
+	}
+	return sc.ReplicationStats(), true
+}
+
+// scrub runs one replication scrub pass when the backend keeps
+// redundant copies, feeding it the catalog's expected GOP sizes so a
+// repair always restores the bytes the metadata describes: a stale
+// replica (a write that missed a flapping shard) can never win over the
+// copy the catalog points at, whatever their relative sizes. A backend
+// with replication machinery but a single copy per GOP (sharded at
+// replicas=1) is skipped — there is nothing to repair from, and the
+// full-tree walk plus catalog snapshot would tax every Maintain for
+// nothing.
+func (s *Store) scrub() error {
+	sc := storage.AsScrubber(s.files)
+	if sc == nil || sc.ReplicationStats().Replicas < 2 {
+		return nil
+	}
+	_, err := sc.Scrub(s.sizeOracle())
+	return err
+}
+
+// sizeOracle builds the scrub's storage.SizeOracle: Size answers LIVE
+// from the in-memory catalog under the video's lock (so a repair is
+// always judged against the GOP's current expected bytes — a rewrite
+// landing mid-scrub can never have its fresh copies overwritten from a
+// stale source), while All snapshots every known address for the
+// total-loss enumeration. Duplicate GOPs are excluded: their bytes live
+// at the target address and they own no file for the scrub to check.
+func (s *Store) sizeOracle() storage.SizeOracle { return liveOracle{s} }
+
+type liveOracle struct{ s *Store }
+
+// Size reports the catalog's current expected size of one GOP.
+func (o liveOracle) Size(a storage.GOPAddr) (int64, bool) {
+	vs := o.s.acquire(a.Video)
+	if vs == nil {
+		return 0, false
+	}
+	defer vs.mu.Unlock()
+	for _, p := range vs.phys {
+		if p.Dir != a.PhysDir {
+			continue
+		}
+		for i := range p.GOPs {
+			if g := &p.GOPs[i]; g.Seq == a.Seq {
+				if g.DupOf != nil {
+					return 0, false
+				}
+				return g.Bytes, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// All snapshots every catalog-known GOP's expected size, locking one
+// video at a time so the walk never stalls store-wide traffic.
+func (o liveOracle) All() map[storage.GOPAddr]int64 {
+	want := make(map[storage.GOPAddr]int64)
+	for _, name := range o.s.videoNames() {
+		vs := o.s.acquire(name)
+		if vs == nil {
+			continue // deleted while we iterated
+		}
+		for _, p := range vs.phys {
+			for i := range p.GOPs {
+				if g := &p.GOPs[i]; g.DupOf == nil {
+					want[storage.GOPAddr{Video: name, PhysDir: p.Dir, Seq: g.Seq}] = g.Bytes
+				}
+			}
+		}
+		vs.mu.Unlock()
+	}
+	return want
+}
+
+// readGOP fetches one stored GOP's bytes, passing the catalog's
+// expected size so a replicated backend can fail over past a replica
+// whose copy is stale (a rewrite that missed its shard) instead of
+// serving bytes the caller will reject. want < 0 means no expectation.
+func (s *Store) readGOP(video, physDir string, seq int, want int64) ([]byte, error) {
+	return s.files.ReadGOPExpect(video, physDir, seq, want)
+}
 
 // load hydrates the in-memory metadata cache from the catalog. It runs
 // before the store is published, so no locking is needed.

@@ -89,4 +89,11 @@ type MetricsSnapshot struct {
 	// store plus its cumulative read/write byte and latency counters
 	// (vss.BackendStats, sampled at snapshot time).
 	Storage vss.BackendStats `json:"storage"`
+	// Replication is present only for backends with replication
+	// machinery — any sharded store, including -shards with the default
+	// replicas=1 (then failovers stay 0 and no scrubs run): placement
+	// config, read-failover count, per-shard error counters and
+	// demotion state, and the most recent scrub pass
+	// (vss.ReplicationStats, sampled at snapshot time).
+	Replication *vss.ReplicationStats `json:"replication,omitempty"`
 }

@@ -539,6 +539,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Videos:  make(map[string]VideoMetrics),
 		Storage: s.sys.BackendStats(),
 	}
+	if rep, ok := s.sys.ReplicationStats(); ok {
+		snap.Replication = &rep
+	}
 	hits, misses := s.m.cacheHits.Load(), s.m.cacheMisses.Load()
 	entries, bytes, max := s.cache.stats()
 	snap.Cache = CacheMetrics{Hits: hits, Misses: misses, Entries: entries, Bytes: bytes, MaxBytes: max}

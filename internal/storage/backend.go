@@ -8,8 +8,10 @@ package storage
 //
 //   - Store (localfs): one filesystem root, the paper's Figure 2 layout.
 //   - Sharded: N filesystem roots with GOPs placed by a stable hash of
-//     (video, physDir, seq); per-shard IO runs in parallel and a degraded
-//     shard surfaces errors per GOP, not store-wide.
+//     (video, physDir, seq), optionally R-way replicated (primary + ring
+//     successors) with read failover and scrub-repair; per-shard IO runs
+//     in parallel and a degraded shard surfaces errors per GOP — or, with
+//     replicas, not at all while a healthy copy survives.
 //   - Mem: an in-memory map, for tests and IO-free benchmarking.
 //
 // Every implementation must be safe for concurrent use and must report

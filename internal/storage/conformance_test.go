@@ -12,7 +12,9 @@ import (
 // backends lists every Backend implementation under one constructor
 // signature, so the conformance suite and cross-backend tests sweep all
 // of them. The sharded constructor uses 3 roots — enough that addresses
-// actually scatter.
+// actually scatter; the replicated variant must be observationally
+// identical to the others (Walk dedup, delete-all-replicas, link
+// semantics) despite keeping every GOP twice.
 func backends(t *testing.T) map[string]func(t *testing.T) Backend {
 	t.Helper()
 	return map[string]func(t *testing.T) Backend{
@@ -27,6 +29,15 @@ func backends(t *testing.T) map[string]func(t *testing.T) Backend {
 			dir := t.TempDir()
 			roots := []string{dir + "/s0", dir + "/s1", dir + "/s2"}
 			s, err := OpenSharded(roots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"sharded-r2": func(t *testing.T) Backend {
+			dir := t.TempDir()
+			roots := []string{dir + "/s0", dir + "/s1", dir + "/s2", dir + "/s3"}
+			s, err := OpenShardedReplicated(roots, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

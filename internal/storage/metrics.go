@@ -89,12 +89,36 @@ func (i *Instrumented) WriteGOP(video, physDir string, seq int, data []byte) err
 func (i *Instrumented) ReadGOP(video, physDir string, seq int) ([]byte, error) {
 	start := time.Now()
 	data, err := i.b.ReadGOP(video, physDir, seq)
+	return i.countRead(data, err, start)
+}
+
+// countRead folds one read's outcome into the counters — the single
+// accounting path shared by ReadGOP and ReadGOPExpect, so the two can
+// never diverge in BackendStats.
+func (i *Instrumented) countRead(data []byte, err error, start time.Time) ([]byte, error) {
 	i.readNanos.Add(int64(time.Since(start)))
 	i.reads.Add(1)
 	if err == nil {
 		i.bytesRead.Add(int64(len(data)))
 	}
 	return data, i.note(err)
+}
+
+// ReadGOPExpect forwards the size hint when the wrapped backend is an
+// ExpectReader (a replicated backend fails over past wrong-sized
+// replicas), falling back to a plain ReadGOP otherwise. Unlike
+// SweepTemps this does NOT chase Unwrap: a user wrapper's ReadGOP
+// behavior (latency injection, tracing) must not be bypassed on the
+// read path — wrappers opt in by implementing ExpectReader themselves.
+// Counted exactly like ReadGOP.
+func (i *Instrumented) ReadGOPExpect(video, physDir string, seq int, want int64) ([]byte, error) {
+	er, ok := i.b.(ExpectReader)
+	if !ok {
+		return i.ReadGOP(video, physDir, seq)
+	}
+	start := time.Now()
+	data, err := er.ReadGOPExpect(video, physDir, seq, want)
+	return i.countRead(data, err, start)
 }
 
 func (i *Instrumented) GOPSize(video, physDir string, seq int) (int64, error) {

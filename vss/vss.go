@@ -108,6 +108,34 @@
 //     -shards flag uses).
 //   - NewMemBackend: in-memory, for tests and IO-free benchmarking.
 //
+// # Replication
+//
+// NewShardedBackend with replicas R > 1 keeps every GOP on R distinct
+// shards (its primary plus the R-1 ring successors), turning the sharded
+// backend into a replicated store that survives the loss of a root:
+//
+//   - Writes fan out to all R replicas in parallel; the first success
+//     makes the write durable, and shards that missed it are repaired
+//     later rather than failing the write.
+//   - Reads fail over through the replicas in placement order — past
+//     missing copies, and past stale (wrong-sized) copies when the
+//     catalog's expected size is known. Per-shard error counters demote
+//     a repeatedly-failing (flapping) root to last resort until it
+//     serves successfully again.
+//   - Maintain runs a scrub pass that walks every placement and
+//     re-copies missing or wrong-sized replicas from a healthy copy,
+//     using the catalog's expected sizes as ground truth; ScrubStats
+//     (checked/repaired/unrecoverable) and per-shard health are exposed
+//     via System.ReplicationStats and the "replication" section of vssd
+//     /metrics.
+//
+// Deleting one root's contents with replicas=2 therefore loses nothing:
+// every GOP keeps serving from its surviving replica, and the next
+// maintenance pass restores full replication. Raising -replicas on an
+// existing store is safe (placements only extend); changing the root
+// list is not. The vssd and vssctl daemons expose this as -replicas
+// alongside -shards/-shard-roots.
+//
 // The catalog always lives on the local filesystem under <dir>/catalog.
 // Whatever the backend, the read path fetches GOP bytes on an
 // asynchronous IO-prefetch stage that runs ahead of the decode workers
@@ -235,14 +263,34 @@ type Backend = storage.Backend
 // bytes moved, and cumulative latency (mean latency = nanos/ops).
 type BackendStats = storage.BackendStats
 
+// ReplicationStats snapshots a replicated backend's placement config,
+// read-failover count, per-shard health (error counters and demotion
+// state), and the most recent scrub pass; see System.ReplicationStats.
+type ReplicationStats = storage.ReplicationStats
+
+// ScrubStats reports one scrub-repair pass over the replicated backend:
+// addresses checked, replica copies repaired, addresses with no healthy
+// source copy (unrecoverable), and orphaned files skipped.
+type ScrubStats = storage.ScrubStats
+
+// ShardHealthStats is one shard root's row in ReplicationStats.
+type ShardHealthStats = storage.ShardHealthStats
+
 // NewLocalBackend opens (creating if necessary) a single-root localfs
 // backend — the default physical layout, one directory tree under root.
 func NewLocalBackend(root string) (Backend, error) { return storage.Open(root) }
 
 // NewShardedBackend opens (creating if necessary) one localfs root per
-// element of roots and places each GOP on a shard chosen by a stable
-// hash of its address. Reopen with the same roots in the same order.
-func NewShardedBackend(roots []string) (Backend, error) { return storage.OpenSharded(roots) }
+// element of roots and places each GOP on replicas distinct shards
+// chosen by a stable hash of its address (primary + ring successors).
+// replicas <= 1 keeps a single copy; with more, writes fan out (first
+// success is durable), reads fail over through the replicas, and
+// Maintain's scrub pass repairs missing or stale copies — see the
+// package notes on replication. Reopen with the same roots in the same
+// order; raising replicas later is safe, reordering roots is not.
+func NewShardedBackend(roots []string, replicas int) (Backend, error) {
+	return storage.OpenShardedReplicated(roots, replicas)
+}
 
 // NewMemBackend returns an empty in-memory backend (contents do not
 // survive the process).
@@ -278,6 +326,16 @@ func OpenWith(dir string, opts Options, backend Backend) (*System, error) {
 // BackendStats snapshots the storage backend's read/write byte and
 // latency counters. Safe for concurrent use.
 func (s *System) BackendStats() BackendStats { return s.store.BackendStats() }
+
+// ReplicationStats snapshots replica placement, read-failover, per-shard
+// health, and scrub counters when the backend keeps redundant copies
+// (NewShardedBackend with replicas > 1 — though any sharded backend
+// reports). ok is false for backends with no replication machinery
+// (localfs, mem). Safe for concurrent use; also served by vssd /metrics
+// as the "replication" section.
+func (s *System) ReplicationStats() (ReplicationStats, bool) {
+	return s.store.ReplicationStats()
+}
 
 // Close flushes metadata and closes the store.
 func (s *System) Close() error { return s.store.Close() }

@@ -182,7 +182,7 @@ func TestPublicAPIBackends(t *testing.T) {
 	if len(roots) != 3 || roots[0] == roots[1] {
 		t.Fatalf("shard roots %v", roots)
 	}
-	backend, err := vss.NewShardedBackend(roots)
+	backend, err := vss.NewShardedBackend(roots, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +205,16 @@ func TestPublicAPIBackends(t *testing.T) {
 	if st.Backend != "sharded" || st.Writes == 0 || st.Reads == 0 || st.BytesRead == 0 {
 		t.Errorf("backend stats %+v", st)
 	}
+	if err := sys.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := sys.ReplicationStats()
+	if !ok || rep.Shards != 3 || rep.Replicas != 2 || rep.Scrubs == 0 {
+		t.Errorf("replication stats %+v ok=%v", rep, ok)
+	}
+	if rep.LastScrub.Checked == 0 || rep.LastScrub.Unrecoverable != 0 {
+		t.Errorf("scrub stats %+v", rep.LastScrub)
+	}
 
 	memSys, err := vss.OpenWith(t.TempDir(), vss.Options{GOPFrames: 8}, vss.NewMemBackend())
 	if err != nil {
@@ -219,5 +229,8 @@ func TestPublicAPIBackends(t *testing.T) {
 	}
 	if st := memSys.BackendStats(); st.Backend != "mem" {
 		t.Errorf("mem backend stats %+v", st)
+	}
+	if _, ok := memSys.ReplicationStats(); ok {
+		t.Error("mem backend reported replication stats")
 	}
 }
