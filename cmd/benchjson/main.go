@@ -10,11 +10,14 @@
 // The tool parses every benchmark result line (ns/op plus any custom
 // metrics such as fps), writes them as JSON keyed by benchmark name (the
 // -GOMAXPROCS suffix stripped), then looks for the previous BENCH_PRn.json
-// in the output's directory. When one exists, any benchmark whose ns/op
-// grew — or whose fps shrank — by more than -max-regress (default 20%)
-// fails the run with exit status 1, which is how CI turns a perf
-// regression into a red build. The first snapshot in a repo passes
-// trivially, seeding the trajectory.
+// in the output's directory. When one exists it prints the full old-vs-new
+// ratio table, then gates: any benchmark whose ns/op grew — or whose
+// throughput metrics shrank, or whose latency metrics (units ending _ns,
+// _us, _ms) grew — by more than -max-regress (default 20%) fails the run
+// with exit status 1, which is how CI turns a perf regression into a red
+// build. Benchmarks matching -strict (default: the serving-path
+// benchmarks) are held to the tighter -strict-max-regress (default 10%).
+// The first snapshot in a repo passes trivially, seeding the trajectory.
 package main
 
 import (
@@ -25,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,9 +43,14 @@ type Result struct {
 
 // Snapshot is the BENCH_PRn.json document.
 type Snapshot struct {
-	GoOS       string            `json:"goos,omitempty"`
-	GoArch     string            `json:"goarch,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Cores records the machine width the benchmarks ran at, so checks
+	// that only make sense on multi-core hardware (e.g. pipelined ingest
+	// beating serial by 2x) can key off the snapshot itself instead of
+	// trusting whatever machine happens to re-examine it.
+	Cores      int               `json:"cores,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -56,8 +66,19 @@ func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "BENCH.json", "snapshot JSON to write")
 	maxRegress := flag.Float64("max-regress", 0.20, "fractional regression that fails the run")
+	strict := flag.String("strict", "^(ServeStreamRead|ServeExperiment|ConcurrentStreams|StreamsExperiment)$",
+		"regexp of benchmarks held to -strict-max-regress (empty disables)")
+	strictRegress := flag.Float64("strict-max-regress", 0.10, "fractional regression that fails -strict benchmarks")
 	baselineDir := flag.String("baseline-dir", "", "directory holding previous BENCH_*.json (default: -out's directory)")
 	flag.Parse()
+
+	var strictRe *regexp.Regexp
+	if *strict != "" {
+		var err error
+		if strictRe, err = regexp.Compile(*strict); err != nil {
+			fatal(fmt.Errorf("bad -strict: %w", err))
+		}
+	}
 
 	snap, err := parse(*in)
 	if err != nil {
@@ -66,6 +87,7 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines found"))
 	}
+	snap.Cores = runtime.NumCPU()
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -74,7 +96,7 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	fmt.Printf("wrote %s (%d benchmarks, %d cores)\n", *out, len(snap.Benchmarks), snap.Cores)
 
 	dir := *baselineDir
 	if dir == "" {
@@ -89,16 +111,62 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	regressions := compare(base, snap, *maxRegress)
+	printRatios(base, snap, basePath)
+	regressions := compare(base, snap, *maxRegress, strictRe, *strictRegress)
 	if len(regressions) == 0 {
-		fmt.Printf("no regressions beyond %.0f%% against %s\n", *maxRegress*100, basePath)
+		fmt.Printf("no regressions beyond %.0f%% (strict %.0f%%) against %s\n",
+			*maxRegress*100, *strictRegress*100, basePath)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "benchmark regressions beyond %.0f%% against %s:\n", *maxRegress*100, basePath)
+	fmt.Fprintf(os.Stderr, "benchmark regressions against %s:\n", basePath)
 	for _, r := range regressions {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// printRatios prints the full old-vs-new table for every benchmark the
+// two snapshots share — on every run, so CI logs always show the
+// trajectory, not only its failures.
+func printRatios(base, cur *Snapshot, basePath string) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	fmt.Printf("old vs new against %s:\n", basePath)
+	fmt.Printf("  %-32s %14s %14s %8s\n", "benchmark", "old", "new", "ratio")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		row := func(unit string, old, new float64) {
+			ratio := 0.0
+			if old > 0 {
+				ratio = new / old
+			}
+			fmt.Printf("  %-32s %14.1f %14.1f %7.2fx  %s\n", name, old, new, ratio, unit)
+			name = "" // only label the first row of a benchmark
+		}
+		row("ns/op", b.NsPerOp, c.NsPerOp)
+		for _, unit := range sortedUnits(b.Metrics) {
+			if cv, ok := c.Metrics[unit]; ok {
+				row(unit, b.Metrics[unit], cv)
+			}
+		}
+	}
+}
+
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 func fatal(err error) {
@@ -200,29 +268,45 @@ func previousSnapshot(dir, exclude string) string {
 	return best
 }
 
-// compare returns human-readable regression descriptions: benchmarks in
-// both snapshots whose ns/op grew, or whose throughput metrics (fps)
-// shrank, by more than frac.
-func compare(base, cur *Snapshot, frac float64) []string {
+// lowerIsBetter reports whether a custom metric regresses upward, like
+// ns/op does: latency-style units carry a time suffix by convention
+// (p99ttfb_ms and friends).
+func lowerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "_ns") || strings.HasSuffix(unit, "_us") ||
+		strings.HasSuffix(unit, "_ms") || strings.HasSuffix(unit, "_s")
+}
+
+// compare returns human-readable regression descriptions for benchmarks
+// in both snapshots: ns/op or latency metrics that grew, or throughput
+// metrics that shrank, by more than the benchmark's allowance (strictFrac
+// for names matching strictRe, frac otherwise).
+func compare(base, cur *Snapshot, frac float64, strictRe *regexp.Regexp, strictFrac float64) []string {
 	var out []string
 	for name, b := range base.Benchmarks {
 		c, ok := cur.Benchmarks[name]
 		if !ok {
 			continue // removed/renamed benchmarks are not regressions
 		}
-		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+frac) {
-			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%)",
-				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1)))
+		allow := frac
+		if strictRe != nil && strictRe.MatchString(name) {
+			allow = strictFrac
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+allow) {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%, allowed %.0f%%)",
+				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*allow))
 		}
 		for unit, bv := range b.Metrics {
 			cv, ok := c.Metrics[unit]
 			if !ok || bv <= 0 {
 				continue
 			}
-			// Throughput-style metrics regress downward.
-			if cv < bv*(1-frac) {
-				out = append(out, fmt.Sprintf("%s: %.1f -> %.1f %s (-%.1f%%)",
-					name, bv, cv, unit, 100*(1-cv/bv)))
+			switch {
+			case lowerIsBetter(unit) && cv > bv*(1+allow):
+				out = append(out, fmt.Sprintf("%s: %.1f -> %.1f %s (+%.1f%%, allowed %.0f%%)",
+					name, bv, cv, unit, 100*(cv/bv-1), 100*allow))
+			case !lowerIsBetter(unit) && cv < bv*(1-allow):
+				out = append(out, fmt.Sprintf("%s: %.1f -> %.1f %s (-%.1f%%, allowed %.0f%%)",
+					name, bv, cv, unit, 100*(1-cv/bv), 100*allow))
 			}
 		}
 	}

@@ -105,7 +105,11 @@ func main() {
 		hdr.Width, hdr.Height, hdr.FPS, hdr.Codec, total)
 
 	// 4. Repeat the read: the hot-response LRU serves it without touching
-	// the store.
+	// the store. Both reads rode the adaptive response path — small GOPs
+	// coalesce into one pooled buffer and flush on a byte/latency window
+	// (the first chunk immediately, keeping time-to-first-frame bounded),
+	// while 64KiB+ payloads go to the wire zero-copy. The wire bytes are
+	// identical either way; only write boundaries move.
 	hdr, gops, err := c.ReadAll(ctx, "lobby", "start=1&end=7&codec=hevc")
 	if err != nil {
 		log.Fatal(err)
@@ -113,7 +117,10 @@ func main() {
 	fmt.Printf("repeat read: %d GOPs, cache hit = %v\n", len(gops), hdr.CacheHit)
 
 	// 5. Live metrics: read counts, cache hit rate, admission gauges, and
-	// per-video deferred-compression levels.
+	// the response-path section — flush coalescing, buffer-pool hit rate,
+	// and time-to-first-byte quantiles (docs/METRICS.md documents every
+	// field). The `streams` bench experiment (`go run ./cmd/vssbench -exp
+	// streams`) drives this same path with hundreds of concurrent readers.
 	m, err := c.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
@@ -121,4 +128,7 @@ func main() {
 	fmt.Printf("metrics: %d reads completed, %d cancelled, cache hit rate %.0f%%, %d GOPs decoded, queue depth %d\n",
 		m.Reads.Completed, m.Reads.Cancelled, 100*m.Cache.HitRate,
 		m.Reads.GOPsDecoded, m.Admission.QueueDepth)
+	fmt.Printf("response path: %d flushes, %d coalesced chunks, pool hit rate %.0f%%, p99 TTFB %.1fms\n",
+		m.Response.Flushes, m.Response.CoalescedChunks,
+		100*m.Response.PoolHitRate, m.Response.TTFBP99Millis)
 }

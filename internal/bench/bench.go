@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"fig21", "End-to-end application performance by client count", Fig21},
 		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
 		{"serve", "Serving: HTTP streaming read throughput by concurrent clients", ServeExp},
+		{"streams", "Streams: concurrent stream readers through admission control", StreamsExp},
 		{"io", "Cold reads by storage backend (localfs/sharded/mem, prefetch on/off)", IOExp},
 		{"degraded", "Replicated reads with a wiped shard root (healthy vs failover vs scrubbed)", DegradedExp},
 	}

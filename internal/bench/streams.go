@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/vss"
+)
+
+// streamsReadsPerClient is each stream reader's read count: the first
+// round misses every cache, later rounds ride the hot path the
+// concurrency sweep is probing.
+const streamsReadsPerClient = 4
+
+// streamsSweep returns the concurrency levels the streams experiment
+// drives, honoring VSS_STREAMS_MAX (useful for CI smoke runs, where 16
+// streams prove the plumbing without a thousand-goroutine soak).
+func streamsSweep() []int {
+	max := 1024
+	if v := os.Getenv("VSS_STREAMS_MAX"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			max = n
+		}
+	}
+	var sweep []int
+	for _, n := range []int{16, 64, 256, 1024} {
+		if n < max {
+			sweep = append(sweep, n)
+		}
+	}
+	return append(sweep, max)
+}
+
+// StreamsResult is one concurrency level's aggregate measurement.
+type StreamsResult struct {
+	Streams int
+	// FPS is aggregate decoded frames per wall second across every
+	// concurrent reader.
+	FPS float64
+	// TTFBp50/p99 are client-observed times from issuing the request to
+	// receiving the first chunk — queueing in the admission controller
+	// included, because that is what a caller experiences.
+	TTFBp50, TTFBp99 time.Duration
+	// HitRate is the server's hot-response-cache hit rate over the run.
+	HitRate float64
+}
+
+// StartStreamsServer serves the standard workload with admission sized
+// for a concurrency soak: the in-flight bound stays at its default (the
+// store's real parallelism) while the queue is wide enough that a
+// thousand waiting streams are queued, not rejected.
+func StartStreamsServer(dir string) (*server.Client, func(), error) {
+	sys, err := vss.Open(dir, vss.Options{GOPFrames: 8})
+	if err != nil {
+		return nil, nil, err
+	}
+	frames := ingestFrames()
+	if err := sys.Create("video", -1); err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	if err := sys.Write("video", vss.WriteSpec{FPS: benchFPS, Codec: vss.H264, Quality: 85}, frames); err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	srv := server.New(sys, server.Config{
+		CacheBytes:        64 << 20,
+		MaxQueuedReads:    8192,
+		MaxReadsPerClient: 64,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		sys.Close()
+	}
+	return &server.Client{Base: "http://" + ln.Addr().String()}, stop, nil
+}
+
+// RunStreamClients drives n concurrent stream readers, each streaming
+// streamsReadsPerClient transcoded 2-second windows, and aggregates
+// throughput, TTFB quantiles, and the response-cache hit rate.
+func RunStreamClients(c *server.Client, n int) (StreamsResult, error) {
+	ctx := context.Background()
+	base, err := c.Metrics(ctx)
+	if err != nil {
+		return StreamsResult{}, err
+	}
+	frames := make([]int64, n)
+	ttfbs := make([][]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := &server.Client{Base: c.Base, Name: fmt.Sprintf("stream-%d", i)}
+			for k := 0; k < streamsReadsPerClient; k++ {
+				t0 := (i + k) % (ingestSeconds - 2)
+				query := fmt.Sprintf("start=%d&end=%d&codec=hevc", t0, t0+2)
+				issued := time.Now()
+				_, next, stop, err := cl.StreamingRead(ctx, "video", query)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				first := true
+				for {
+					chunk, err := next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						stop()
+						errs[i] = err
+						return
+					}
+					if first {
+						ttfbs[i] = append(ttfbs[i], time.Since(issued))
+						first = false
+					}
+					frames[i] += int64(countGOPFrames(chunk))
+				}
+				stop()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return StreamsResult{}, e
+		}
+	}
+	var all []time.Duration
+	var total int64
+	for i := range ttfbs {
+		all = append(all, ttfbs[i]...)
+		total += frames[i]
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	res := StreamsResult{
+		Streams: n,
+		FPS:     float64(total) / elapsed.Seconds(),
+		TTFBp50: quantileDuration(all, 0.50),
+		TTFBp99: quantileDuration(all, 0.99),
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return StreamsResult{}, err
+	}
+	hits := m.Cache.Hits - base.Cache.Hits
+	if lookups := hits + m.Cache.Misses - base.Cache.Misses; lookups > 0 {
+		res.HitRate = float64(hits) / float64(lookups)
+	}
+	return res, nil
+}
+
+// quantileDuration reads the q-quantile out of a sorted sample.
+func quantileDuration(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// StreamsExp measures serving under stream fan-out: hundreds of
+// concurrent readers pushed through admission control at once, the
+// workload the response-path coalescing and connection reuse exist for.
+// Where ServeExp sweeps a handful of steadily-reading clients, this
+// experiment probes the thundering-herd shape: every reader arrives
+// together, so tail TTFB shows what admission queueing plus flush
+// batching cost the slowest caller.
+func StreamsExp(w io.Writer) error {
+	header(w, "Streams: concurrent stream readers through admission control")
+	fmt.Fprintf(w, "%-10s %14s %12s %12s %10s\n", "Streams", "Frames/sec", "p50 TTFB", "p99 TTFB", "CacheHit")
+
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	c, stop, err := StartStreamsServer(dir)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	for _, n := range streamsSweep() {
+		res, err := RunStreamClients(c, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %14.1f %12s %12s %9.0f%%\n",
+			n, res.FPS, res.TTFBp50.Round(time.Microsecond),
+			res.TTFBp99.Round(time.Microsecond), 100*res.HitRate)
+	}
+	return nil
+}

@@ -72,6 +72,15 @@ type Options struct {
 	// IO-prefetch stage that overlaps backend reads with decode. Exists
 	// for the io benchmark's baseline and for debugging.
 	DisablePrefetch bool
+	// StreamAdmitBytes bounds the encoded output a compressed streaming
+	// read may buffer for cache admission. A stream whose output fits
+	// admits it as a materialized view on clean EOF — exactly as a batch
+	// Read would — so repeated hot transcode windows become passthrough;
+	// one that outgrows the bound streams on without admitting, keeping
+	// streaming memory bounded. 0 selects the default (64MB); <0 disables
+	// stream admission entirely (the pre-PR6 behavior). Raw streams never
+	// admit: holding decoded frames is what streaming exists to avoid.
+	StreamAdmitBytes int64
 
 	// GreedyPlanner selects the dependency-naive greedy baseline instead
 	// of the solver (Section 6.1 comparison).
@@ -123,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QualitySampleEvery == 0 {
 		o.QualitySampleEvery = 16
+	}
+	if o.StreamAdmitBytes == 0 {
+		o.StreamAdmitBytes = 64 << 20
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)

@@ -22,11 +22,18 @@ import (
 //
 // Differences from the batch path, by design:
 //
-//   - Streaming reads never cache-admit their result and never drive
-//     deferred compression: admission needs the whole output in memory,
-//     which is exactly what streaming avoids. A serving layer that wants
-//     hot-response reuse caches encoded responses itself (see
-//     internal/server).
+//   - Raw streaming reads never cache-admit their result and no stream
+//     drives deferred compression: admission needs the whole output in
+//     memory, which for decoded frames is exactly what streaming avoids.
+//     Compressed streams are the exception: their output GOPs are small
+//     (roughly the response size), so the stream buffers them — bounded
+//     by Options.StreamAdmitBytes — and admits the result as a
+//     materialized view on clean EOF, exactly as a batch Read would.
+//     That is what keeps a serving layer's hot transcode windows from
+//     re-paying decode + re-encode on every request: the second read of
+//     an admitted window plans as pure passthrough. A serving layer that
+//     wants whole-response reuse still caches encoded responses itself
+//     (see internal/server).
 //   - Decode memory is bounded twice over: at most ~2*Workers units are
 //     produced ahead of the consumer, and the IO-prefetch stage fetches
 //     at most 2*Workers stored GOPs ahead of the decode workers (see
@@ -67,9 +74,10 @@ func (b *ReadBatch) FrameCount() int {
 // streamUnit is one ordered output unit and its precomputed work: either a
 // passthrough stored bitstream or a run of frame sources to transcode.
 type streamUnit struct {
-	pass []byte       // non-nil: stored GOP emitted as-is, no CPU work
-	srcs []frameSrc   // transcode run (chunked to one output GOP)
-	jobs []*decodeJob // distinct decode jobs srcs depend on
+	pass   []byte       // non-nil: stored GOP emitted as-is, no CPU work
+	srcs   []frameSrc   // transcode run (chunked to one output GOP)
+	jobs   []*decodeJob // distinct decode jobs srcs depend on
+	frames int          // output frames this unit carries (admission mbpp)
 
 	batch *ReadBatch
 	err   error
@@ -103,6 +111,18 @@ type ReadStream struct {
 	decoded atomic.Int64
 	stats   ReadStats
 	err     error // terminal consumer-side state (io.EOF or failure)
+
+	// Cache-admission state for compressed streams (consumer goroutine
+	// only). admitCap <= 0 means admission is off — disabled by options,
+	// raw output, or an output that outgrew the bound mid-stream.
+	video       string
+	vsA         *videoState // phase-A generation witness, as in readOnce
+	fragIDs     []int
+	parentMSE   float64
+	admitCap    int64
+	admitGOPs   [][]byte
+	admitBytes  int64
+	admitFrames int
 }
 
 // ReadStream begins a streaming read. The plan/snapshot phase (phase A of
@@ -128,12 +148,16 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 		return nil, err
 	}
 	var (
-		out *ReadResult
-		job *readJob
+		out       *ReadResult
+		job       *readJob
+		fragIDs   []int
+		parentMSE float64
+		vsA       *videoState
 	)
 	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
 		var err error
-		out, job, _, _, err = s.prepareRead(held, held[video], spec, s.opts.DisablePrefetch)
+		vsA = held[video]
+		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec, s.opts.DisablePrefetch)
 		return err
 	})
 	if err != nil {
@@ -143,6 +167,10 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 	st := &ReadStream{
 		Width: out.Width, Height: out.Height, FPS: out.FPS,
 		s: s, r: job.r, job: job, stats: out.Stats,
+		video: video, vsA: vsA, fragIDs: fragIDs, parentMSE: parentMSE,
+	}
+	if job.r.codec.Compressed() && !s.opts.DisableCache && s.opts.StreamAdmitBytes > 0 {
+		st.admitCap = s.opts.StreamAdmitBytes
 	}
 	st.ctx, st.cancel = context.WithCancelCause(ctx)
 	st.units = buildStreamUnits(job)
@@ -189,7 +217,7 @@ func buildStreamUnits(job *readJob) []*streamUnit {
 		seg := &job.segs[si]
 		if seg.pass != nil {
 			flush()
-			units = append(units, &streamUnit{pass: seg.pass, done: make(chan struct{})})
+			units = append(units, &streamUnit{pass: seg.pass, frames: seg.passFrames, done: make(chan struct{})})
 			continue
 		}
 		pending = append(pending, seg.srcs...)
@@ -200,7 +228,7 @@ func buildStreamUnits(job *readJob) []*streamUnit {
 
 // newStreamUnit builds a transcode unit, deduplicating its decode jobs.
 func newStreamUnit(srcs []frameSrc) *streamUnit {
-	u := &streamUnit{srcs: srcs, done: make(chan struct{})}
+	u := &streamUnit{srcs: srcs, frames: len(srcs), done: make(chan struct{})}
 	seen := make(map[*decodeJob]bool, len(srcs))
 	for _, src := range srcs {
 		if !seen[src.job] {
@@ -345,6 +373,7 @@ func (st *ReadStream) Next() (*ReadBatch, error) {
 		return nil, st.err
 	}
 	if st.next >= len(st.units) {
+		st.maybeAdmit()
 		st.finish(io.EOF)
 		return nil, io.EOF
 	}
@@ -376,7 +405,49 @@ func (st *ReadStream) Next() (*ReadBatch, error) {
 	}
 	batch := u.batch
 	u.batch = nil
+	if st.admitCap > 0 && batch.GOP != nil {
+		// Buffer the encoded GOP for EOF admission. The slice is shared
+		// with the consumer, never copied: admission writes it out as-is.
+		st.admitGOPs = append(st.admitGOPs, batch.GOP)
+		st.admitBytes += int64(len(batch.GOP))
+		st.admitFrames += u.frames
+		if st.admitBytes > st.admitCap {
+			// Outgrew the bound: stream on without admitting.
+			st.admitCap, st.admitGOPs = 0, nil
+		}
+	}
 	return batch, nil
+}
+
+// maybeAdmit runs the batch path's phase C for a compressed stream that
+// reached clean EOF with its whole encoded output buffered: re-acquire
+// the video, verify it is still the one phase A planned against, and
+// cache-admit the output as a materialized view. Failures are swallowed —
+// the stream already delivered its bytes; admission is an optimization,
+// not part of the read's contract.
+func (st *ReadStream) maybeAdmit() {
+	if st.admitCap <= 0 || len(st.admitGOPs) == 0 {
+		return
+	}
+	st.admitCap = 0 // idempotence: admit at most once
+	s := st.s
+	vs := s.acquire(st.video)
+	if vs == nil {
+		return
+	}
+	defer vs.mu.Unlock()
+	if vs != st.vsA {
+		return // deleted (or deleted and recreated) while streaming
+	}
+	job := &readJob{r: st.r, outGOPs: st.admitGOPs}
+	if pixels := int64(st.r.roiW) * int64(st.r.roiH) * int64(st.admitFrames); pixels > 0 {
+		job.mbpp = float64(st.admitBytes) * 8 / float64(pixels)
+	}
+	admitted, err := s.admitLocked(vs, job, st.fragIDs, st.parentMSE)
+	if err == nil && admitted {
+		st.stats.Admitted = true
+	}
+	st.admitGOPs = nil
 }
 
 // finish records the stream's terminal state and stops the workers.
@@ -397,8 +468,9 @@ func (st *ReadStream) Close() error {
 
 // Stats reports the read's execution statistics. Plan fields are valid
 // immediately; GOPsDecoded and BytesRead grow as the stream progresses
-// (prefetched GOP bytes count once fetched). Admitted is always false:
-// streaming reads do not cache-admit their result.
+// (prefetched GOP bytes count once fetched). Admitted becomes true only
+// after a compressed stream reached clean EOF and its buffered output was
+// cache-admitted (see Options.StreamAdmitBytes); raw streams never admit.
 func (st *ReadStream) Stats() ReadStats {
 	stats := st.stats
 	stats.GOPsDecoded = int(st.decoded.Load())

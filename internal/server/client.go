@@ -28,11 +28,23 @@ type Client struct {
 	Name string
 }
 
+// defaultClient is the fallback HTTP client. http.DefaultTransport caps
+// idle connections per host at 2, so a benchmark (or any fan-out caller)
+// driving hundreds of concurrent streams through one vssd would tear
+// down and re-dial almost every connection; this transport keeps them
+// alive so steady-state serving pays the handshake once.
+var defaultClient = func() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 1024
+	t.MaxIdleConnsPerHost = 512
+	return &http.Client{Transport: t}
+}()
+
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
@@ -108,6 +120,33 @@ func (c *Client) WriteGOPs(ctx context.Context, name string, fps int, gops [][]b
 	return nil
 }
 
+// arenaSlab sizes chunkArena slabs: big enough to hold dozens of typical
+// encoded GOPs per allocation, small enough that a pinned slab is cheap.
+const arenaSlab = 1 << 20
+
+// chunkArena carves small chunk payloads out of slab allocations so a
+// stream of many GOPs costs one allocation per slab instead of one per
+// chunk. Returned slices are full-length with capped capacity, so caller
+// appends can never alias a neighbor. The trade-off: any retained chunk
+// pins its whole slab, which is fine for the streaming consumption the
+// client exists for. Chunks near or above the slab size get their own
+// allocation. Not safe for concurrent use.
+type chunkArena struct {
+	slab []byte
+}
+
+func (a *chunkArena) alloc(n int) []byte {
+	if n >= arenaSlab/4 {
+		return make([]byte, n)
+	}
+	if len(a.slab) < n {
+		a.slab = make([]byte, arenaSlab)
+	}
+	b := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return b
+}
+
 // ReadHeader describes a streaming read response.
 type ReadHeader struct {
 	Width, Height, FPS int
@@ -145,6 +184,7 @@ func (c *Client) StreamingRead(ctx context.Context, name, query string) (hdr Rea
 		hdr.Format, _ = frame.ParsePixelFormat(f)
 	}
 	var sawEOF bool
+	var arena chunkArena // per-stream: next is not safe for concurrent use anyway
 	next = func() ([]byte, error) {
 		if sawEOF {
 			return nil, io.EOF
@@ -163,7 +203,7 @@ func (c *Client) StreamingRead(ctx context.Context, name, query string) (hdr Rea
 			// Validate before allocating: the length came off the wire.
 			return nil, fmt.Errorf("chunk length %d exceeds limit %d", n, maxChunkBytes)
 		}
-		buf := make([]byte, n)
+		buf := arena.alloc(int(n))
 		if _, err := io.ReadFull(resp.Body, buf); err != nil {
 			return nil, fmt.Errorf("stream truncated mid-chunk: %w", err)
 		}

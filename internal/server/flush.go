@@ -1,0 +1,282 @@
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/frame"
+)
+
+// Response-path tuning. The serving loop used to copy every batch into a
+// fresh payload buffer and Flush() per GOP; small-GOP streams spent more
+// time in the HTTP plumbing than on their own bytes. The chunkWriter
+// below coalesces small chunks into one pooled buffer and flushes on a
+// byte/latency threshold, while large payloads skip the copy entirely.
+const (
+	// flushThreshold is the buffered-byte level that forces a flush; one
+	// socket write then carries many coalesced GOPs.
+	flushThreshold = 128 << 10
+	// flushInterval bounds how stale a buffered chunk may get before a
+	// flush, so a slow producer still delivers frames at bounded latency
+	// even when the byte threshold is never reached.
+	flushInterval = 25 * time.Millisecond
+	// bypassThreshold is the payload size at which copying into the
+	// coalescing buffer stops paying for itself: the buffered bytes (plus
+	// this chunk's header) are flushed and the payload goes to the wire
+	// directly from the caller's buffer — zero-copy passthrough for
+	// already-encoded GOPs and raw frame batches.
+	bypassThreshold = 64 << 10
+	// chunkBufCap sizes pooled buffers: the flush threshold plus room for
+	// one maximal coalesced chunk and its header, so an append never
+	// regrows a pooled buffer.
+	chunkBufCap = flushThreshold + bypassThreshold + chunkHeaderLen
+	// chunkHeaderLen is the wire framing overhead per chunk.
+	chunkHeaderLen = 4
+)
+
+// bufPool recycles chunkWriters (and, through them, their coalescing
+// buffers) across requests. It is per-Server rather than package-level so
+// concurrent test servers do not share hit-rate accounting.
+type bufPool struct {
+	pool   sync.Pool
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// get returns a chunkWriter ready for reset. Steady-state serving hits
+// the pool; a miss allocates the one buffer the request will use.
+func (p *bufPool) get() *chunkWriter {
+	if v := p.pool.Get(); v != nil {
+		p.hits.Add(1)
+		return v.(*chunkWriter)
+	}
+	p.misses.Add(1)
+	return &chunkWriter{buf: make([]byte, 0, chunkBufCap)}
+}
+
+// put recycles a chunkWriter, dropping every per-request reference but
+// keeping the buffer's capacity.
+func (p *bufPool) put(cw *chunkWriter) {
+	buf := cw.buf[:0]
+	*cw = chunkWriter{buf: buf}
+	p.pool.Put(cw)
+}
+
+// chunkWriter frames a read response: chunks are coalesced into one
+// pooled buffer and flushed adaptively (immediately for the first chunk,
+// then on flushThreshold bytes or flushInterval elapsed), while payloads
+// of bypassThreshold bytes or more are written straight from the caller's
+// buffer. The wire bytes are identical to unbuffered per-chunk writes —
+// only the write/flush boundaries move.
+type chunkWriter struct {
+	w       io.Writer
+	flusher http.Flusher
+	buf     []byte
+
+	committed bool // has any byte reached w?
+	lastFlush time.Time
+	onFirst   func() // fires when the first byte is committed (TTFB)
+
+	// Per-request stats, folded into server metrics when the request ends.
+	bytesOut  int64
+	flushes   int64
+	coalesced int64 // chunks that stayed buffered past their own write
+}
+
+// reset arms a pooled chunkWriter for one request. onFirst may be nil.
+func (cw *chunkWriter) reset(w io.Writer, flusher http.Flusher, onFirst func()) {
+	cw.w = w
+	cw.flusher = flusher
+	cw.onFirst = onFirst
+}
+
+// appendHeader appends one chunk's length framing to the buffer.
+func (cw *chunkWriter) appendHeader(n int) {
+	var hdr [chunkHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	cw.buf = append(cw.buf, hdr[:]...)
+}
+
+// flush writes the buffered bytes and pushes them past the HTTP layer.
+func (cw *chunkWriter) flush() error {
+	if len(cw.buf) > 0 {
+		n, err := cw.w.Write(cw.buf)
+		cw.bytesOut += int64(n)
+		cw.buf = cw.buf[:0]
+		cw.noteCommit()
+		if err != nil {
+			return err
+		}
+	}
+	if cw.flusher != nil {
+		cw.flusher.Flush()
+	}
+	cw.flushes++
+	cw.lastFlush = time.Now()
+	return nil
+}
+
+func (cw *chunkWriter) noteCommit() {
+	if !cw.committed {
+		cw.committed = true
+		if cw.onFirst != nil {
+			cw.onFirst()
+		}
+	}
+}
+
+// maybeFlush applies the adaptive policy after a chunk lands in the
+// buffer: the first chunk flushes immediately (bounded time-to-first-
+// frame), later ones coalesce until the byte or latency threshold.
+func (cw *chunkWriter) maybeFlush() error {
+	if !cw.committed || len(cw.buf) >= flushThreshold ||
+		time.Since(cw.lastFlush) >= flushInterval {
+		return cw.flush()
+	}
+	cw.coalesced++
+	return nil
+}
+
+// writeGOP frames one encoded GOP.
+func (cw *chunkWriter) writeGOP(gop []byte) error {
+	if len(gop) >= bypassThreshold {
+		return cw.bypass(gop)
+	}
+	cw.appendHeader(len(gop))
+	cw.buf = append(cw.buf, gop...)
+	return cw.maybeFlush()
+}
+
+// bypass writes one chunk zero-copy: the pending buffer plus this chunk's
+// header go out first, then the payload directly from its owner's buffer.
+func (cw *chunkWriter) bypass(payload []byte) error {
+	cw.appendHeader(len(payload))
+	n, err := cw.w.Write(cw.buf)
+	cw.bytesOut += int64(n)
+	cw.buf = cw.buf[:0]
+	cw.noteCommit()
+	if err != nil {
+		return err
+	}
+	n, err = cw.w.Write(payload)
+	cw.bytesOut += int64(n)
+	if err != nil {
+		return err
+	}
+	if cw.flusher != nil {
+		cw.flusher.Flush()
+	}
+	cw.flushes++
+	cw.lastFlush = time.Now()
+	return nil
+}
+
+// writeFrames frames a batch of raw frames, splitting at whole-frame
+// boundaries so no chunk exceeds maxChunkBytes (the caller guarantees a
+// single frame fits). Small batches coalesce like GOPs; typical raw
+// batches are megabytes and take the zero-copy path frame by frame.
+func (cw *chunkWriter) writeFrames(frames []*frame.Frame) error {
+	for len(frames) > 0 {
+		var chunkBytes int64
+		n := 0
+		for _, f := range frames {
+			if n > 0 && chunkBytes+int64(len(f.Data)) > maxChunkBytes {
+				break
+			}
+			chunkBytes += int64(len(f.Data))
+			n++
+		}
+		if chunkBytes < bypassThreshold {
+			cw.appendHeader(int(chunkBytes))
+			for _, f := range frames[:n] {
+				cw.buf = append(cw.buf, f.Data...)
+			}
+			if err := cw.maybeFlush(); err != nil {
+				return err
+			}
+		} else {
+			cw.appendHeader(int(chunkBytes))
+			wn, err := cw.w.Write(cw.buf)
+			cw.bytesOut += int64(wn)
+			cw.buf = cw.buf[:0]
+			cw.noteCommit()
+			if err != nil {
+				return err
+			}
+			for _, f := range frames[:n] {
+				wn, err = cw.w.Write(f.Data)
+				cw.bytesOut += int64(wn)
+				if err != nil {
+					return err
+				}
+			}
+			if cw.flusher != nil {
+				cw.flusher.Flush()
+			}
+			cw.flushes++
+			cw.lastFlush = time.Now()
+		}
+		frames = frames[n:]
+	}
+	return nil
+}
+
+// finish appends the clean-EOF terminator and flushes everything left.
+func (cw *chunkWriter) finish() error {
+	cw.appendHeader(0)
+	return cw.flush()
+}
+
+// abort discards buffered-but-unwritten bytes (an error response is still
+// possible if nothing was committed).
+func (cw *chunkWriter) abort() { cw.buf = cw.buf[:0] }
+
+// latencyHist is a lock-free power-of-two-bucket latency histogram:
+// bucket i counts observations in [2^i, 2^(i+1)) microseconds. Quantiles
+// read the bucket upper bound, so they are exact to within 2x — plenty
+// for a p99 TTFB gauge that must cost two atomic ops per request.
+type latencyHist struct {
+	buckets [32]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantileMillis returns the q-quantile in milliseconds (0 if empty).
+func (h *latencyHist) quantileMillis(q float64) float64 {
+	var counts [32]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return float64(uint64(1)<<uint(i)) / 1000 // bucket upper bound, µs→ms
+		}
+	}
+	return float64(uint64(1)<<31) / 1000
+}

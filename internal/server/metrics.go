@@ -27,6 +27,10 @@ type metrics struct {
 	bytesRead   atomic.Int64 // stored bytes touched by served reads
 	bytesSent   atomic.Int64 // payload bytes written to clients
 
+	flushes        atomic.Int64 // socket write/flush cycles on the read path
+	flushCoalesced atomic.Int64 // chunks that rode a later flush instead of their own
+	ttfb           latencyHist  // request arrival → first committed body byte
+
 	writes      atomic.Int64
 	gopsWritten atomic.Int64
 }
@@ -64,6 +68,30 @@ type CacheMetrics struct {
 	MaxBytes int64   `json:"max_bytes"`
 }
 
+// ResponseMetrics is the response-path section of a snapshot: the
+// adaptive-flush chunk writer and its buffer pool.
+type ResponseMetrics struct {
+	// BytesWritten is every wire byte the read path produced (chunk
+	// headers included) — the same counter as reads.bytes_sent, repeated
+	// here so the response section is self-contained.
+	BytesWritten int64 `json:"bytes_written"`
+	// Flushes counts socket write/flush cycles; CoalescedChunks counts
+	// chunks that were buffered into a later flush instead of paying for
+	// their own. coalesced/(coalesced+flushes) ≈ how hard the adaptive
+	// window is working.
+	Flushes         int64 `json:"flushes"`
+	CoalescedChunks int64 `json:"coalesced_chunks"`
+	// Pool hit rate for the recycled response buffers; a miss allocates.
+	PoolHits    int64   `json:"pool_hits"`
+	PoolMisses  int64   `json:"pool_misses"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+	// Time-to-first-byte quantiles (request arrival, before admission
+	// queueing, to the first committed body byte), from a power-of-two
+	// histogram: exact to within 2x.
+	TTFBP50Millis float64 `json:"ttfb_p50_ms"`
+	TTFBP99Millis float64 `json:"ttfb_p99_ms"`
+}
+
 // WriteMetrics is the writes section of a snapshot.
 type WriteMetrics struct {
 	Writes      int64 `json:"writes"`
@@ -83,6 +111,7 @@ type MetricsSnapshot struct {
 	Reads     ReadMetrics             `json:"reads"`
 	Admission AdmissionMetrics        `json:"admission"`
 	Cache     CacheMetrics            `json:"cache"`
+	Response  ResponseMetrics         `json:"response"`
 	Writes    WriteMetrics            `json:"writes"`
 	Videos    map[string]VideoMetrics `json:"videos"`
 	// Storage is the backend section: which backend kind serves the

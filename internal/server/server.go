@@ -41,6 +41,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/frame"
 	"repro/vss"
@@ -85,6 +86,7 @@ type Server struct {
 	cfg   Config
 	adm   *admission
 	cache *responseCache
+	bufs  bufPool
 	m     metrics
 	mux   *http.ServeMux
 }
@@ -334,6 +336,7 @@ func parseReadSpec(q map[string][]string) (vss.ReadSpec, string, error) {
 }
 
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now() // TTFB clock starts before admission queueing
 	name := r.PathValue("name")
 	spec, key, err := parseReadSpec(r.URL.Query())
 	if err != nil {
@@ -366,7 +369,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if cacheable {
 		if e, ok := s.cache.get(cacheKey); ok {
 			s.m.cacheHits.Add(1)
-			s.replayCached(w, e)
+			s.replayCached(w, e, arrived)
 			return
 		}
 		s.m.cacheMisses.Add(1)
@@ -409,14 +412,23 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		h.Set("X-VSS-Frame-Bytes", strconv.Itoa(spec.P.Format.Size(st.Width, st.Height)))
 	}
 	flusher, _ := w.(http.Flusher)
+	cw := s.bufs.get()
+	cw.reset(w, flusher, func() { s.m.ttfb.observe(time.Since(arrived)) })
+	defer func() {
+		s.m.bytesSent.Add(cw.bytesOut)
+		s.m.flushes.Add(cw.flushes)
+		s.m.flushCoalesced.Add(cw.coalesced)
+		s.bufs.put(cw)
+	}()
 
 	// Accumulate compressed GOPs for a cache insert only while they could
 	// possibly fit: with the cache disabled (or a response outgrowing it)
 	// holding the full output would silently reinstate the ReadResult
-	// memory footprint streaming exists to avoid.
+	// memory footprint streaming exists to avoid. The chunkWriter never
+	// retains batch.GOP (small GOPs are copied into its pooled buffer,
+	// large ones written through), so the cache can safely keep it.
 	var cached [][]byte
 	var cachedBytes int64
-	wrote := false // any body byte committed yet?
 	for {
 		batch, err := st.Next()
 		if err == io.EOF {
@@ -424,14 +436,15 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			// Distinguish "client went away" from a real read failure.
-			// Before the first body byte an error response is still
-			// possible; after it, the stream just ends without a
+			// Before the first committed body byte an error response is
+			// still possible; after it, the stream just ends without a
 			// terminator chunk, so the client sees truncation, never
 			// silent partial data.
 			switch {
 			case r.Context().Err() != nil:
 				s.m.readsCancelled.Add(1)
-			case !wrote:
+			case !cw.committed:
+				cw.abort()
 				s.m.readErrors.Add(1)
 				httpError(w, err)
 			default:
@@ -440,25 +453,19 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 			s.noteReadStats(st)
 			return
 		}
-		var sent int64
 		var werr error
 		if batch.GOP != nil {
-			sent, werr = int64(len(batch.GOP))+4, writeChunk(w, batch.GOP)
+			werr = cw.writeGOP(batch.GOP)
 		} else {
 			if len(batch.Frames) == 0 {
 				continue // nothing to frame; zero-length chunks mean EOF
 			}
-			sent, werr = writeFrameChunk(w, batch.Frames)
+			werr = cw.writeFrames(batch.Frames)
 		}
-		wrote = true
 		if werr != nil {
 			s.m.readsCancelled.Add(1)
 			s.noteReadStats(st)
 			return
-		}
-		s.m.bytesSent.Add(sent)
-		if flusher != nil {
-			flusher.Flush()
 		}
 		if cacheable {
 			cached = append(cached, batch.GOP)
@@ -467,8 +474,10 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if err := writeChunk(w, nil); err == nil { // clean-EOF terminator
-		s.m.bytesSent.Add(4)
+	if err := cw.finish(); err != nil { // clean-EOF terminator
+		s.m.readsCancelled.Add(1)
+		s.noteReadStats(st)
+		return
 	}
 	s.m.readsCompleted.Add(1)
 	s.noteReadStats(st)
@@ -482,8 +491,9 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 }
 
 // replayCached serves a hot response from the LRU without touching the
-// store.
-func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry) {
+// store. It rides the same coalescing chunkWriter as live reads — the
+// hot path benefits most, since nothing throttles it but the wire.
+func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry, arrived time.Time) {
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-VSS-Width", strconv.Itoa(e.width))
@@ -491,15 +501,24 @@ func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry) {
 	h.Set("X-VSS-FPS", strconv.Itoa(e.fps))
 	h.Set("X-VSS-Codec", e.codec)
 	h.Set("X-VSS-Cache", "hit")
+	flusher, _ := w.(http.Flusher)
+	cw := s.bufs.get()
+	cw.reset(w, flusher, func() { s.m.ttfb.observe(time.Since(arrived)) })
+	defer func() {
+		s.m.bytesSent.Add(cw.bytesOut)
+		s.m.flushes.Add(cw.flushes)
+		s.m.flushCoalesced.Add(cw.coalesced)
+		s.bufs.put(cw)
+	}()
 	for _, g := range e.gops {
-		if err := writeChunk(w, g); err != nil {
+		if err := cw.writeGOP(g); err != nil {
 			s.m.readsCancelled.Add(1)
 			return
 		}
-		s.m.bytesSent.Add(int64(len(g)) + 4)
 	}
-	if err := writeChunk(w, nil); err == nil {
-		s.m.bytesSent.Add(4)
+	if err := cw.finish(); err != nil {
+		s.m.readsCancelled.Add(1)
+		return
 	}
 	s.m.readsCompleted.Add(1)
 }
@@ -548,6 +567,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		snap.Cache.HitRate = float64(hits) / float64(hits+misses)
 	}
+	snap.Response = ResponseMetrics{
+		BytesWritten:    s.m.bytesSent.Load(),
+		Flushes:         s.m.flushes.Load(),
+		CoalescedChunks: s.m.flushCoalesced.Load(),
+		PoolHits:        s.bufs.hits.Load(),
+		PoolMisses:      s.bufs.misses.Load(),
+		TTFBP50Millis:   s.m.ttfb.quantileMillis(0.50),
+		TTFBP99Millis:   s.m.ttfb.quantileMillis(0.99),
+	}
+	if t := snap.Response.PoolHits + snap.Response.PoolMisses; t > 0 {
+		snap.Response.PoolHitRate = float64(snap.Response.PoolHits) / float64(t)
+	}
 	for _, name := range s.sys.Videos() {
 		total, err := s.sys.TotalBytes(name)
 		if err != nil {
@@ -564,43 +595,6 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]bool{"ok": true})
-}
-
-// writeFrameChunk writes a batch of raw frames as framed chunks — length
-// header first, then each frame's pixel data directly — avoiding the
-// per-batch copy into a contiguous payload buffer that the steady-state
-// raw serving loop would otherwise pay (multi-MB per batch). Batches
-// whose bytes exceed maxChunkBytes are split at whole-frame boundaries so
-// the server never emits a chunk its own protocol limit (or a conforming
-// client) would reject; handleRead guarantees a single frame fits.
-// Returns the total wire bytes written (chunk headers included).
-func writeFrameChunk(w io.Writer, frames []*frame.Frame) (int64, error) {
-	var written int64
-	for len(frames) > 0 {
-		var chunkBytes int64
-		n := 0
-		for _, f := range frames {
-			if n > 0 && chunkBytes+int64(len(f.Data)) > maxChunkBytes {
-				break
-			}
-			chunkBytes += int64(len(f.Data))
-			n++
-		}
-		var hdr [4]byte
-		binary.BigEndian.PutUint32(hdr[:], uint32(chunkBytes))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return written, err
-		}
-		written += 4
-		for _, f := range frames[:n] {
-			if _, err := w.Write(f.Data); err != nil {
-				return written, err
-			}
-			written += int64(len(f.Data))
-		}
-		frames = frames[n:]
-	}
-	return written, nil
 }
 
 // writeChunk writes one framed chunk: 4-byte big-endian length + payload.
