@@ -117,6 +117,13 @@ func BenchmarkIOExperiment(b *testing.B) { runExperiment(b, "io") }
 // scrub-repaired).
 func BenchmarkDegradedExperiment(b *testing.B) { runExperiment(b, "degraded") }
 
+// BenchmarkClusterExperiment regenerates the cluster experiment: routed
+// reads over a live 3-node wire-protocol fleet at replicas=2, with one
+// node killed mid-service (byte-identical failover reads) and then
+// restarted (the write-repair journal restores full replication in one
+// pass; the follow-up scrub must find nothing left to fix).
+func BenchmarkClusterExperiment(b *testing.B) { runExperiment(b, "cluster") }
+
 // BenchmarkDegradedRead measures one uncached full-video raw read per
 // replication/failure state of the 4-root sharded backend
 // (bench.DegradedConfigs, the same sweep the degraded experiment runs):

@@ -31,8 +31,9 @@ func main() {
 	store := flag.String("store", "", "store directory (required)")
 	shards := flag.Int("shards", 0, "shard GOP storage across N roots under the store directory (0 = single root)")
 	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
-	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots (needs -shards/-shard-roots; 1 = no replication)")
+	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots or nodes (needs -shards/-shard-roots/-nodes; 1 = no replication)")
 	backendKind := flag.String("backend", "", "storage backend override: localfs (default; sharding via -shards)")
+	nodes := flag.String("nodes", "", "route GOP storage to a vssd node fleet (comma-separated base URLs; same flags the router daemon runs with)")
 	flag.Parse()
 	if *store == "" || flag.NArg() < 1 {
 		usage()
@@ -43,17 +44,29 @@ func main() {
 		// catalog rows whose data evaporates at exit, wedging the store.
 		fatal(fmt.Errorf("-backend mem is process-local and useless in a one-shot CLI (it would leave catalog metadata with no data); use vssd -backend mem or the library"))
 	}
-	backend, err := backendcli.Open("vssctl", *store, *backendKind, *shards, *replicas, *shardRoots, os.Stderr)
+	backend, err := backendcli.Open("vssctl", *store, *backendKind, *shards, *replicas, *shardRoots, *nodes, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := vss.Open(*store, vss.Options{Backend: backend})
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if cmd == "recover-catalog" {
+		// Must run BEFORE the store is opened: it rebuilds the catalog a
+		// fresh store directory is missing (vss.Open would create an empty
+		// one and then refuse to restore over it without -force).
+		runRecoverCatalog(*store, backend, args)
+		return
+	}
+
+	// Against a node fleet the catalog replicates into the fleet on
+	// maintain (same default as vssrouterd), so recover-catalog has a
+	// snapshot to restore from no matter which front end ran maintenance.
+	sys, err := vss.Open(*store, vss.Options{Backend: backend, SnapshotCatalog: *nodes != ""})
 	if err != nil {
 		fatal(err)
 	}
 	defer sys.Close()
 
-	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "create":
 		runCreate(sys, args)
@@ -82,12 +95,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N] COMMAND [flags]
-commands: create write read delete stat compact joint maintain ls
+	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N | -nodes URLS] COMMAND [flags]
+commands: create write read delete stat compact joint maintain
+          recover-catalog ls
 
 A store written by a sharded vssd (-shards / -shard-roots, plus
 -replicas when replicated) must be opened with the same sharding flags,
-or its GOPs will appear missing.
+or its GOPs will appear missing. The same holds for a routed store
+(-nodes, the vssrouterd flags): same node list, same order.
 
 maintain runs one pass of background maintenance (deferred lossless
 compression under budget pressure, compaction of contiguous cached
@@ -95,7 +110,25 @@ views, and — with -replicas — a replication scrub that re-copies missing
 or stale replicas) across every video — the same pass vssd's -maintain
 loop runs on an interval. Use it to trigger storage reclamation, or to
 restore full replication after swapping out a dead shard root, without
-writing Go.`)
+writing Go.
+
+recover-catalog rebuilds <store>/catalog from the snapshot a router
+daemon's maintenance loop replicated into the backend (see
+docs/CLUSTER.md): point it at the same -nodes fleet and an empty store
+directory, then start vssrouterd on that directory.`)
+}
+
+func runRecoverCatalog(store string, backend vss.Backend, args []string) {
+	fs := flag.NewFlagSet("recover-catalog", flag.ExitOnError)
+	force := fs.Bool("force", false, "overwrite an existing catalog")
+	fs.Parse(args)
+	if backend == nil {
+		fatal(fmt.Errorf("recover-catalog: pick the backend holding the snapshot (-nodes for a routed fleet, -shards/-shard-roots for local sharding)"))
+	}
+	if err := vss.RestoreCatalog(store, backend, *force); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("catalog restored into %s\n", store)
 }
 
 func fatal(err error) {

@@ -65,6 +65,7 @@ func main() {
 	shardRoots := flag.String("shard-roots", "", "comma-separated explicit shard root directories (overrides -shards)")
 	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots (needs -shards/-shard-roots; 1 = no replication)")
 	backendKind := flag.String("backend", "", "storage backend override: localfs|mem (default localfs; sharding via -shards)")
+	nodes := flag.String("nodes", "", "route GOP storage to a vssd node fleet (comma-separated base URLs; vssrouterd is the purpose-built front end)")
 	flag.Parse()
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "usage: vssd -store DIR [-addr HOST:PORT] [flags]")
@@ -72,11 +73,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *replicas, *shardRoots, os.Stderr)
+	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *replicas, *shardRoots, *nodes, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := vss.Open(*store, vss.Options{Workers: *workers, Backend: backend})
+	// A vssd routing to a node fleet (-nodes) is a router: replicate the
+	// catalog into the fleet on maintain, matching vssrouterd's default.
+	sys, err := vss.Open(*store, vss.Options{Workers: *workers, Backend: backend, SnapshotCatalog: *nodes != ""})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,7 +6,9 @@
 // storage, indexes, cost and quality models) under internal/. See
 // README.md for the system overview, quickstart, and benchmark results;
 // docs/ARCHITECTURE.md for the paper-section → package map and the
-// locking/pipeline invariants; docs/METRICS.md for the vssd /metrics
+// locking/pipeline invariants; docs/WIRE.md for the normative wire
+// protocol (video plane and GOP storage plane); docs/CLUSTER.md for
+// running a multi-node fleet; docs/METRICS.md for the vssd /metrics
 // reference; and examples/README.md for the example index. bench_test.go
 // wraps every evaluation experiment in a testing.B harness; cmd/vssbench
 // runs them standalone.
@@ -99,6 +101,13 @@
 //     to R on its own.
 //   - mem: in-memory, for tests and IO-free benchmarks; CI re-runs the
 //     core suite against it (VSS_BACKEND=mem) to enforce backend parity.
+//   - remote: one vssd node reached over the wire protocol's GOP
+//     storage plane (docs/WIRE.md), with retry-and-backoff on transport
+//     errors and 5xx — never on 4xx. internal/router composes N remotes
+//     into a cluster backend (hash-ring placement, replica fan-out,
+//     read failover, a write-repair journal, and the same scrub engine
+//     as sharded), which cmd/vssrouterd serves as a stateless scale-out
+//     front end; see docs/CLUSTER.md.
 //
 // The metadata catalog always stays on the local filesystem under
 // <store>/catalog. On the read side, GOP bytes are fetched by an

@@ -1,8 +1,8 @@
-// Package backendcli resolves the storage-backend CLI flags that vssd
-// and vssctl share (-backend, -shards, -shard-roots, -replicas), so both
-// binaries select backends identically — a store written by a sharded
-// daemon is inspected with the same flags — and both warn about the same
-// traps.
+// Package backendcli resolves the storage-backend CLI flags that vssd,
+// vssrouterd, and vssctl share (-backend, -shards, -shard-roots,
+// -replicas, -nodes), so the binaries select backends identically — a
+// store written by a sharded daemon is inspected with the same flags —
+// and all warn about the same traps.
 package backendcli
 
 import (
@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/router"
 	"repro/internal/storage"
 )
 
@@ -20,10 +21,16 @@ import (
 // library default" (localfs under <store>/data). Conflicting or unknown
 // combinations error rather than silently picking a winner.
 //
-// replicas > 1 requires a sharded backend (-shards or -shard-roots) and
-// keeps each GOP on that many distinct shard roots, with read failover
-// and scrub-repair; replicas <= 1 keeps a single copy. It must not
-// exceed the number of roots.
+// nodes routes GOP storage to a fleet of vssd nodes over the wire
+// protocol (comma-separated base URLs; see docs/CLUSTER.md). The node
+// list ORDER is part of the cluster's identity, exactly like shard
+// roots. replicas then counts copies across distinct nodes instead of
+// local roots.
+//
+// Without nodes, replicas > 1 requires a sharded backend (-shards or
+// -shard-roots) and keeps each GOP on that many distinct shard roots,
+// with read failover and scrub-repair; replicas <= 1 keeps a single
+// copy. It must not exceed the number of roots (or nodes).
 //
 // When no flag picks a backend and the VSS_BACKEND environment variable
 // is set, the library will honor the variable (its test-suite parity
@@ -31,10 +38,19 @@ import (
 // a stray exported variable is an operator trap, so that case prints a
 // loud warning to warn, tagged with prog. An explicit `-backend
 // localfs` pins localfs and ignores the variable.
-func Open(prog, store, kind string, shards, replicas int, shardRoots string, warn io.Writer) (storage.Backend, error) {
+func Open(prog, store, kind string, shards, replicas int, shardRoots, nodes string, warn io.Writer) (storage.Backend, error) {
 	sharding := shards > 0 || shardRoots != ""
+	if nodes != "" {
+		if sharding {
+			return nil, fmt.Errorf("-nodes conflicts with -shards/-shard-roots (the nodes hold the GOPs; shard on the nodes themselves)")
+		}
+		if kind != "" {
+			return nil, fmt.Errorf("-nodes conflicts with -backend %s", kind)
+		}
+		return router.Open(splitList(nodes), replicas, storage.RemoteOptions{})
+	}
 	if replicas > 1 && !sharding {
-		return nil, fmt.Errorf("-replicas %d needs a sharded backend (-shards or -shard-roots)", replicas)
+		return nil, fmt.Errorf("-replicas %d needs a sharded backend (-shards or -shard-roots) or a node fleet (-nodes)", replicas)
 	}
 	switch kind {
 	case "":
@@ -49,10 +65,10 @@ func Open(prog, store, kind string, shards, replicas int, shardRoots string, war
 		}
 		return storage.NewMem(), nil
 	default:
-		return nil, fmt.Errorf("unknown -backend %q (want localfs or mem; sharding via -shards)", kind)
+		return nil, fmt.Errorf("unknown -backend %q (want localfs or mem; sharding via -shards, a node fleet via -nodes)", kind)
 	}
 	if shardRoots != "" {
-		return storage.OpenShardedReplicated(strings.Split(shardRoots, ","), replicas)
+		return storage.OpenShardedReplicated(splitList(shardRoots), replicas)
 	}
 	if shards > 0 {
 		return storage.OpenShardedReplicated(core.ShardRoots(store, shards), replicas)
@@ -61,4 +77,16 @@ func Open(prog, store, kind string, shards, replicas int, shardRoots string, war
 		fmt.Fprintf(warn, "%s: WARNING: no backend flags given; the store will honor VSS_BACKEND=%q (mem is volatile: data will not survive this process)\n", prog, env)
 	}
 	return nil, nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty elements (a trailing comma is not a node).
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -58,6 +58,7 @@ func Experiments() []Experiment {
 		{"streams", "Streams: concurrent stream readers through admission control", StreamsExp},
 		{"io", "Cold reads by storage backend (localfs/sharded/mem, prefetch on/off)", IOExp},
 		{"degraded", "Replicated reads with a wiped shard root (healthy vs failover vs scrubbed)", DegradedExp},
+		{"cluster", "Routed reads over a vssd node fleet with one node killed (failover + journal repair)", ClusterExp},
 	}
 }
 

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/visualroad"
+	"repro/vss"
+)
+
+// clusterNodes and clusterReplicas shape the cluster experiment's fleet:
+// the smallest topology where losing a node is survivable (every GOP
+// keeps a copy on a second node) but not free (a third of the primaries
+// die with it).
+const (
+	clusterNodes    = 3
+	clusterReplicas = 2
+)
+
+// clusterFleet is a fleet of in-process vssd nodes behind real HTTP
+// listeners, each with a kill switch that turns the whole node into 503s
+// — a crashed process as seen from the router, except the node's data
+// survives for when it "restarts".
+type clusterFleet struct {
+	addrs []string
+	down  []*atomic.Bool
+	stop  []func()
+}
+
+// startClusterFleet boots n wire-protocol vssd nodes (memory-backed; the
+// experiment measures routing, not disks) and returns their base URLs
+// and kill switches.
+func startClusterFleet(n int) (*clusterFleet, error) {
+	f := &clusterFleet{}
+	for i := 0; i < n; i++ {
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.stop = append(f.stop, cleanup)
+		sys, err := vss.OpenWith(dir, vss.Options{GOPFrames: 8}, vss.NewMemBackend())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.stop = append(f.stop, func() { sys.Close() })
+		down := &atomic.Bool{}
+		inner := server.New(sys, server.Config{})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if down.Load() {
+				http.Error(w, "node down", http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		f.stop = append(f.stop, ts.Close)
+		f.addrs = append(f.addrs, ts.URL)
+		f.down = append(f.down, down)
+	}
+	return f, nil
+}
+
+// Close tears the fleet down in reverse boot order.
+func (f *clusterFleet) Close() {
+	for i := len(f.stop) - 1; i >= 0; i-- {
+		f.stop[i]()
+	}
+}
+
+// clusterRead times one uncached full-length raw read and returns the
+// duration, bytes touched, and an FNV-1a checksum of every decoded
+// frame — the byte-identity witness across failure states.
+func clusterRead(s *core.Store, name string) (time.Duration, int64, uint64, int, error) {
+	var res *core.ReadResult
+	d, err := timeIt(func() error {
+		var err error
+		res, err = s.Read(name, core.ReadSpec{})
+		return err
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	h := fnv.New64a()
+	for _, fr := range res.Frames {
+		h.Write(fr.Data)
+	}
+	return d, res.Stats.BytesRead, h.Sum64(), len(res.Frames), nil
+}
+
+// ClusterExp measures routed reads over a live wire-protocol fleet (3
+// vssd nodes, replicas=2) across the failure sequence the write-repair
+// journal exists for:
+//
+//   - healthy: all nodes up; reads hit each GOP's primary node.
+//   - onedown-failover: node 0 killed mid-service; every read whose
+//     primary died pays the dead-node round trip (plus the client's
+//     retry backoff) before a surviving replica answers. Decoded frames
+//     must be byte-identical to healthy — that is the point.
+//   - repaired: writes that happened during the outage were journaled
+//     against the dead node; after it returns, ONE Repair pass (no full
+//     scrub) must restore full replication — the experiment fails if the
+//     follow-up scrub finds anything left to fix — and reads return to
+//     healthy speed.
+//
+// The local-disk analogue (sharded roots instead of remote nodes) is the
+// degraded experiment; this one prices the same states over HTTP.
+func ClusterExp(w io.Writer) error {
+	header(w, "Cluster: routed reads over a 3-node fleet (replicas=2), one node killed")
+	fleet, err := startClusterFleet(clusterNodes)
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	cluster, err := router.Open(fleet.addrs, clusterReplicas,
+		storage.RemoteOptions{Attempts: 2, Backoff: 2 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	s, err := core.Open(dir, core.Options{
+		GOPFrames: 8, BudgetMultiple: -1, DisableCache: true, Backend: cluster,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	frames := visualroad.Generate(visualroad.Config{
+		Width: benchW, Height: benchH, FPS: benchFPS, Seed: 4407,
+	}, benchSeconds*benchFPS)
+	if err := s.Create("video", -1); err != nil {
+		return err
+	}
+	if err := s.Write("video", core.WriteSpec{FPS: benchFPS, Codec: codec.H264, Quality: 85}, frames); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-20s %12s %12s %12s %11s\n", "Config", "Read ms", "MB/s", "Frames/sec", "Failovers")
+	row := func(name string) (uint64, error) {
+		best, bytes, sum, n := time.Duration(0), int64(0), uint64(0), 0
+		for i := 0; i < 3; i++ {
+			d, b, s2, n2, err := clusterRead(s, "video")
+			if err != nil {
+				return 0, fmt.Errorf("cluster %s read: %w", name, err)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			bytes, sum, n = b, s2, n2
+		}
+		st, _ := s.ClusterStats()
+		fmt.Fprintf(w, "%-20s %12.1f %12.1f %12.1f %11d\n",
+			name, float64(best.Milliseconds()),
+			float64(bytes)/(1<<20)/best.Seconds(), fps(n, best), st.Failovers)
+		return sum, nil
+	}
+
+	healthySum, err := row("healthy")
+	if err != nil {
+		return err
+	}
+
+	// Kill node 0 and keep writing: the router journals every replica
+	// copy it could not place on the dead node.
+	fleet.down[0].Store(true)
+	update := visualroad.Generate(visualroad.Config{
+		Width: benchW, Height: benchH, FPS: benchFPS, Seed: 4409,
+	}, 8*benchFPS)
+	if err := s.Create("update", -1); err != nil {
+		return err
+	}
+	if err := s.Write("update", core.WriteSpec{FPS: benchFPS, Codec: codec.H264, Quality: 85}, update); err != nil {
+		return fmt.Errorf("write during outage: %w", err)
+	}
+	downSum, err := row("onedown-failover")
+	if err != nil {
+		return err
+	}
+	if downSum != healthySum {
+		return fmt.Errorf("failover read is not byte-identical to healthy (checksum %x vs %x)", downSum, healthySum)
+	}
+	st, _ := s.ClusterStats()
+	depth := st.JournalDepth
+	fmt.Fprintf(w, "outage: journal holds %d (GOP, node) repairs for the dead node\n", depth)
+
+	// Node 0 returns; one journal drain must restore full replication on
+	// its own — the scrub after it is the audit, and must find nothing.
+	fleet.down[0].Store(false)
+	repaired, err := cluster.Repair()
+	if err != nil {
+		return fmt.Errorf("repair after restart: %w", err)
+	}
+	if err := s.Maintain(); err != nil {
+		return err
+	}
+	st, _ = s.ClusterStats()
+	fmt.Fprintf(w, "repair: journal re-created %d copies in one pass; full scrub then repaired %d\n",
+		repaired, st.LastScrub.Repaired)
+	if st.LastScrub.Repaired != 0 {
+		return fmt.Errorf("journal repair was incomplete: full scrub still had to repair %d copies", st.LastScrub.Repaired)
+	}
+	repairedSum, err := row("repaired")
+	if err != nil {
+		return err
+	}
+	if repairedSum != healthySum {
+		return fmt.Errorf("post-repair read is not byte-identical to healthy (checksum %x vs %x)", repairedSum, healthySum)
+	}
+	return nil
+}

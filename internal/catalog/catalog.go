@@ -174,7 +174,8 @@ func (db *DB) commit(rec walRecord) error {
 	db.apply(rec)
 	db.walLen++
 	if db.SnapshotEvery > 0 && db.walLen >= db.SnapshotEvery {
-		return db.snapshotLocked()
+		_, err := db.snapshotLocked()
+		return err
 	}
 	return nil
 }
@@ -269,40 +270,78 @@ func (db *DB) Len(table string) int {
 
 // Snapshot durably writes the current state and truncates the WAL.
 func (db *DB) Snapshot() error {
+	_, err := db.SnapshotBytes()
+	return err
+}
+
+// SnapshotBytes is Snapshot, additionally returning the written snapshot
+// bytes, so a caller that replicates the snapshot elsewhere (core's
+// catalog replication onto the storage backend) need not re-read the
+// file it just caused to be written.
+func (db *DB) SnapshotBytes() ([]byte, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return errors.New("catalog: closed")
+		return nil, errors.New("catalog: closed")
 	}
 	return db.snapshotLocked()
 }
 
-func (db *DB) snapshotLocked() error {
+func (db *DB) snapshotLocked() ([]byte, error) {
 	data, err := json.Marshal(db.tables)
 	if err != nil {
-		return fmt.Errorf("catalog: %w", err)
+		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	tmp := filepath.Join(db.dir, snapshotName+tmpSuffix)
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("catalog: %w", err)
+		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotName)); err != nil {
-		return fmt.Errorf("catalog: %w", err)
+		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	// Truncate the WAL: records up to here are in the snapshot.
 	if db.wal != nil {
 		if err := db.walBuf.Flush(); err != nil {
-			return fmt.Errorf("catalog: %w", err)
+			return nil, fmt.Errorf("catalog: %w", err)
 		}
 		if err := db.wal.Truncate(0); err != nil {
-			return fmt.Errorf("catalog: %w", err)
+			return nil, fmt.Errorf("catalog: %w", err)
 		}
 		if _, err := db.wal.Seek(0, 0); err != nil {
-			return fmt.Errorf("catalog: %w", err)
+			return nil, fmt.Errorf("catalog: %w", err)
 		}
 		db.walBuf.Reset(db.wal)
 	}
 	db.walLen = 0
+	return data, nil
+}
+
+// Restore writes a snapshot (bytes produced by Snapshot/SnapshotBytes)
+// into dir as the catalog's entire state, discarding any WAL — the
+// recovery path for rebuilding a store's catalog from a replicated copy.
+// The snapshot is validated before anything is touched, and the write is
+// atomic, so a bad snapshot cannot half-destroy an existing catalog. dir
+// must not have an open DB.
+func Restore(dir string, data []byte) error {
+	var tables map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return fmt.Errorf("catalog: restore: corrupt snapshot: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("catalog: restore: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotName+tmpSuffix)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("catalog: restore: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("catalog: restore: %w", err)
+	}
+	// A leftover WAL predates the snapshot being restored; replaying it
+	// on top would resurrect stale mutations.
+	if err := os.Remove(filepath.Join(dir, walName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("catalog: restore: %w", err)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/lossless"
+	"repro/internal/storage"
 )
 
 // This file implements deferred compression (Section 5.2): when a video's
@@ -150,8 +151,28 @@ func (s *Store) Maintain() error {
 	// The scrub must run even when the temp sweep fails: a root degraded
 	// enough to error the sweep is exactly the situation whose lost
 	// replicas the scrub re-copies onto the healthy roots (Scrub itself
-	// tolerates unwalkable shards). Both errors surface, joined.
-	return errors.Join(s.files.SweepTemps(tempSweepAge), s.scrub())
+	// tolerates unwalkable shards). Both errors surface, joined. The
+	// catalog snapshot (Options.SnapshotCatalog) goes last so the
+	// replicated copy reflects this pass's compaction and repairs.
+	return errors.Join(s.files.SweepTemps(tempSweepAge), s.scrub(), s.snapshotCatalog())
+}
+
+// snapshotCatalog replicates the metadata catalog into the storage
+// backend when Options.SnapshotCatalog is set: snapshot the catalog (WAL
+// folded in, so the snapshot alone is full state), then write the bytes
+// as a GOP at the reserved storage.CatalogSnapshotVideo address. The
+// write rides the backend's ordinary path — fan-out, write-repair
+// journal, everything — so on a replicated fleet every replica node ends
+// up holding the catalog. RestoreCatalog is the inverse.
+func (s *Store) snapshotCatalog() error {
+	if !s.opts.SnapshotCatalog {
+		return nil
+	}
+	data, err := s.cat.SnapshotBytes()
+	if err != nil {
+		return err
+	}
+	return s.files.WriteGOP(storage.CatalogSnapshotVideo, storage.CatalogSnapshotDir, 0, data)
 }
 
 // StartBackground launches the maintenance loop at the given interval and

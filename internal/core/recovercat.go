@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// RestoreCatalog rebuilds the metadata catalog of a store at dir from
+// the snapshot a Maintain pass replicated into backend
+// (Options.SnapshotCatalog): the disaster-recovery path for a router
+// host whose local disk — catalog included — is lost while the GOP bytes
+// live on the fleet. After it returns, Open(dir, ...) over the same
+// backend serves every video the snapshot knew about; GOPs written after
+// the last snapshot are orphans the next scrub reports.
+//
+// An existing catalog at dir is never overwritten unless force is set:
+// restoring an older snapshot over live metadata is itself data loss.
+// The store at dir must not be open.
+func RestoreCatalog(dir string, backend storage.Backend, force bool) error {
+	catDir := filepath.Join(dir, "catalog")
+	if !force {
+		entries, err := os.ReadDir(catDir)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("core: restore catalog: %w", err)
+		}
+		if len(entries) > 0 {
+			return fmt.Errorf("core: restore catalog: %s already holds a catalog (use force to overwrite)", catDir)
+		}
+	}
+	data, err := backend.ReadGOP(storage.CatalogSnapshotVideo, storage.CatalogSnapshotDir, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("core: restore catalog: backend holds no catalog snapshot (was the store maintained with SnapshotCatalog?): %w", err)
+		}
+		return fmt.Errorf("core: restore catalog: %w", err)
+	}
+	return catalog.Restore(catDir, data)
+}

@@ -66,6 +66,17 @@ type Options struct {
 	// constructors. The catalog always lives on the local filesystem
 	// under <dir>/catalog regardless of backend.
 	Backend storage.Backend
+	// SnapshotCatalog replicates the metadata catalog into the storage
+	// backend on every Maintain pass: the catalog is snapshotted (WAL
+	// folded in), then written as a GOP under the reserved
+	// storage.CatalogSnapshotVideo address, riding the backend's normal
+	// write path — on a replicated backend every replica holds a copy.
+	// This closes the catalog's single-point-of-failure for deployments
+	// whose GOP bytes outlive the store directory (the router daemon
+	// fronting a vssd fleet): RestoreCatalog rebuilds <dir>/catalog from
+	// the backend copy. Pointless (and off by default) when the backend
+	// lives under <dir> anyway.
+	SnapshotCatalog bool
 	// DisablePrefetch reverts GOP fetch to the synchronous under-lock
 	// snapshot of the pre-prefetch read path: stored bytes are read in
 	// phase A while the video lock is held instead of on the asynchronous
@@ -202,6 +213,7 @@ func (vs *videoState) original() *PhysMeta {
 // The catalog (internal/catalog) and file store (internal/storage) are
 // internally safe for concurrent use.
 type Store struct {
+	dir   string
 	opts  Options
 	files *storage.Instrumented // metrics-wrapped Options.Backend
 	cat   *catalog.DB
@@ -253,6 +265,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
+		dir:    dir,
 		opts:   opts.withDefaults(),
 		files:  storage.Instrument(backend),
 		cat:    cat,
@@ -316,6 +329,24 @@ func ShardRoots(dir string, n int) []string {
 // BackendStats snapshots the storage backend's operation counters
 // (reads/writes, bytes, cumulative latency). Safe for concurrent use.
 func (s *Store) BackendStats() storage.BackendStats { return s.files.Stats() }
+
+// Backend exposes the store's (metrics-instrumented) storage backend:
+// the GOP plane a vssd node serves over its /gops endpoints, so a router
+// fleet can use this store as a remote replica. Operations through it
+// count in BackendStats like the store's own.
+func (s *Store) Backend() storage.Backend { return s.files }
+
+// ClusterStats snapshots routed-fleet health (per-node errors and
+// demotions, write-repair journal depth, repair and scrub counters) when
+// the backend routes GOPs across remote nodes (internal/router). ok is
+// false for local backends. Safe for concurrent use.
+func (s *Store) ClusterStats() (storage.ClusterStats, bool) {
+	cr := storage.AsClusterReporter(s.files)
+	if cr == nil {
+		return storage.ClusterStats{}, false
+	}
+	return cr.ClusterStats(), true
+}
 
 // ReplicationStats snapshots replica placement, read-failover, per-shard
 // health, and scrub counters when the backend keeps redundant copies

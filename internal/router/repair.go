@@ -1,0 +1,158 @@
+package router
+
+import (
+	"errors"
+	"io/fs"
+
+	"repro/internal/storage"
+)
+
+// This file is the cluster's repair plane: the opportunistic journal
+// drain (Repair, run on a short timer by the router daemon) and the
+// authoritative full pass (Scrub, run by core.Store.Maintain through
+// the storage.Scrubber interface). The journal restores copies the
+// cluster watched go missing — within one repair cycle, no fleet walk;
+// the scrub restores everything else.
+
+// Repair drains one batch of journaled (GOP, node) repairs: for each,
+// the bytes are read from a healthy replica node and re-written to the
+// node that missed them. Entries whose GOP no longer exists anywhere
+// are dropped silently (the GOP was deleted or evicted after
+// journaling); entries whose repair fails are re-queued up to their
+// attempt budget. Returns the number of copies repaired this pass.
+// Serialized internally; safe to call on a timer alongside foreground
+// traffic.
+func (c *Cluster) Repair() (int, error) {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	c.repairCycles.Add(1)
+	repaired := 0
+	var errs []error
+	for _, e := range c.journal.drain(repairBatch) {
+		data, ok, err := c.readForRepair(e)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		if !ok {
+			continue
+		}
+		if err := c.nodes[e.node].WriteGOP(e.addr.Video, e.addr.PhysDir, e.addr.Seq, data); err != nil {
+			c.noteResult(e.node, err)
+			c.repairFailures.Add(1)
+			c.journal.requeue(e)
+			errs = append(errs, c.nodeErr(e.node, err))
+			continue
+		}
+		c.noteResult(e.node, nil)
+		c.repaired.Add(1)
+		repaired++
+	}
+	return repaired, errors.Join(errs...)
+}
+
+// readForRepair fetches the authoritative bytes for one journal entry
+// from the GOP's placement nodes, skipping the repair target itself. ok
+// is false when the entry should not be repaired now: every source
+// misses (the GOP is gone — entry dropped) or every source errors
+// (entry re-queued).
+func (c *Cluster) readForRepair(e entry) (data []byte, ok bool, err error) {
+	sawError := false
+	var errs []error
+	for _, i := range c.placement(e.addr.Video, e.addr.PhysDir, e.addr.Seq) {
+		if i == e.node {
+			continue
+		}
+		d, rerr := c.nodes[i].ReadGOP(e.addr.Video, e.addr.PhysDir, e.addr.Seq)
+		if rerr == nil {
+			c.noteResult(i, nil)
+			return d, true, nil
+		}
+		if errors.Is(rerr, fs.ErrNotExist) {
+			continue // source genuinely has no copy; not the node's fault
+		}
+		sawError = true
+		c.noteResult(i, rerr)
+		errs = append(errs, c.nodeErr(i, rerr))
+	}
+	if sawError {
+		// No healthy source reachable right now — try again later rather
+		// than concluding the GOP is gone.
+		c.repairFailures.Add(1)
+		c.journal.requeue(e)
+		return nil, false, errors.Join(errs...)
+	}
+	// Every source agrees the GOP does not exist: deleted or evicted
+	// after journaling. The entry is resolved, not failed.
+	return nil, false, nil
+}
+
+// Scrub runs one full check-and-repair pass over the fleet with the
+// shared scrub engine (storage.ScrubReplicas), after a Repair pass so
+// known-missing copies don't inflate the scrub's repair count. The
+// returned stats are recorded for ClusterStats/ReplicationStats.
+func (c *Cluster) Scrub(expect storage.SizeOracle) (storage.ScrubStats, error) {
+	_, rerr := c.Repair()
+	st, serr := storage.ScrubReplicas(storage.ReplicaSet{
+		Stores:     c.nodes,
+		Placement:  c.placement,
+		NoteResult: c.noteResult,
+		ErrTag:     c.nodeErr,
+	}, expect)
+	c.scrubMu.Lock()
+	c.scrubs++
+	c.lastScrub = st
+	c.scrubMu.Unlock()
+	return st, errors.Join(rerr, serr)
+}
+
+// ReplicationStats satisfies storage.Scrubber so core.Store.Maintain
+// discovers and scrubs the cluster exactly like a replicated sharded
+// backend; nodes stand in for shards. Operators should read the richer
+// ClusterStats instead (the /metrics cluster section replaces the
+// replication section for routed stores).
+func (c *Cluster) ReplicationStats() storage.ReplicationStats {
+	st := storage.ReplicationStats{
+		Shards:    len(c.nodes),
+		Replicas:  c.replicas,
+		Failovers: c.failovers.Load(),
+	}
+	st.ShardHealth = make([]storage.ShardHealthStats, len(c.nodes))
+	for i := range c.nodes {
+		st.ShardHealth[i] = storage.ShardHealthStats{
+			Root:    c.labels[i],
+			Errors:  c.health[i].errors.Load(),
+			Demoted: c.health[i].streak.Load() >= demoteAfter,
+		}
+	}
+	c.scrubMu.Lock()
+	st.Scrubs, st.LastScrub = c.scrubs, c.lastScrub
+	c.scrubMu.Unlock()
+	return st
+}
+
+// ClusterStats snapshots the fleet's health for the /metrics cluster
+// section. Safe for concurrent use.
+func (c *Cluster) ClusterStats() storage.ClusterStats {
+	st := storage.ClusterStats{
+		Nodes:          len(c.nodes),
+		Replicas:       c.replicas,
+		Failovers:      c.failovers.Load(),
+		JournalDepth:   c.journal.depth(),
+		JournalDropped: c.journal.droppedCount(),
+		RepairCycles:   c.repairCycles.Load(),
+		Repaired:       c.repaired.Load(),
+		RepairFailures: c.repairFailures.Load(),
+	}
+	st.NodeHealth = make([]storage.NodeHealthStats, len(c.nodes))
+	for i := range c.nodes {
+		st.NodeHealth[i] = storage.NodeHealthStats{
+			Addr:    c.labels[i],
+			Errors:  c.health[i].errors.Load(),
+			Demoted: c.health[i].streak.Load() >= demoteAfter,
+		}
+	}
+	c.scrubMu.Lock()
+	st.Scrubs, st.LastScrub = c.scrubs, c.lastScrub
+	c.scrubMu.Unlock()
+	return st
+}

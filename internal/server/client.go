@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -58,11 +59,42 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	return c.http().Do(req)
 }
 
-// errorFrom drains a failed response into an error.
+// StatusError is a non-2xx server response. It keeps the HTTP status
+// code machine-readable so callers can tell a definitive server verdict
+// (4xx: retrying cannot help) from a node fault (5xx / transport
+// errors); storage.Remote keys its retry policy on HTTPStatus. A 404
+// unwraps to fs.ErrNotExist so missing-GOP probes compose with
+// errors.Is like every other storage.Backend.
+type StatusError struct {
+	Code   int    // HTTP status code, e.g. 404
+	Status string // HTTP status line, e.g. "404 Not Found"
+	Msg    string // response body (truncated)
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Status, e.Msg)
+}
+
+// HTTPStatus returns the response status code.
+func (e *StatusError) HTTPStatus() int { return e.Code }
+
+// Unwrap maps 404 onto fs.ErrNotExist.
+func (e *StatusError) Unwrap() error {
+	if e.Code == http.StatusNotFound {
+		return fs.ErrNotExist
+	}
+	return nil
+}
+
+// errorFrom drains a failed response into a *StatusError.
 func errorFrom(resp *http.Response) error {
 	defer resp.Body.Close()
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	return &StatusError{
+		Code:   resp.StatusCode,
+		Status: resp.Status,
+		Msg:    string(bytes.TrimSpace(msg)),
+	}
 }
 
 // Create registers a video.

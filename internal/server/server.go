@@ -17,6 +17,11 @@
 //	GET    /videos/{name}/read     streaming read (spec in query parameters)
 //	GET    /metrics                live metrics snapshot (JSON)
 //	POST   /maintain               run one maintenance pass
+//	GET    /healthz                liveness probe (storage plane)
+//
+// plus the GOP storage plane under /gops — raw GOP bytes at backend
+// addresses, used by the router fleet to treat this node as a remote
+// replica store; see storageplane.go and docs/WIRE.md.
 //
 // # Wire format
 //
@@ -109,6 +114,17 @@ func New(sys *vss.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /videos/{name}/read", s.handleRead)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /maintain", s.handleMaintain)
+	// Storage plane: the GOP-level endpoints a router fleet uses to treat
+	// this node as a remote replica store (storageplane.go).
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("PUT /gops/{video}/{phys}/{seq}", s.handleGOPWrite)
+	s.mux.HandleFunc("GET /gops/{video}/{phys}/{seq}", s.handleGOPRead)
+	s.mux.HandleFunc("HEAD /gops/{video}/{phys}/{seq}", s.handleGOPRead)
+	s.mux.HandleFunc("DELETE /gops/{video}/{phys}/{seq}", s.handleGOPDelete)
+	s.mux.HandleFunc("POST /gops/{video}/{phys}/{seq}/link", s.handleGOPLink)
+	s.mux.HandleFunc("DELETE /gops/{video}/{phys}", s.handleGOPDeletePhysical)
+	s.mux.HandleFunc("DELETE /gops/{video}", s.handleGOPDeleteVideo)
+	s.mux.HandleFunc("GET /gops", s.handleGOPWalk)
 	return s
 }
 
@@ -558,7 +574,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Videos:  make(map[string]VideoMetrics),
 		Storage: s.sys.BackendStats(),
 	}
-	if rep, ok := s.sys.ReplicationStats(); ok {
+	// A routed store reports the cluster section; the generic replication
+	// section it also implements (nodes relabeled as shards) would repeat
+	// the same counters, so it is suppressed in favor of the richer view.
+	if cl, ok := s.sys.ClusterStats(); ok {
+		snap.Cluster = &cl
+	} else if rep, ok := s.sys.ReplicationStats(); ok {
 		snap.Replication = &rep
 	}
 	hits, misses := s.m.cacheHits.Load(), s.m.cacheMisses.Load()

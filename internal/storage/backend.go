@@ -13,6 +13,9 @@ package storage
 //     in parallel and a degraded shard surfaces errors per GOP — or, with
 //     replicas, not at all while a healthy copy survives.
 //   - Mem: an in-memory map, for tests and IO-free benchmarking.
+//   - Remote: GOPs stored on one vssd node over the wire protocol
+//     (remote.go); internal/router composes Remotes into a replicated
+//     fleet with the same ring/failover/scrub idiom as Sharded.
 //
 // Every implementation must be safe for concurrent use and must report
 // missing GOPs with errors that match errors.Is(err, fs.ErrNotExist), so

@@ -1,325 +1,80 @@
-package storage
+package storage_test
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
-	"io/fs"
-	"sync"
 	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
 )
 
-// backends lists every Backend implementation under one constructor
+// backends lists every local Backend implementation under one constructor
 // signature, so the conformance suite and cross-backend tests sweep all
 // of them. The sharded constructor uses 3 roots — enough that addresses
 // actually scatter; the replicated variant must be observationally
 // identical to the others (Walk dedup, delete-all-replicas, link
-// semantics) despite keeping every GOP twice.
-func backends(t *testing.T) map[string]func(t *testing.T) Backend {
+// semantics) despite keeping every GOP twice. The remote backend runs the
+// same suite over a live vssd node in remote_test.go, and the router's
+// cluster backend in internal/router.
+func backends(t *testing.T) map[string]func(t *testing.T) storage.Backend {
 	t.Helper()
-	return map[string]func(t *testing.T) Backend{
-		"localfs": func(t *testing.T) Backend {
-			s, err := Open(t.TempDir())
+	return map[string]func(t *testing.T) storage.Backend{
+		"localfs": func(t *testing.T) storage.Backend {
+			s, err := storage.Open(t.TempDir())
 			if err != nil {
 				t.Fatal(err)
 			}
 			return s
 		},
-		"sharded": func(t *testing.T) Backend {
+		"sharded": func(t *testing.T) storage.Backend {
 			dir := t.TempDir()
 			roots := []string{dir + "/s0", dir + "/s1", dir + "/s2"}
-			s, err := OpenSharded(roots)
+			s, err := storage.OpenSharded(roots)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return s
 		},
-		"sharded-r2": func(t *testing.T) Backend {
+		"sharded-r2": func(t *testing.T) storage.Backend {
 			dir := t.TempDir()
 			roots := []string{dir + "/s0", dir + "/s1", dir + "/s2", dir + "/s3"}
-			s, err := OpenShardedReplicated(roots, 2)
+			s, err := storage.OpenShardedReplicated(roots, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return s
 		},
-		"mem": func(t *testing.T) Backend {
-			return NewMem()
+		"mem": func(t *testing.T) storage.Backend {
+			return storage.NewMem()
 		},
 	}
 }
 
-// TestBackendConformance runs the shared semantic suite against every
-// backend: all three must be drop-in interchangeable behind the
+// TestBackendConformance runs the shared semantic suite (storagetest)
+// against every backend: all must be drop-in interchangeable behind the
 // interface, including hard-link fallback behavior and fs.ErrNotExist
 // error chains.
 func TestBackendConformance(t *testing.T) {
 	for name, newBackend := range backends(t) {
 		t.Run(name, func(t *testing.T) {
-			testBackendConformance(t, newBackend(t))
+			storagetest.Conformance(t, newBackend(t))
 		})
 	}
 }
 
-func testBackendConformance(t *testing.T, b Backend) {
-	t.Helper()
-	if b.Name() == "" {
-		t.Error("backend has no name")
-	}
-
-	// Write/read round trip, overwrite semantics, and size.
-	payload := []byte("gop payload")
-	if err := b.WriteGOP("v", "p1", 0, payload); err != nil {
-		t.Fatal(err)
-	}
-	got, err := b.ReadGOP("v", "p1", 0)
-	if err != nil || !bytes.Equal(got, payload) {
-		t.Fatalf("round trip: %v %q", err, got)
-	}
-	// Read bytes are the caller's: mutating them must not reach back
-	// into the store (passthrough reads hand them to API clients).
-	for i := range got {
-		got[i] = 'z'
-	}
-	if again, err := b.ReadGOP("v", "p1", 0); err != nil || !bytes.Equal(again, payload) {
-		t.Fatalf("caller mutation corrupted stored GOP: %v %q", err, again)
-	}
-	if err := b.WriteGOP("v", "p1", 0, []byte("rewritten")); err != nil {
-		t.Fatal(err)
-	}
-	if got, _ := b.ReadGOP("v", "p1", 0); string(got) != "rewritten" {
-		t.Errorf("overwrite not visible: %q", got)
-	}
-	if n, err := b.GOPSize("v", "p1", 0); err != nil || n != int64(len("rewritten")) {
-		t.Errorf("size %d err %v", n, err)
-	}
-
-	// Missing GOPs must error with a chain matching fs.ErrNotExist (the
-	// read path's stale-fetch detection depends on it).
-	if _, err := b.ReadGOP("v", "p1", 99); !errors.Is(err, fs.ErrNotExist) {
-		t.Errorf("missing read error %v, want fs.ErrNotExist chain", err)
-	}
-	if _, err := b.GOPSize("v", "p1", 99); !errors.Is(err, fs.ErrNotExist) {
-		t.Errorf("missing size error %v, want fs.ErrNotExist chain", err)
-	}
-
-	// Delete is idempotent; missing deletes are not errors.
-	if err := b.DeleteGOP("v", "p1", 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.DeleteGOP("v", "p1", 0); err != nil {
-		t.Errorf("double delete: %v", err)
-	}
-	if _, err := b.ReadGOP("v", "p1", 0); !errors.Is(err, fs.ErrNotExist) {
-		t.Errorf("deleted GOP still readable (err %v)", err)
-	}
-
-	// Link shares bytes; deleting the source must not disturb the target
-	// (hard link on localfs, copy fallback elsewhere — same observable
-	// semantics).
-	if err := b.WriteGOP("v", "p1", 3, []byte("shared")); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.LinkGOP("v", "p1", 3, "w", "p2", 0); err != nil {
-		t.Fatal(err)
-	}
-	if got, err := b.ReadGOP("w", "p2", 0); err != nil || string(got) != "shared" {
-		t.Fatalf("linked read: %v %q", err, got)
-	}
-	if err := b.DeleteGOP("v", "p1", 3); err != nil {
-		t.Fatal(err)
-	}
-	if got, err := b.ReadGOP("w", "p2", 0); err != nil || string(got) != "shared" {
-		t.Errorf("link target lost after source delete: %v %q", err, got)
-	}
-	if err := b.LinkGOP("v", "p1", 3, "w", "p2", 1); !errors.Is(err, fs.ErrNotExist) {
-		t.Errorf("link from missing source error %v, want fs.ErrNotExist chain", err)
-	}
-
-	// DeletePhysical removes exactly one physical video's GOPs.
-	for seq := 0; seq < 4; seq++ {
-		if err := b.WriteGOP("v", "pA", seq, []byte{byte(seq)}); err != nil {
-			t.Fatal(err)
-		}
-		if err := b.WriteGOP("v", "pB", seq, []byte{byte(seq)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := b.DeletePhysical("v", "pA"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := b.ReadGOP("v", "pA", 0); !errors.Is(err, fs.ErrNotExist) {
-		t.Error("deleted physical still readable")
-	}
-	if _, err := b.ReadGOP("v", "pB", 0); err != nil {
-		t.Errorf("unrelated physical removed: %v", err)
-	}
-
-	// Walk enumerates every (video, physDir, seq) exactly once with its
-	// stored size.
-	seen := map[string]int64{}
-	err = b.Walk(func(video, physDir string, seq int, size int64) error {
-		key := fmt.Sprintf("%s/%s/%d", video, physDir, seq)
-		if _, dup := seen[key]; dup {
-			return fmt.Errorf("walk visited %s twice", key)
-		}
-		seen[key] = size
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]int64{
-		"w/p2/0": int64(len("shared")),
-		"v/pB/0": 1, "v/pB/1": 1, "v/pB/2": 1, "v/pB/3": 1,
-	}
-	if len(seen) != len(want) {
-		t.Errorf("walk saw %v, want keys %v", seen, want)
-	}
-	for k, sz := range want {
-		if seen[k] != sz {
-			t.Errorf("walk %s size %d, want %d", k, seen[k], sz)
-		}
-	}
-
-	// DeleteVideo removes a logical video entirely and leaves others.
-	if err := b.DeleteVideo("v"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := b.ReadGOP("v", "pB", 0); !errors.Is(err, fs.ErrNotExist) {
-		t.Error("deleted video still readable")
-	}
-	if got, err := b.ReadGOP("w", "p2", 0); err != nil || string(got) != "shared" {
-		t.Errorf("unrelated video removed: %v %q", err, got)
-	}
-}
-
-// TestBackendConcurrentWriteSameGOP regresses the temp-file collision:
-// two writers racing on the same <seq>.gop used to share one path+".tmp"
-// name and could interleave into a torn file or fail the rename. With
-// unique temp names, the winner must always be one writer's complete
-// payload.
+// TestBackendConcurrentWriteSameGOP races writers on one GOP address; see
+// storagetest.ConcurrentWriteSameGOP.
 func TestBackendConcurrentWriteSameGOP(t *testing.T) {
 	for name, newBackend := range backends(t) {
 		t.Run(name, func(t *testing.T) {
-			b := newBackend(t)
-			const writers, rounds = 8, 25
-			payloads := make([][]byte, writers)
-			for i := range payloads {
-				p := bytes.Repeat([]byte{byte('a' + i)}, 4096)
-				payloads[i] = p
-			}
-			var wg sync.WaitGroup
-			errs := make([]error, writers)
-			for i := 0; i < writers; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for r := 0; r < rounds; r++ {
-						if err := b.WriteGOP("v", "p1", 7, payloads[i]); err != nil {
-							errs[i] = err
-							return
-						}
-					}
-				}()
-			}
-			wg.Wait()
-			for i, err := range errs {
-				if err != nil {
-					t.Fatalf("writer %d: %v", i, err)
-				}
-			}
-			got, err := b.ReadGOP("v", "p1", 7)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ok := false
-			for _, p := range payloads {
-				if bytes.Equal(got, p) {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				t.Fatalf("stored GOP is not any writer's payload (len %d, first byte %q)", len(got), got[:1])
-			}
+			storagetest.ConcurrentWriteSameGOP(t, newBackend(t))
 		})
-	}
-}
-
-// TestShardedPlacementStable pins the property multi-process agreement
-// rests on: shard placement is a pure function of the GOP address and
-// the root list, so a store reopened with the same roots finds every
-// GOP, and the GOPs do actually spread across shards.
-func TestShardedPlacementStable(t *testing.T) {
-	dir := t.TempDir()
-	roots := []string{dir + "/s0", dir + "/s1", dir + "/s2"}
-	s1, err := OpenSharded(roots)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n = 32
-	for seq := 0; seq < n; seq++ {
-		if err := s1.WriteGOP("cam", "p000001-640x360r30.h264", seq, []byte{byte(seq)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	used := map[int]int{}
-	for seq := 0; seq < n; seq++ {
-		used[s1.shardOf("cam", "p000001-640x360r30.h264", seq)]++
-	}
-	if len(used) < 2 {
-		t.Errorf("all %d GOPs landed on one shard: %v", n, used)
-	}
-	// Reopen (a second process) and read everything back.
-	s2, err := OpenSharded(roots)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for seq := 0; seq < n; seq++ {
-		got, err := s2.ReadGOP("cam", "p000001-640x360r30.h264", seq)
-		if err != nil || len(got) != 1 || got[0] != byte(seq) {
-			t.Fatalf("seq %d after reopen: %v %v", seq, err, got)
-		}
-	}
-}
-
-// TestShardedDegradedShard verifies the failure model: a GOP on a dead
-// shard errors per GOP while GOPs on healthy shards keep serving.
-func TestShardedDegradedShard(t *testing.T) {
-	dir := t.TempDir()
-	roots := []string{dir + "/s0", dir + "/s1"}
-	s, err := OpenSharded(roots)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Find two seqs on different shards.
-	seqOn := map[int]int{} // shard -> seq
-	for seq := 0; len(seqOn) < 2 && seq < 64; seq++ {
-		sh := s.shardOf("v", "p1", seq)
-		if _, ok := seqOn[sh]; !ok {
-			seqOn[sh] = seq
-		}
-		if err := s.WriteGOP("v", "p1", seq, []byte("x")); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Degrade shard 1 by replacing its tree behind the store's back.
-	if err := s.shards[1].DeleteVideo("v"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.ReadGOP("v", "p1", seqOn[1]); err == nil {
-		t.Error("read from degraded shard succeeded")
-	}
-	if _, err := s.ReadGOP("v", "p1", seqOn[0]); err != nil {
-		t.Errorf("healthy shard affected: %v", err)
 	}
 }
 
 // TestInstrumentedCounters checks the metrics wrapper counts ops, bytes,
 // and errors.
 func TestInstrumentedCounters(t *testing.T) {
-	b := Instrument(NewMem())
+	b := storage.Instrument(storage.NewMem())
 	if err := b.WriteGOP("v", "p", 0, make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}

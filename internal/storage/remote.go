@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+)
+
+// NodeClient is the GOP-plane client surface of one vssd node: the wire
+// operations Remote maps Backend calls onto. internal/server.Client
+// implements it over the /gops endpoints; the interface lives here so
+// this package never imports the server that is itself built on top of
+// it. Implementations report missing GOPs with errors matching
+// fs.ErrNotExist AND carrying an HTTPStatus() int of 404, and surface
+// every other non-2xx response through HTTPStatus too — that is how
+// Remote tells a client fault (never retried) from a transient transport
+// or server failure (retried with backoff).
+type NodeClient interface {
+	// Addr identifies the node (its base URL) for health labels.
+	Addr() string
+	// Health probes the node's /healthz endpoint.
+	Health(ctx context.Context) error
+	GOPWrite(ctx context.Context, video, physDir string, seq int, data []byte) error
+	GOPRead(ctx context.Context, video, physDir string, seq int) ([]byte, error)
+	GOPStat(ctx context.Context, video, physDir string, seq int) (int64, error)
+	GOPDelete(ctx context.Context, video, physDir string, seq int) error
+	GOPLink(ctx context.Context, video, srcDir string, srcSeq int, dstVideo, dstDir string, dstSeq int) error
+	GOPDeletePhysical(ctx context.Context, video, physDir string) error
+	GOPDeleteVideo(ctx context.Context, video string) error
+	GOPWalk(ctx context.Context, fn func(video, physDir string, seq int, size int64) error) error
+}
+
+// RemoteOptions tune a Remote backend's retry behavior.
+type RemoteOptions struct {
+	// Attempts is the total tries per operation (first call + retries)
+	// for transient failures. 0 selects the default of 3; 1 disables
+	// retries.
+	Attempts int
+	// Backoff is the wait before the first retry; each further retry
+	// doubles it. 0 selects the default of 25ms.
+	Backoff time.Duration
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Remote is a Backend that stores GOPs on one vssd node over the wire
+// protocol, through a NodeClient with a keep-alive transport. It is the
+// unit the router composes into a replicated fleet; on its own it turns
+// any single vssd into network-attached GOP storage.
+//
+// Semantics relative to the Backend contract:
+//
+//   - Missing GOPs are normalized to errors matching fs.ErrNotExist,
+//     whatever the client returned for the node's 404.
+//   - Transient failures — transport errors (connection refused, reset,
+//     timeout) and 5xx responses — are retried with exponential backoff
+//     up to RemoteOptions.Attempts. 4xx responses are the caller's or
+//     the protocol's fault and are never retried. Every wire operation
+//     is idempotent (PUT/GET/DELETE of absolute addresses), so a retry
+//     after an ambiguous failure is safe.
+//   - Walk is NOT retried: the walk streams entries to fn as they
+//     arrive, so a mid-stream retry would revisit addresses. A truncated
+//     walk surfaces as an error instead.
+type Remote struct {
+	node NodeClient
+	opts RemoteOptions
+}
+
+// NewRemote wraps one node client as a Backend.
+func NewRemote(node NodeClient, opts RemoteOptions) *Remote {
+	return &Remote{node: node, opts: opts.withDefaults()}
+}
+
+// Name identifies the backend kind.
+func (r *Remote) Name() string { return "remote" }
+
+// Addr returns the node's address (the client's base URL).
+func (r *Remote) Addr() string { return r.node.Addr() }
+
+// Ping probes the node's health endpoint (no retries — callers poll).
+func (r *Remote) Ping(ctx context.Context) error { return r.node.Health(ctx) }
+
+// httpStatus extracts the HTTP status carried by an error chain, or 0
+// for transport-level errors that never got a response.
+func httpStatus(err error) int {
+	var sc interface{ HTTPStatus() int }
+	if errors.As(err, &sc) {
+		return sc.HTTPStatus()
+	}
+	return 0
+}
+
+// retryable reports whether an operation that failed with err may be
+// re-sent: transport errors and 5xx yes, 4xx and cancellation no.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	code := httpStatus(err)
+	return code == 0 || code >= 500
+}
+
+// normalize maps a wire error onto the Backend contract: 404 responses
+// gain an fs.ErrNotExist chain if the client did not already provide one.
+func normalize(err error) error {
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	if httpStatus(err) == 404 {
+		return fmt.Errorf("%w: %w", fs.ErrNotExist, err)
+	}
+	return err
+}
+
+// retry runs op up to opts.Attempts times, backing off between tries,
+// and normalizes the final error.
+func (r *Remote) retry(op func() error) error {
+	backoff := r.opts.Backoff
+	var err error
+	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = op(); err == nil || !retryable(err) {
+			break
+		}
+	}
+	return normalize(err)
+}
+
+func (r *Remote) WriteGOP(video, physDir string, seq int, data []byte) error {
+	return r.retry(func() error {
+		return r.node.GOPWrite(context.Background(), video, physDir, seq, data)
+	})
+}
+
+func (r *Remote) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	var data []byte
+	err := r.retry(func() error {
+		var err error
+		data, err = r.node.GOPRead(context.Background(), video, physDir, seq)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func (r *Remote) GOPSize(video, physDir string, seq int) (int64, error) {
+	var n int64
+	err := r.retry(func() error {
+		var err error
+		n, err = r.node.GOPStat(context.Background(), video, physDir, seq)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (r *Remote) DeleteGOP(video, physDir string, seq int) error {
+	return r.retry(func() error {
+		return r.node.GOPDelete(context.Background(), video, physDir, seq)
+	})
+}
+
+func (r *Remote) LinkGOP(video, srcDir string, srcSeq int, dstVideo, dstDir string, dstSeq int) error {
+	return r.retry(func() error {
+		return r.node.GOPLink(context.Background(), video, srcDir, srcSeq, dstVideo, dstDir, dstSeq)
+	})
+}
+
+func (r *Remote) DeletePhysical(video, physDir string) error {
+	return r.retry(func() error {
+		return r.node.GOPDeletePhysical(context.Background(), video, physDir)
+	})
+}
+
+func (r *Remote) DeleteVideo(video string) error {
+	return r.retry(func() error {
+		return r.node.GOPDeleteVideo(context.Background(), video)
+	})
+}
+
+func (r *Remote) Walk(fn func(video, physDir string, seq int, size int64) error) error {
+	// No retry: entries already delivered to fn cannot be taken back.
+	return normalize(r.node.GOPWalk(context.Background(), fn))
+}

@@ -1,0 +1,168 @@
+package storage_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+	"repro/vss"
+)
+
+// The wire client must satisfy the node-client surface Remote routes
+// through.
+var _ storage.NodeClient = (*server.Client)(nil)
+
+// openRemote boots a real vssd node over an in-memory backend on a TCP
+// listener and returns a Remote speaking the actual wire protocol to
+// it — the conformance suite then exercises every /gops endpoint
+// end to end.
+func openRemote(t *testing.T) *storage.Remote {
+	t.Helper()
+	sys, err := vss.OpenWith(t.TempDir(), vss.Options{GOPFrames: 8}, vss.NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	ts := httptest.NewServer(server.New(sys, server.Config{}))
+	t.Cleanup(ts.Close)
+	client := &server.Client{Base: ts.URL, HTTP: ts.Client(), Name: "conformance"}
+	return storage.NewRemote(client, storage.RemoteOptions{Attempts: 2, Backoff: time.Millisecond})
+}
+
+func TestRemoteConformance(t *testing.T) {
+	storagetest.Conformance(t, openRemote(t))
+}
+
+func TestRemoteConcurrentWriteSameGOP(t *testing.T) {
+	storagetest.ConcurrentWriteSameGOP(t, openRemote(t))
+}
+
+func TestRemotePing(t *testing.T) {
+	r := openRemote(t)
+	if err := r.Ping(context.Background()); err != nil {
+		t.Fatalf("ping healthy node: %v", err)
+	}
+	if r.Name() != "remote" || r.Addr() == "" {
+		t.Errorf("identity: name %q addr %q", r.Name(), r.Addr())
+	}
+}
+
+// codeErr mimics the wire client's status-carrying errors.
+type codeErr struct{ code int }
+
+func (e *codeErr) Error() string   { return fmt.Sprintf("status %d", e.code) }
+func (e *codeErr) HTTPStatus() int { return e.code }
+
+// faultNode is a NodeClient whose reads fail a scripted number of times
+// with a scripted error; every other operation succeeds vacuously.
+type faultNode struct {
+	mu    sync.Mutex
+	calls int
+	fails int   // reads to fail before succeeding
+	err   error // the failure to return
+}
+
+func (f *faultNode) bump() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.fails {
+		return f.err
+	}
+	return nil
+}
+
+func (f *faultNode) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *faultNode) Addr() string                                                   { return "fake" }
+func (f *faultNode) Health(context.Context) error                                   { return nil }
+func (f *faultNode) GOPWrite(_ context.Context, _, _ string, _ int, _ []byte) error { return f.bump() }
+func (f *faultNode) GOPRead(_ context.Context, _, _ string, _ int) ([]byte, error) {
+	if err := f.bump(); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+func (f *faultNode) GOPStat(_ context.Context, _, _ string, _ int) (int64, error) {
+	return 2, f.bump()
+}
+func (f *faultNode) GOPDelete(_ context.Context, _, _ string, _ int) error { return f.bump() }
+func (f *faultNode) GOPLink(_ context.Context, _, _ string, _ int, _, _ string, _ int) error {
+	return f.bump()
+}
+func (f *faultNode) GOPDeletePhysical(_ context.Context, _, _ string) error { return f.bump() }
+func (f *faultNode) GOPDeleteVideo(_ context.Context, _ string) error       { return f.bump() }
+func (f *faultNode) GOPWalk(_ context.Context, fn func(string, string, int, int64) error) error {
+	return f.bump()
+}
+
+func remoteOver(n storage.NodeClient) *storage.Remote {
+	return storage.NewRemote(n, storage.RemoteOptions{Attempts: 3, Backoff: time.Microsecond})
+}
+
+func TestRemoteRetriesTransportErrors(t *testing.T) {
+	n := &faultNode{fails: 2, err: errors.New("connection reset")}
+	if _, err := remoteOver(n).ReadGOP("v", "p", 0); err != nil {
+		t.Fatalf("read after transient failures: %v", err)
+	}
+	if got := n.callCount(); got != 3 {
+		t.Errorf("calls = %d, want 3 (two failures then success)", got)
+	}
+}
+
+func TestRemoteRetries5xx(t *testing.T) {
+	n := &faultNode{fails: 1, err: &codeErr{503}}
+	if _, err := remoteOver(n).ReadGOP("v", "p", 0); err != nil {
+		t.Fatalf("read after 503: %v", err)
+	}
+	if got := n.callCount(); got != 2 {
+		t.Errorf("calls = %d, want 2", got)
+	}
+}
+
+func TestRemoteNeverRetries4xx(t *testing.T) {
+	n := &faultNode{fails: 1 << 30, err: &codeErr{400}}
+	if _, err := remoteOver(n).ReadGOP("v", "p", 0); err == nil {
+		t.Fatal("read with a 400-returning node succeeded")
+	}
+	if got := n.callCount(); got != 1 {
+		t.Errorf("calls = %d, want 1 (4xx must not be retried)", got)
+	}
+}
+
+func TestRemote404IsNotExist(t *testing.T) {
+	n := &faultNode{fails: 1 << 30, err: &codeErr{404}}
+	r := remoteOver(n)
+	if _, err := r.ReadGOP("v", "p", 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("404 read error = %v, want fs.ErrNotExist chain", err)
+	}
+	if _, err := r.GOPSize("v", "p", 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("404 size error = %v, want fs.ErrNotExist chain", err)
+	}
+	if got := n.callCount(); got != 2 {
+		t.Errorf("calls = %d, want 2 (one per operation, no retries)", got)
+	}
+}
+
+func TestRemoteWalkNotRetried(t *testing.T) {
+	n := &faultNode{fails: 1, err: errors.New("stream truncated")}
+	err := remoteOver(n).Walk(func(string, string, int, int64) error { return nil })
+	if err == nil {
+		t.Fatal("truncated walk reported success")
+	}
+	if got := n.callCount(); got != 1 {
+		t.Errorf("calls = %d, want 1 (walks must never be retried)", got)
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"io/fs"
 )
 
@@ -159,43 +160,107 @@ func (s *Sharded) ReplicationStats() ReplicationStats {
 
 // Scrub walks every stored GOP address, determines its authoritative
 // size, and re-copies missing or wrong-sized replicas onto their
-// placement shards from a healthy copy. The authoritative size is the
-// oracle's (the catalog's expectation) when some copy actually has it;
-// otherwise the largest stored copy wins — the heuristic for standalone
-// use (expect == nil) and the graceful fallback when the catalog and
-// every copy disagree (then consistent replicas are left alone rather
-// than churned).
+// placement shards from a healthy copy; see ScrubReplicas for the full
+// semantics. The returned stats are also recorded for ReplicationStats.
+func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
+	stores := make([]Backend, len(s.shards))
+	for i, sh := range s.shards {
+		stores[i] = sh
+	}
+	st, err := ScrubReplicas(ReplicaSet{
+		Stores:     stores,
+		Placement:  s.placement,
+		NoteResult: s.noteResult,
+		ErrTag:     shardErr,
+	}, expect)
+	s.scrubMu.Lock()
+	s.scrubs++
+	s.lastScrub = st
+	s.scrubMu.Unlock()
+	return st, err
+}
+
+// ReplicaSet describes a group of replica stores to the generic
+// scrub-repair engine (ScrubReplicas): the sharded backend's localfs
+// roots, or the router's remote vssd nodes. Stores are indexed the way
+// Placement's results index them.
+type ReplicaSet struct {
+	// Stores are the replica stores.
+	Stores []Backend
+	// Placement maps a GOP address to the stores holding its replicas,
+	// primary first (the sharded/router FNV-1a ring).
+	Placement func(video, physDir string, seq int) []int
+	// NoteResult feeds one store operation's outcome into the owner's
+	// health accounting (nil error = success). Optional.
+	NoteResult func(store int, err error)
+	// ErrTag decorates a per-store error with the store's identity; nil
+	// selects a generic "store %d" tag. The error chain must be
+	// preserved for errors.Is.
+	ErrTag func(store int, err error) error
+}
+
+// ScrubReplicas is the scrub-repair engine shared by every replicated
+// backend (Sharded across roots, the router's Cluster across nodes): it
+// walks every stored GOP address, determines its authoritative size, and
+// re-copies missing or wrong-sized replicas onto their placement stores
+// from a healthy copy. The authoritative size is the oracle's (the
+// catalog's expectation) when some copy actually has it; otherwise the
+// largest stored copy wins — the heuristic for standalone use
+// (expect == nil) and the graceful fallback when the catalog and every
+// copy disagree (then consistent replicas are left alone rather than
+// churned).
 //
-// Scrub is safe to run concurrently with reads and writes: repairs go
-// through the same atomic per-shard writes as foreground traffic, so
+// The catalog snapshot address (CatalogSnapshotVideo) is skipped
+// entirely: Maintain rewrites it wholesale every pass and the oracle
+// never describes it, so "repairing" it would only churn against the
+// writer.
+//
+// The engine is safe to run concurrently with reads and writes: repairs
+// go through the same atomic per-store writes as foreground traffic, so
 // readers never observe a torn GOP. Two races are tolerated and benign:
 // a GOP evicted mid-scrub is skipped once every source read misses, and
 // a repair can momentarily resurrect a just-deleted GOP file (the
 // catalog no longer references it; the next scrub skips it as an orphan
 // and DeletePhysical still reclaims it).
 //
-// The returned stats are also recorded for ReplicationStats. The error
-// joins per-shard operational failures; a nonzero Unrecoverable count is
-// reported in the stats, not as an error.
-func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
+// The error joins per-store operational failures; a nonzero
+// Unrecoverable count is reported in the stats, not as an error.
+func ScrubReplicas(rs ReplicaSet, expect SizeOracle) (ScrubStats, error) {
+	tag := rs.ErrTag
+	if tag == nil {
+		tag = func(i int, err error) error {
+			if err == nil {
+				return nil
+			}
+			return fmt.Errorf("store %d: %w", i, err)
+		}
+	}
+	note := rs.NoteResult
+	if note == nil {
+		note = func(int, error) {}
+	}
+
 	type copyInfo struct {
-		shard int
+		store int
 		size  int64
 	}
 	copies := make(map[GOPAddr][]copyInfo)
 	var errs []error
-	for i, shard := range s.shards {
-		err := shard.Walk(func(video, physDir string, seq int, size int64) error {
+	for i, store := range rs.Stores {
+		err := store.Walk(func(video, physDir string, seq int, size int64) error {
+			if video == CatalogSnapshotVideo {
+				return nil
+			}
 			a := GOPAddr{video, physDir, seq}
 			copies[a] = append(copies[a], copyInfo{i, size})
 			return nil
 		})
 		if err != nil {
-			// A shard whose tree cannot even be walked is degraded; keep
+			// A store whose tree cannot even be walked is degraded; keep
 			// scrubbing the others — its GOPs repair FROM the healthy
-			// shards, not from it.
-			s.noteErr(i)
-			errs = append(errs, shardErr(i, err))
+			// stores, not from it.
+			note(i, err)
+			errs = append(errs, tag(i, err))
 		}
 	}
 
@@ -228,11 +293,11 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 		}
 		have := make(map[int]int64, len(cs))
 		for _, c := range cs {
-			have[c.shard] = c.size
+			have[c.store] = c.size
 		}
 		var needs []int
 		sources := make([]int, 0, len(cs))
-		for _, i := range s.placement(a.Video, a.PhysDir, a.Seq) {
+		for _, i := range rs.Placement(a.Video, a.PhysDir, a.Seq) {
 			if sz, ok := have[i]; ok && sz == want {
 				sources = append(sources, i)
 			} else {
@@ -242,24 +307,24 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 		if len(needs) == 0 {
 			continue
 		}
-		// Copies stranded on non-placement shards (an earlier replicas
+		// Copies stranded on non-placement stores (an earlier replicas
 		// setting) can still seed a repair.
 		for _, c := range cs {
-			if c.size == want && !contains(sources, c.shard) && !contains(needs, c.shard) {
-				sources = append(sources, c.shard)
+			if c.size == want && !contains(sources, c.store) && !contains(needs, c.store) {
+				sources = append(sources, c.store)
 			}
 		}
 		var data []byte
 		found := false
 		sawMissing := false
 		for _, src := range sources {
-			d, err := s.shards[src].ReadGOP(a.Video, a.PhysDir, a.Seq)
+			d, err := rs.Stores[src].ReadGOP(a.Video, a.PhysDir, a.Seq)
 			if err != nil {
 				if errors.Is(err, fs.ErrNotExist) {
 					sawMissing = true // likely deleted mid-scrub
 				} else {
-					s.noteErr(src)
-					errs = append(errs, shardErr(src, err))
+					note(src, err)
+					errs = append(errs, tag(src, err))
 				}
 				continue
 			}
@@ -283,17 +348,17 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 			}
 		}
 		for _, i := range needs {
-			if err := s.shards[i].WriteGOP(a.Video, a.PhysDir, a.Seq, data); err != nil {
-				s.noteErr(i)
-				errs = append(errs, shardErr(i, err))
+			if err := rs.Stores[i].WriteGOP(a.Video, a.PhysDir, a.Seq, data); err != nil {
+				note(i, err)
+				errs = append(errs, tag(i, err))
 				continue
 			}
-			s.noteOK(i)
+			note(i, nil)
 			st.Repaired++
 		}
 	}
 
-	// Addresses the catalog expects but NO shard holds: total loss —
+	// Addresses the catalog expects but NO store holds: total loss —
 	// the walk cannot see them, so they are enumerated from the oracle.
 	// A live re-probe filters GOPs written after the walk; a GOP evicted
 	// after the oracle snapshot still over-counts transiently (see the
@@ -303,7 +368,7 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 		known = expect.All()
 	}
 	for a := range known {
-		if _, onDisk := copies[a]; onDisk {
+		if _, held := copies[a]; held {
 			continue
 		}
 		// Live-confirm the catalog still expects the address: eviction
@@ -313,8 +378,8 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 		}
 		st.Checked++
 		alive := false
-		for _, i := range s.placement(a.Video, a.PhysDir, a.Seq) {
-			if _, err := s.shards[i].GOPSize(a.Video, a.PhysDir, a.Seq); err == nil {
+		for _, i := range rs.Placement(a.Video, a.PhysDir, a.Seq) {
+			if _, err := rs.Stores[i].GOPSize(a.Video, a.PhysDir, a.Seq); err == nil {
 				alive = true
 				break
 			}
@@ -324,10 +389,6 @@ func (s *Sharded) Scrub(expect SizeOracle) (ScrubStats, error) {
 		}
 	}
 
-	s.scrubMu.Lock()
-	s.scrubs++
-	s.lastScrub = st
-	s.scrubMu.Unlock()
 	return st, errors.Join(errs...)
 }
 

@@ -1,0 +1,72 @@
+package storage
+
+import "testing"
+
+// TestShardedPlacementStable pins the property multi-process agreement
+// rests on: shard placement is a pure function of the GOP address and
+// the root list, so a store reopened with the same roots finds every
+// GOP, and the GOPs do actually spread across shards.
+func TestShardedPlacementStable(t *testing.T) {
+	dir := t.TempDir()
+	roots := []string{dir + "/s0", dir + "/s1", dir + "/s2"}
+	s1, err := OpenSharded(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for seq := 0; seq < n; seq++ {
+		if err := s1.WriteGOP("cam", "p000001-640x360r30.h264", seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := map[int]int{}
+	for seq := 0; seq < n; seq++ {
+		used[s1.shardOf("cam", "p000001-640x360r30.h264", seq)]++
+	}
+	if len(used) < 2 {
+		t.Errorf("all %d GOPs landed on one shard: %v", n, used)
+	}
+	// Reopen (a second process) and read everything back.
+	s2, err := OpenSharded(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < n; seq++ {
+		got, err := s2.ReadGOP("cam", "p000001-640x360r30.h264", seq)
+		if err != nil || len(got) != 1 || got[0] != byte(seq) {
+			t.Fatalf("seq %d after reopen: %v %v", seq, err, got)
+		}
+	}
+}
+
+// TestShardedDegradedShard verifies the failure model: a GOP on a dead
+// shard errors per GOP while GOPs on healthy shards keep serving.
+func TestShardedDegradedShard(t *testing.T) {
+	dir := t.TempDir()
+	roots := []string{dir + "/s0", dir + "/s1"}
+	s, err := OpenSharded(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two seqs on different shards.
+	seqOn := map[int]int{} // shard -> seq
+	for seq := 0; len(seqOn) < 2 && seq < 64; seq++ {
+		sh := s.shardOf("v", "p1", seq)
+		if _, ok := seqOn[sh]; !ok {
+			seqOn[sh] = seq
+		}
+		if err := s.WriteGOP("v", "p1", seq, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degrade shard 1 by replacing its tree behind the store's back.
+	if err := s.shards[1].DeleteVideo("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadGOP("v", "p1", seqOn[1]); err == nil {
+		t.Error("read from degraded shard succeeded")
+	}
+	if _, err := s.ReadGOP("v", "p1", seqOn[0]); err != nil {
+		t.Errorf("healthy shard affected: %v", err)
+	}
+}

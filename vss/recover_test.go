@@ -1,0 +1,75 @@
+package vss_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/vss"
+)
+
+// TestCatalogSnapshotRestore exercises the catalog's disaster path: a
+// store with SnapshotCatalog replicates its catalog into the backend on
+// Maintain; RestoreCatalog then rebuilds a fresh store directory from
+// that copy alone, and the rebuilt store serves the original frames.
+func TestCatalogSnapshotRestore(t *testing.T) {
+	backend := vss.NewMemBackend()
+	sys, err := vss.OpenWith(t.TempDir(), vss.Options{GOPFrames: 8, SnapshotCatalog: true}, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Create("traffic", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write("traffic", vss.WriteSpec{FPS: 8, Codec: vss.H264}, genFrames(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Maintain(); err != nil {
+		t.Fatalf("maintain (snapshots catalog): %v", err)
+	}
+	want, err := sys.Read("traffic", vss.ReadSpec{P: vss.Physical{Format: vss.RGB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store host is lost; only the backend survives. Rebuild.
+	dir := t.TempDir()
+	if err := vss.RestoreCatalog(dir, backend, false); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	sys2, err := vss.OpenWith(dir, vss.Options{GOPFrames: 8}, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if got := sys2.Videos(); len(got) != 1 || got[0] != "traffic" {
+		t.Fatalf("restored videos = %v", got)
+	}
+	got, err := sys2.Read("traffic", vss.ReadSpec{P: vss.Physical{Format: vss.RGB}})
+	if err != nil {
+		t.Fatalf("read from restored store: %v", err)
+	}
+	if len(got.Frames) != len(want.Frames) {
+		t.Fatalf("restored store served %d frames, want %d", len(got.Frames), len(want.Frames))
+	}
+	for i := range got.Frames {
+		if !bytes.Equal(got.Frames[i].Data, want.Frames[i].Data) {
+			t.Fatalf("frame %d differs after restore", i)
+		}
+	}
+
+	// A non-empty catalog refuses restore without force.
+	if err := vss.RestoreCatalog(dir, backend, false); err == nil {
+		t.Error("restore over an existing catalog succeeded without force")
+	}
+}
+
+// TestRestoreCatalogWithoutSnapshot verifies the error path when the
+// backend holds no snapshot.
+func TestRestoreCatalogWithoutSnapshot(t *testing.T) {
+	if err := vss.RestoreCatalog(t.TempDir(), vss.NewMemBackend(), false); err == nil {
+		t.Fatal("restore from an empty backend succeeded")
+	}
+}

@@ -276,6 +276,14 @@ type ScrubStats = storage.ScrubStats
 // ShardHealthStats is one shard root's row in ReplicationStats.
 type ShardHealthStats = storage.ShardHealthStats
 
+// ClusterStats snapshots a routed vssd fleet's health: per-node errors
+// and demotions, read failovers, write-repair journal depth, repair and
+// scrub counters; see System.ClusterStats and internal/router.
+type ClusterStats = storage.ClusterStats
+
+// NodeHealthStats is one node's row in ClusterStats.
+type NodeHealthStats = storage.NodeHealthStats
+
 // NewLocalBackend opens (creating if necessary) a single-root localfs
 // backend — the default physical layout, one directory tree under root.
 func NewLocalBackend(root string) (Backend, error) { return storage.Open(root) }
@@ -335,6 +343,26 @@ func (s *System) BackendStats() BackendStats { return s.store.BackendStats() }
 // as the "replication" section.
 func (s *System) ReplicationStats() (ReplicationStats, bool) {
 	return s.store.ReplicationStats()
+}
+
+// ClusterStats snapshots routed-fleet health when the backend routes
+// GOPs across remote vssd nodes (the vssrouterd daemon's cluster
+// backend): per-node errors and demotions, read failovers, write-repair
+// journal depth, repair and scrub counters. ok is false for local
+// backends. Safe for concurrent use; also served by /metrics as the
+// "cluster" section.
+func (s *System) ClusterStats() (ClusterStats, bool) { return s.store.ClusterStats() }
+
+// Backend exposes the system's (metrics-instrumented) storage backend —
+// the GOP plane vssd serves over its /gops endpoints so a router fleet
+// can use this node as a remote replica store.
+func (s *System) Backend() Backend { return s.store.Backend() }
+
+// RestoreCatalog rebuilds the metadata catalog of a (closed) store at
+// dir from the snapshot a Maintain pass replicated into backend; see
+// Options.SnapshotCatalog. force overwrites an existing catalog.
+func RestoreCatalog(dir string, backend Backend, force bool) error {
+	return core.RestoreCatalog(dir, backend, force)
 }
 
 // Close flushes metadata and closes the store.
