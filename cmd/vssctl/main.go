@@ -14,15 +14,27 @@
 //	vssctl -store /tmp/vss joint
 //	vssctl -store /tmp/vss maintain
 //	vssctl -store /tmp/vss delete -name traffic
+//	vssctl metrics -addr http://localhost:7744
+//	vssctl traces -addr http://localhost:7740
+//
+// The metrics and traces commands talk to a RUNNING daemon (vssd or
+// vssrouterd) over HTTP and need no -store: they fetch and pretty-print
+// the /metrics snapshot and the /debug/traces slow-trace ring.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 
 	"repro/internal/backendcli"
+	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/visualroad"
 	"repro/vss"
 )
@@ -35,6 +47,19 @@ func main() {
 	backendKind := flag.String("backend", "", "storage backend override: localfs (default; sharding via -shards)")
 	nodes := flag.String("nodes", "", "route GOP storage to a vssd node fleet (comma-separated base URLs; same flags the router daemon runs with)")
 	flag.Parse()
+	// The daemon-facing commands dispatch before the -store requirement:
+	// they speak HTTP to a running vssd/vssrouterd, not to a store
+	// directory (same early-dispatch shape as recover-catalog below).
+	if flag.NArg() >= 1 {
+		switch flag.Arg(0) {
+		case "metrics":
+			runMetrics(flag.Args()[1:])
+			return
+		case "traces":
+			runTraces(flag.Args()[1:])
+			return
+		}
+	}
 	if *store == "" || flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -96,8 +121,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N | -nodes URLS] COMMAND [flags]
+       vssctl metrics|traces -addr URL
 commands: create write read delete stat compact joint maintain
-          recover-catalog ls
+          recover-catalog ls metrics traces
+
+metrics and traces need no -store: they fetch a running daemon's
+/metrics snapshot and /debug/traces slow-trace ring over HTTP
+(-addr is the daemon base URL; -json dumps the raw document).
 
 A store written by a sharded vssd (-shards / -shard-roots, plus
 -replicas when replicated) must be opened with the same sharding flags,
@@ -134,6 +164,107 @@ func runRecoverCatalog(store string, backend vss.Backend, args []string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vssctl:", err)
 	os.Exit(1)
+}
+
+// runMetrics fetches and pretty-prints a running daemon's /metrics
+// snapshot. -json dumps the raw JSON; -prometheus the text exposition.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7744", "daemon base URL (vssd or vssrouterd)")
+	asJSON := fs.Bool("json", false, "dump the raw JSON snapshot")
+	asProm := fs.Bool("prometheus", false, "dump the Prometheus text exposition")
+	fs.Parse(args)
+	if *asJSON || *asProm {
+		url := *addr + "/metrics"
+		if *asProm {
+			url += "?format=prometheus"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("metrics: %s", resp.Status))
+		}
+		io.Copy(os.Stdout, resp.Body)
+		return
+	}
+	c := &server.Client{Base: *addr}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	r, a := snap.Reads, snap.Admission
+	fmt.Printf("reads:     started=%d completed=%d cancelled=%d errors=%d in-flight=%d\n",
+		r.Started, r.Completed, r.Cancelled, r.Errors, r.InFlight)
+	fmt.Printf("admission: queue=%d/%d rejected=%d aborted=%d\n",
+		a.QueueDepth, a.MaxQueued, a.Rejected, a.Aborted)
+	fmt.Printf("cache:     hits=%d misses=%d hit-rate=%.2f bytes=%d/%d\n",
+		snap.Cache.Hits, snap.Cache.Misses, snap.Cache.HitRate, snap.Cache.Bytes, snap.Cache.MaxBytes)
+	fmt.Printf("response:  bytes=%d flushes=%d coalesced=%d ttfb p50=%.3fms p99=%.3fms\n",
+		snap.Response.BytesWritten, snap.Response.Flushes, snap.Response.CoalescedChunks,
+		snap.Response.TTFBP50Millis, snap.Response.TTFBP99Millis)
+	fmt.Println("pipeline:")
+	for _, name := range obs.StageNames() {
+		st := snap.Pipeline[name]
+		fmt.Printf("  %-15s count=%-8d total=%-10.1fms p50=%-8.3fms p99=%.3fms\n",
+			name, st.Count, st.TotalMillis, st.P50Millis, st.P99Millis)
+	}
+	if cl := snap.Cluster; cl != nil {
+		fmt.Printf("cluster:   nodes=%d replicas=%d failovers=%d journal=%d\n",
+			cl.Nodes, cl.Replicas, cl.Failovers, cl.JournalDepth)
+		for _, n := range cl.NodeHealth {
+			state := "healthy"
+			if n.Demoted {
+				state = "DEMOTED"
+			}
+			fmt.Printf("  %s errors=%d %s\n", n.Addr, n.Errors, state)
+		}
+	}
+	fmt.Printf("videos:    %d\n", len(snap.Videos))
+}
+
+// runTraces fetches and pretty-prints a running daemon's /debug/traces
+// slow-trace ring, slowest first.
+func runTraces(args []string) {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7744", "daemon base URL (vssd or vssrouterd)")
+	asJSON := fs.Bool("json", false, "dump the raw JSON document")
+	top := fs.Int("n", 0, "show at most N traces (0 = all retained)")
+	fs.Parse(args)
+	c := &server.Client{Base: *addr}
+	dump, err := c.Traces(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		out, _ := json.MarshalIndent(dump, "", "  ")
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
+	traces := dump.Traces
+	if *top > 0 && len(traces) > *top {
+		traces = traces[:*top]
+	}
+	fmt.Printf("%d trace(s) retained (capacity %d), slowest first\n", len(dump.Traces), dump.Capacity)
+	for _, t := range traces {
+		fmt.Printf("%s %-9s video=%q status=%d bytes=%d total=%.2fms ttfb=%.2fms\n",
+			t.ID, t.Name, t.Video, t.Status, t.Bytes, t.DurationMillis, t.TTFBMillis)
+		if s := t.StageSummary(); s != "" {
+			fmt.Printf("    stages: %s\n", s)
+		}
+		for _, sp := range t.Spans {
+			fmt.Printf("    span %s %q +%.2fms %.2fms", sp.Stage, sp.Label, sp.OffsetMillis, sp.DurationMillis)
+			if sp.Err != "" {
+				fmt.Printf(" err=%q", sp.Err)
+			}
+			fmt.Println()
+		}
+		if t.SpansDropped > 0 {
+			fmt.Printf("    (%d spans dropped)\n", t.SpansDropped)
+		}
+	}
 }
 
 func runCreate(sys *vss.System, args []string) {

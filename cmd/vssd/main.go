@@ -40,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -66,6 +67,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replicas of each GOP across the shard roots (needs -shards/-shard-roots; 1 = no replication)")
 	backendKind := flag.String("backend", "", "storage backend override: localfs|mem (default localfs; sharding via -shards)")
 	nodes := flag.String("nodes", "", "route GOP storage to a vssd node fleet (comma-separated base URLs; vssrouterd is the purpose-built front end)")
+	slowTraces := flag.Int("slow-traces", 0, "slow-trace ring capacity for /debug/traces (0 = default)")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per request to stderr (trace ID, status, stage timings)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on a dedicated address, e.g. localhost:6060 (off by default)")
 	flag.Parse()
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "usage: vssd -store DIR [-addr HOST:PORT] [flags]")
@@ -89,11 +93,16 @@ func main() {
 		defer stop()
 	}
 
+	if *logRequests {
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
 	srv := server.New(sys, server.Config{
 		MaxInFlightReads:  *maxInflight,
 		MaxQueuedReads:    *maxQueue,
 		MaxReadsPerClient: *perClient,
 		CacheBytes:        *cacheMB << 20,
+		SlowTraces:        *slowTraces,
+		RequestLog:        *logRequests,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -104,6 +113,16 @@ func main() {
 	// scripts) waits for it and parses the resolved address, which matters
 	// when -addr requests port 0.
 	fmt.Printf("vssd: serving %s on %s\n", *store, ln.Addr())
+	// The debug announcement must come after the readiness line above:
+	// tooling parses the first line containing " on " for the serving
+	// address.
+	if *debugAddr != "" {
+		dbg, err := server.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vssd: debug (pprof) at http://%s/debug/pprof/\n", dbg)
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,6 +64,9 @@ func main() {
 	maintain := flag.Duration("maintain", time.Minute, "full maintenance interval: compaction, scrub-repair, catalog snapshot (0 disables)")
 	repair := flag.Duration("repair", 5*time.Second, "write-repair journal drain interval (0 disables)")
 	noSnapshot := flag.Bool("no-catalog-snapshot", false, "do not replicate the catalog into the fleet on maintenance (disables recover-catalog)")
+	slowTraces := flag.Int("slow-traces", 0, "slow-trace ring capacity for /debug/traces (0 = default)")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per request to stderr (trace ID, status, stage timings)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on a dedicated address, e.g. localhost:6061 (off by default)")
 	flag.Parse()
 	if *store == "" || *nodes == "" {
 		fmt.Fprintln(os.Stderr, "usage: vssrouterd -store DIR -nodes URL,URL,... [-replicas R] [flags]")
@@ -104,11 +108,16 @@ func main() {
 		defer stop()
 	}
 
+	if *logRequests {
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
 	srv := server.New(sys, server.Config{
 		MaxInFlightReads:  *maxInflight,
 		MaxQueuedReads:    *maxQueue,
 		MaxReadsPerClient: *perClient,
 		CacheBytes:        *cacheMB << 20,
+		SlowTraces:        *slowTraces,
+		RequestLog:        *logRequests,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -119,6 +128,14 @@ func main() {
 	// waits for it and parses the resolved address.
 	fmt.Printf("vssrouterd: routing %s across %d nodes (replicas=%d) on %s\n",
 		*store, cluster.Nodes(), cluster.Replicas(), ln.Addr())
+	// After the readiness line: tooling parses the first " on " line.
+	if *debugAddr != "" {
+		dbg, err := server.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vssrouterd: debug (pprof) at http://%s/debug/pprof/\n", dbg)
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,13 +12,17 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/visualroad"
 )
@@ -169,6 +173,63 @@ func TestVssrouterdSmoke(t *testing.T) {
 	}
 	if m.Cluster.JournalDepth == 0 {
 		t.Fatal("outage writes journaled nothing")
+	}
+
+	// Observability drill, while node 0 is still down: a traced read
+	// must land in the router's /debug/traces under the ID the client
+	// sent, with the failover hop recorded as its own span — and the
+	// Prometheus exposition must parse and carry the pipeline section.
+	const traceID = "cafef00dcafef00d"
+	trCtx := obs.WithTrace(ctx, obs.StartTrace(traceID, "smoke"))
+	for _, name := range []string{"cam", "cam2"} {
+		if _, _, err := c.ReadAll(trCtx, name, "codec=h264&quality=85"); err != nil {
+			t.Fatalf("traced read %s: %v", name, err)
+		}
+	}
+	dump, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTrace, sawFailover := false, false
+	for _, tr := range dump.Traces {
+		if tr.ID != traceID {
+			continue
+		}
+		sawTrace = true
+		for _, sp := range tr.Spans {
+			if strings.HasPrefix(sp.Label, "failover to ") {
+				sawFailover = true
+			}
+		}
+	}
+	if !sawTrace {
+		t.Fatalf("trace %s not in /debug/traces (%d retained)", traceID, len(dump.Traces))
+	}
+	if !sawFailover {
+		t.Fatal("no failover span on the traced degraded reads")
+	}
+
+	promResp, err := http.Get(c.Base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil || promResp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape: status %d, %v", promResp.StatusCode, err)
+	}
+	promRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? -?[0-9.eE+-]+$`)
+	sawPipeline := false
+	for _, line := range strings.Split(strings.TrimRight(string(promBody), "\n"), "\n") {
+		if !promRe.MatchString(line) {
+			t.Fatalf("unparseable Prometheus line: %q", line)
+		}
+		if strings.HasPrefix(line, "vss_pipeline_") {
+			sawPipeline = true
+		}
+	}
+	if !sawPipeline {
+		t.Fatal("Prometheus exposition has no vss_pipeline_ samples")
 	}
 
 	// Node 0 returns on the same store and the SAME address (the node

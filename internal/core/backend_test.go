@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io/fs"
 	"sync"
@@ -144,7 +145,7 @@ func TestResnapshotGOP(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := jobKey{video: "v", phys: phys[0].ID, seq: 0}
-	snap, err := s.resnapshotGOP(key, nil)
+	snap, err := s.resnapshotGOP(context.Background(), key, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +153,10 @@ func TestResnapshotGOP(t *testing.T) {
 	if err != nil || len(frames) == 0 {
 		t.Fatalf("re-snapshotted GOP not decodable: %v (%d frames)", err, len(frames))
 	}
-	if _, err := s.resnapshotGOP(jobKey{video: "v", phys: 99, seq: 0}, nil); !errors.Is(err, errDanglingRef) {
+	if _, err := s.resnapshotGOP(context.Background(), jobKey{video: "v", phys: 99, seq: 0}, nil); !errors.Is(err, errDanglingRef) {
 		t.Errorf("missing phys error %v, want dangling ref", err)
 	}
-	if _, err := s.resnapshotGOP(jobKey{video: "ghost", phys: 0, seq: 0}, nil); err == nil {
+	if _, err := s.resnapshotGOP(context.Background(), jobKey{video: "ghost", phys: 0, seq: 0}, nil); err == nil {
 		t.Error("missing video re-snapshot succeeded")
 	}
 }

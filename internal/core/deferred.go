@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -90,7 +91,7 @@ func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 	c := cands[0]
 	g := findGOP(c.phys, c.seq)
-	data, err := s.readGOP(v.Name, c.phys.Dir, g.Seq, g.Bytes)
+	data, err := s.readGOP(context.Background(), v.Name, c.phys.Dir, g.Seq, g.Bytes)
 	if err != nil {
 		return false, err
 	}

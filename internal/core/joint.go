@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -143,7 +144,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if gL.Frames != gR.Frames {
 		return nil, nil // temporal misalignment: not a joint candidate
 	}
-	dataL, err := s.readGOP(vsL.meta.Name, pL.Dir, gL.Seq, gL.Bytes)
+	dataL, err := s.readGOP(context.Background(), vsL.meta.Name, pL.Dir, gL.Seq, gL.Bytes)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +152,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if err != nil {
 		return nil, err
 	}
-	dataR, err := s.readGOP(vsR.meta.Name, pR.Dir, gR.Seq, gR.Bytes)
+	dataR, err := s.readGOP(context.Background(), vsR.meta.Name, pR.Dir, gR.Seq, gR.Bytes)
 	if err != nil {
 		return nil, err
 	}

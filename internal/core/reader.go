@@ -8,10 +8,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/frame"
 	"repro/internal/lossless"
+	"repro/internal/obs"
 	"repro/internal/quality"
 )
 
@@ -171,12 +173,12 @@ func (j *decodeJob) decode(snap gopSnap) error {
 // razor-thin race into a correct read instead of a spurious decode
 // error. Genuine corruption still surfaces — eagerly snapshotted bytes
 // never retry, and a retry that decodes no better reports the failure.
-func (j *decodeJob) decodeResolved(snap gopSnap, s *Store) error {
+func (j *decodeJob) decodeResolved(ctx context.Context, snap gopSnap, s *Store) error {
 	err := j.decode(snap)
 	if err == nil || (snap.fetch == nil && snap.partnerFetch == nil) {
 		return err
 	}
-	fresh, rerr := s.resnapshotGOP(j.key, j.bytes)
+	fresh, rerr := s.resnapshotGOP(ctx, j.key, j.bytes)
 	if rerr != nil {
 		return err // the original decode error, not the retry's
 	}
@@ -213,7 +215,7 @@ func (j *decodeJob) resolve(ctx context.Context, s *Store) (gopSnap, error) {
 				snap.partnerFetch.wait(ctx) //nolint:errcheck
 			}
 			if fetchStale(err, len(data), snap.fetch.want) {
-				return s.resnapshotGOP(j.key, j.bytes)
+				return s.resnapshotGOP(ctx, j.key, j.bytes)
 			}
 			return gopSnap{}, err
 		}
@@ -222,7 +224,7 @@ func (j *decodeJob) resolve(ctx context.Context, s *Store) (gopSnap, error) {
 	if snap.partnerFetch != nil {
 		data, err := snap.partnerFetch.wait(ctx)
 		if fetchStale(err, len(data), snap.partnerFetch.want) {
-			return s.resnapshotGOP(j.key, j.bytes)
+			return s.resnapshotGOP(ctx, j.key, j.bytes)
 		}
 		if err != nil {
 			return gopSnap{}, err
@@ -288,8 +290,11 @@ type readBuilder struct {
 // snapshotGOP: eager reads GOP bytes immediately under the video lock
 // (counting into stats — the pre-prefetch behavior, used when prefetch
 // is disabled and by stale-fetch re-snapshots); otherwise each stored
-// GOP registers a fetch descriptor for the phase-B prefetch stage.
+// GOP registers a fetch descriptor for the phase-B prefetch stage. ctx
+// is the read's request context, carried to eager backend reads
+// (cancellation + trace propagation on network backends).
 type snapCollector struct {
+	ctx     context.Context
 	stats   *ReadStats
 	eager   bool
 	bytes   *atomic.Int64 // phase-B BytesRead accumulator, shared with fetches
@@ -361,12 +366,14 @@ func (s *Store) readOnce(ctx context.Context, video string, spec ReadSpec, eager
 	)
 	// Phase A under the video lock (expanding to partner videos when the
 	// plan touches duplicate/joint GOPs).
+	planStart := time.Now()
 	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
 		var err error
 		vsA = held[video]
-		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec, eager)
+		out, job, fragIDs, parentMSE, err = s.prepareRead(ctx, held, held[video], spec, eager)
 		return err
 	})
+	obs.Observe(ctx, s.pipe, obs.StagePlan, time.Since(planStart))
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +405,9 @@ func (s *Store) readOnce(ctx context.Context, video string, spec ReadSpec, eager
 	if vs != vsA {
 		return out, nil
 	}
+	admitStart := time.Now()
 	admitted, err := s.admitLocked(vs, job, fragIDs, parentMSE)
+	obs.Observe(ctx, s.pipe, obs.StageCacheAdmit, time.Since(admitStart))
 	if err != nil {
 		return nil, err
 	}
@@ -452,8 +461,10 @@ func (s *Store) withVideos(primary []string, fn func(held map[string]*videoState
 
 // prepareRead is phase A: plan the read and snapshot everything phase B
 // needs (byte reads included when eager, fetch descriptors otherwise).
-// Caller holds the locks in held, which must include vs.
-func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec ReadSpec, eager bool) (*ReadResult, *readJob, []int, float64, error) {
+// Caller holds the locks in held, which must include vs. ctx reaches
+// eager backend reads only — phase A itself is not cancellable
+// mid-plan (its metadata writes must not be torn).
+func (s *Store) prepareRead(ctx context.Context, held map[string]*videoState, vs *videoState, spec ReadSpec, eager bool) (*ReadResult, *readJob, []int, float64, error) {
 	v := vs.meta
 	r, err := s.resolve(v, spec)
 	if err != nil {
@@ -483,7 +494,7 @@ func (s *Store) prepareRead(held map[string]*videoState, vs *videoState, spec Re
 	job := &readJob{r: r, gopFrames: s.opts.GOPFrames}
 	b := &readBuilder{
 		s: s, held: held, vs: vs, r: r, stats: &out.Stats,
-		c:       &snapCollector{stats: &out.Stats, eager: eager, bytes: &job.bytesRead},
+		c:       &snapCollector{ctx: ctx, stats: &out.Stats, eager: eager, bytes: &job.bytesRead},
 		jobs:    make(map[jobKey]*decodeJob),
 		touched: make(map[int]*PhysMeta),
 	}
@@ -582,7 +593,7 @@ func (b *readBuilder) buildCompressed(plan *Plan) error {
 			aligned := ga >= rn.a-timeEps && gb <= rn.b+timeEps &&
 				g.Joint == nil && g.DupOf == nil && g.Lossless == 0
 			if aligned {
-				data, err := b.s.readGOP(v.Name, p.Dir, g.Seq, g.Bytes)
+				data, err := b.s.readGOP(b.c.ctx, v.Name, p.Dir, g.Seq, g.Bytes)
 				if err != nil {
 					return err
 				}
@@ -699,7 +710,7 @@ func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *Phys
 	}
 	snap := gopSnap{losslessLevel: g.Lossless, width: p.Width, height: p.Height}
 	if c.eager {
-		data, err := s.readGOP(vs.meta.Name, p.Dir, g.Seq, g.Bytes)
+		data, err := s.readGOP(c.ctx, vs.meta.Name, p.Dir, g.Seq, g.Bytes)
 		if err != nil {
 			return gopSnap{}, err
 		}
@@ -713,7 +724,7 @@ func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *Phys
 		snap.joint = &j
 		if partnerP != nil {
 			if c.eager {
-				pdata, err := s.readGOP(j.Partner.Video, partnerP.Dir, j.Partner.Seq, partnerG.Bytes)
+				pdata, err := s.readGOP(c.ctx, j.Partner.Video, partnerP.Dir, j.Partner.Seq, partnerG.Bytes)
 				if err != nil {
 					return gopSnap{}, err
 				}
@@ -734,10 +745,10 @@ func (s *Store) snapshotGOP(held map[string]*videoState, vs *videoState, p *Phys
 // duplicate and joint references are re-chased from current metadata,
 // so the returned snapshot is internally consistent whatever happened
 // in between. A GOP that is truly gone surfaces as a dangling-ref error.
-func (s *Store) resnapshotGOP(key jobKey, bytes *atomic.Int64) (gopSnap, error) {
+func (s *Store) resnapshotGOP(ctx context.Context, key jobKey, bytes *atomic.Int64) (gopSnap, error) {
 	var snap gopSnap
 	var stats ReadStats
-	c := &snapCollector{stats: &stats, eager: true}
+	c := &snapCollector{ctx: ctx, stats: &stats, eager: true}
 	err := s.withVideos([]string{key.video}, func(held map[string]*videoState) error {
 		vs := held[key.video]
 		p := vs.byID(key.phys)
@@ -797,7 +808,7 @@ func (s *Store) startPrefetch(ctx context.Context, fetches []*gopFetch) {
 					close(f.ready)
 					return
 				}
-				f.data, f.err = s.readGOP(f.video, f.dir, f.seq, f.want)
+				f.data, f.err = s.readGOP(ctx, f.video, f.dir, f.seq, f.want)
 				if f.err == nil && f.bytes != nil {
 					f.bytes.Add(int64(len(f.data)))
 				}
@@ -865,7 +876,12 @@ func (s *Store) executeJob(ctx context.Context, job *readJob) error {
 			snaps[i], err = job.jobs[i].resolve(dctx, s)
 			return err
 		},
-		func(i int) error { return job.jobs[i].decodeResolved(snaps[i], s) },
+		func(i int) error {
+			start := time.Now()
+			err := job.jobs[i].decodeResolved(dctx, snaps[i], s)
+			obs.Observe(ctx, s.pipe, obs.StageDecode, time.Since(start))
+			return err
+		},
 	); err != nil {
 		return err
 	}
@@ -975,7 +991,9 @@ func (s *Store) assembleCompressed(ctx context.Context, job *readJob, converted 
 
 	sizes := make([]int64, len(chunks))
 	if err := s.runJobs(ctx, len(chunks), func(i int) error {
+		start := time.Now()
 		data, _, err := codec.EncodeGOP(chunks[i].frames, r.codec, r.quality)
+		obs.Observe(ctx, s.pipe, obs.StageEncode, time.Since(start))
 		if err != nil {
 			return err
 		}

@@ -12,10 +12,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/codec"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/storage"
 )
@@ -218,6 +220,7 @@ type Store struct {
 	files *storage.Instrumented // metrics-wrapped Options.Backend
 	cat   *catalog.DB
 	est   *quality.Estimator
+	pipe  *obs.Pipeline // per-stage latency histograms (never nil)
 
 	mu     sync.Mutex // registry lock; see concurrency model above
 	videos map[string]*videoState
@@ -270,6 +273,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		files:  storage.Instrument(backend),
 		cat:    cat,
 		est:    quality.NewEstimator(nil),
+		pipe:   obs.NewPipeline(),
 		videos: make(map[string]*videoState),
 	}
 	s.workSem = make(chan struct{}, s.opts.Workers)
@@ -434,12 +438,21 @@ func (o liveOracle) All() map[storage.GOPAddr]int64 {
 	return want
 }
 
+// Pipeline exposes the store's per-stage latency histograms for the
+// serving layer's /metrics pipeline section.
+func (s *Store) Pipeline() *obs.Pipeline { return s.pipe }
+
 // readGOP fetches one stored GOP's bytes, passing the catalog's
 // expected size so a replicated backend can fail over past a replica
 // whose copy is stale (a rewrite that missed its shard) instead of
 // serving bytes the caller will reject. want < 0 means no expectation.
-func (s *Store) readGOP(video, physDir string, seq int, want int64) ([]byte, error) {
-	return s.files.ReadGOPExpect(video, physDir, seq, want)
+// ctx reaches network-backed backends (cancellation, trace header); the
+// fetch is timed into the pipeline's fetch stage and any trace on ctx.
+func (s *Store) readGOP(ctx context.Context, video, physDir string, seq int, want int64) ([]byte, error) {
+	start := time.Now()
+	data, err := s.files.ReadGOPExpectContext(ctx, video, physDir, seq, want)
+	obs.Observe(ctx, s.pipe, obs.StageFetch, time.Since(start))
+	return data, err
 }
 
 // load hydrates the in-memory metadata cache from the catalog. It runs

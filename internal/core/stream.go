@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // This file implements the streaming read path: the same plan/snapshot
@@ -154,12 +156,14 @@ func (s *Store) ReadStream(ctx context.Context, video string, spec ReadSpec) (*R
 		parentMSE float64
 		vsA       *videoState
 	)
+	planStart := time.Now()
 	err := s.withVideos([]string{video}, func(held map[string]*videoState) error {
 		var err error
 		vsA = held[video]
-		out, job, fragIDs, parentMSE, err = s.prepareRead(held, held[video], spec, s.opts.DisablePrefetch)
+		out, job, fragIDs, parentMSE, err = s.prepareRead(ctx, held, held[video], spec, s.opts.DisablePrefetch)
 		return err
 	})
+	obs.Observe(ctx, s.pipe, obs.StagePlan, time.Since(planStart))
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +301,9 @@ func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
 			if j.runErr = st.acquireSlot(); j.runErr != nil {
 				return
 			}
-			j.runErr = j.decodeResolved(snap, s)
+			start := time.Now()
+			j.runErr = j.decodeResolved(st.ctx, snap, s)
+			obs.Observe(st.ctx, s.pipe, obs.StageDecode, time.Since(start))
 			<-s.workSem
 			if j.runErr == nil {
 				st.decoded.Add(int64(j.decoded))
@@ -335,7 +341,9 @@ func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
 
 	var batch *ReadBatch
 	if st.r.codec.Compressed() {
+		start := time.Now()
 		data, _, err := codec.EncodeGOP(frames, st.r.codec, st.r.quality)
+		obs.Observe(st.ctx, s.pipe, obs.StageEncode, time.Since(start))
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +451,9 @@ func (st *ReadStream) maybeAdmit() {
 	if pixels := int64(st.r.roiW) * int64(st.r.roiH) * int64(st.admitFrames); pixels > 0 {
 		job.mbpp = float64(st.admitBytes) * 8 / float64(pixels)
 	}
+	admitStart := time.Now()
 	admitted, err := s.admitLocked(vs, job, st.fragIDs, st.parentMSE)
+	obs.Observe(st.ctx, s.pipe, obs.StageCacheAdmit, time.Since(admitStart))
 	if err == nil && admitted {
 		st.stats.Admitted = true
 	}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -413,7 +415,9 @@ func (w *Writer) encodeAndCommitBuf() error {
 		w.enc = codec.NewEncoder()
 	}
 	w.s.workSem <- struct{}{}
+	start := time.Now()
 	data, _, err := w.enc.EncodeGOP(w.buf, w.spec.Codec, w.spec.Quality)
+	w.s.pipe.Observe(obs.StageEncode, time.Since(start))
 	<-w.s.workSem
 	if err != nil {
 		return err
@@ -583,7 +587,9 @@ func (p *ingestPipe) encodeWorker() {
 	enc := codec.NewEncoder()
 	for job := range p.jobs {
 		p.s.workSem <- struct{}{}
+		start := time.Now()
 		data, _, err := enc.EncodeGOP(job.frames, p.spec.Codec, p.spec.Quality)
+		p.s.pipe.Observe(obs.StageEncode, time.Since(start))
 		<-p.s.workSem
 		p.done <- ingestResult{
 			seq:    job.seq,

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-free power-of-two-bucket latency histogram: bucket i
+// counts observations in [2^i, 2^(i+1)) microseconds. Quantiles read
+// the bucket upper bound, so they are exact to within 2x — plenty for
+// p50/p99 gauges that must cost a few atomic ops per observation. It
+// began life as the serving layer's TTFB histogram and is now the
+// shared implementation behind every per-stage pipeline histogram.
+type Hist struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+	nanos   atomic.Int64 // cumulative observed time (exact, not bucketed)
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.nanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// TotalMillis returns the exact cumulative observed time.
+func (h *Hist) TotalMillis() float64 { return float64(h.nanos.Load()) / 1e6 }
+
+// QuantileMillis returns the q-quantile in milliseconds (0 if empty),
+// exact to within 2x (the bucket upper bound).
+func (h *Hist) QuantileMillis(q float64) float64 {
+	var counts [32]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return float64(uint64(1)<<uint(i)) / 1000 // bucket upper bound, µs→ms
+		}
+	}
+	return float64(uint64(1)<<31) / 1000
+}

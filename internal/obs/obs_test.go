@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(numStages) {
+		t.Fatalf("StageNames returned %d names, want %d", len(names), numStages)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || n == "unknown" {
+			t.Fatalf("stage %d has bad name %q", i, n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate stage name %q", n)
+		}
+		seen[n] = true
+		if got := Stage(i).String(); got != n {
+			t.Fatalf("Stage(%d).String() = %q, want %q", i, got, n)
+		}
+	}
+	if got := numStages.String(); got != "unknown" {
+		t.Fatalf("out-of-range stage String() = %q, want unknown", got)
+	}
+}
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("NewID lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatalf("two IDs collided: %s", a)
+	}
+}
+
+func TestStartTraceResumesID(t *testing.T) {
+	tr := StartTrace("deadbeefdeadbeef", "read")
+	if tr.ID() != "deadbeefdeadbeef" {
+		t.Fatalf("resumed ID = %q", tr.ID())
+	}
+	minted := StartTrace("", "read")
+	if minted.ID() == "" {
+		t.Fatal("empty id should mint")
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil ID")
+	}
+	tr.Observe(StageFetch, time.Millisecond)
+	tr.AddSpan(StageFetch, "x", time.Now(), time.Millisecond, nil)
+	if snap := tr.Snapshot(Request{}, time.Now()); snap.ID != "" {
+		t.Fatal("nil Snapshot should be zero value")
+	}
+	if !tr.Start().IsZero() {
+		t.Fatal("nil Start")
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("WithTrace(nil) should not attach")
+	}
+	if TraceID(ctx) != "" {
+		t.Fatal("TraceID of traceless ctx")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil ctx)")
+	}
+}
+
+func TestTraceObserveAndSnapshot(t *testing.T) {
+	tr := StartTrace("", "read")
+	tr.Observe(StageFetch, 10*time.Millisecond)
+	tr.Observe(StageFetch, 30*time.Millisecond)
+	tr.Observe(StageDecode, 5*time.Millisecond)
+	tr.Observe(StageDecode, -time.Second) // clamps to 0, still counts
+	tr.AddSpan(StageFetch, "failover to node1", tr.Start().Add(2*time.Millisecond), 7*time.Millisecond, errors.New("boom"))
+
+	snap := tr.Snapshot(Request{Video: "cam", Status: 200, Bytes: 42, TTFB: 3 * time.Millisecond}, tr.Start().Add(50*time.Millisecond))
+	if snap.ID != tr.ID() || snap.Name != "read" || snap.Video != "cam" || snap.Status != 200 || snap.Bytes != 42 {
+		t.Fatalf("snapshot fields wrong: %+v", snap)
+	}
+	if snap.DurationMillis != 50 || snap.TTFBMillis != 3 {
+		t.Fatalf("durations wrong: %+v", snap)
+	}
+	f := snap.Stages["fetch"]
+	if f.Count != 2 || f.Millis != 40 {
+		t.Fatalf("fetch stage = %+v", f)
+	}
+	d := snap.Stages["decode"]
+	if d.Count != 2 || d.Millis != 5 {
+		t.Fatalf("decode stage = %+v", d)
+	}
+	if _, ok := snap.Stages["encode"]; ok {
+		t.Fatal("unobserved stage should be absent from trace snapshot")
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	sp := snap.Spans[0]
+	if sp.Stage != "fetch" || sp.Label != "failover to node1" || sp.Err != "boom" {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.OffsetMillis != 2 || sp.DurationMillis != 7 {
+		t.Fatalf("span timing = %+v", sp)
+	}
+	sum := snap.StageSummary()
+	if !strings.Contains(sum, "fetch=40.00ms") || !strings.Contains(sum, "decode=5.00ms") {
+		t.Fatalf("StageSummary = %q", sum)
+	}
+	if strings.Index(sum, "fetch") > strings.Index(sum, "decode") {
+		t.Fatalf("StageSummary not in canonical order: %q", sum)
+	}
+}
+
+func TestTraceSpanBound(t *testing.T) {
+	tr := StartTrace("", "read")
+	for i := 0; i < maxSpans+5; i++ {
+		tr.AddSpan(StageFetch, "hop", time.Now(), time.Millisecond, nil)
+	}
+	snap := tr.Snapshot(Request{}, time.Now())
+	if len(snap.Spans) != maxSpans {
+		t.Fatalf("spans = %d, want %d", len(snap.Spans), maxSpans)
+	}
+	if snap.SpansDropped != 5 {
+		t.Fatalf("dropped = %d, want 5", snap.SpansDropped)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := StartTrace("", "read")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost on context")
+	}
+	if TraceID(ctx) != tr.ID() {
+		t.Fatal("TraceID mismatch")
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.QuantileMillis(0.5) != 0 {
+		t.Fatal("empty hist should report zeros")
+	}
+	// 10 observations at ~1ms, 1 at ~100ms.
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if h.Count() != 11 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.TotalMillis(); got != 110 {
+		t.Fatalf("total = %v", got)
+	}
+	// p50 lands in the 1ms observation's bucket: 1000µs → bits.Len64=10,
+	// upper bound 2^10µs = 1.024ms.
+	if got := h.QuantileMillis(0.50); got != 1.024 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// p99 must land in the slow outlier's bucket (≥ 100ms upper bound).
+	if got := h.QuantileMillis(0.99); got < 100 {
+		t.Fatalf("p99 = %v, want >= 100", got)
+	}
+	// Negative durations clamp rather than corrupt.
+	h.Observe(-time.Second)
+	if h.Count() != 12 {
+		t.Fatal("negative observation not counted")
+	}
+}
+
+func TestPipelineSnapshotShape(t *testing.T) {
+	p := NewPipeline()
+	p.Observe(StageFetch, 2*time.Millisecond)
+	snap := p.Snapshot()
+	if len(snap) != int(numStages) {
+		t.Fatalf("snapshot has %d stages, want %d (stable shape)", len(snap), numStages)
+	}
+	for _, name := range StageNames() {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("stage %q missing from snapshot", name)
+		}
+	}
+	if snap["fetch"].Count != 1 || snap["fetch"].TotalMillis != 2 {
+		t.Fatalf("fetch = %+v", snap["fetch"])
+	}
+	if snap["decode"].Count != 0 {
+		t.Fatalf("decode = %+v", snap["decode"])
+	}
+
+	// Nil pipeline and out-of-range stage are no-ops.
+	var nilP *Pipeline
+	nilP.Observe(StageFetch, time.Millisecond)
+	p.Observe(numStages, time.Millisecond)
+
+	// Package-level Observe folds into pipeline and context trace.
+	tr := StartTrace("", "read")
+	ctx := WithTrace(context.Background(), tr)
+	Observe(ctx, p, StageDecode, 4*time.Millisecond)
+	if p.Snapshot()["decode"].Count != 1 {
+		t.Fatal("package Observe missed pipeline")
+	}
+	if tr.Snapshot(Request{}, time.Now()).Stages["decode"].Count != 1 {
+		t.Fatal("package Observe missed trace")
+	}
+	// And tolerates nil pipeline + traceless context.
+	Observe(context.Background(), nil, StageDecode, time.Millisecond)
+}
+
+func TestSlowRingKeepsSlowest(t *testing.T) {
+	r := NewSlowRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		r.Add(TraceSnapshot{ID: fmt.Sprintf("t%d", i), DurationMillis: float64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, want := range []float64{10, 9, 8, 7} {
+		if got[i].DurationMillis != want {
+			t.Fatalf("snapshot[%d] = %v, want %v (slowest first)", i, got[i].DurationMillis, want)
+		}
+	}
+	// A fast request after the ring is full is rejected on the fast path.
+	r.Add(TraceSnapshot{ID: "fast", DurationMillis: 1})
+	if len(r.Snapshot()) != 4 || r.Snapshot()[3].DurationMillis != 7 {
+		t.Fatal("fast request displaced a slow one")
+	}
+}
+
+func TestSlowRingAdmitsZeroDurationBeforeFull(t *testing.T) {
+	// The floor starts at -1, so zero-duration traces are admitted while
+	// the ring is filling (atomic zero value would wrongly reject them).
+	r := NewSlowRing(2)
+	r.Add(TraceSnapshot{ID: "zero", DurationMillis: 0})
+	if len(r.Snapshot()) != 1 {
+		t.Fatal("zero-duration trace rejected before ring was full")
+	}
+}
+
+func TestSlowRingNil(t *testing.T) {
+	var r *SlowRing
+	r.Add(TraceSnapshot{DurationMillis: 1})
+	if r.Snapshot() != nil || r.Cap() != 0 {
+		t.Fatal("nil ring should be inert")
+	}
+}
+
+// TestSlowRingConcurrent hammers the ring from many goroutines; CI runs
+// the suite under -race, so this doubles as the required race stress.
+func TestSlowRingConcurrent(t *testing.T) {
+	r := NewSlowRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				r.Add(TraceSnapshot{
+					ID:             NewID(),
+					DurationMillis: rng.Float64() * 1000,
+				})
+				if i%64 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("retained %d, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].DurationMillis > got[i-1].DurationMillis {
+			t.Fatal("snapshot not sorted slowest-first")
+		}
+	}
+	// With 16000 uniform samples in [0,1000), the 16 slowest should all
+	// be well above the median — sanity, not exactness (admission is
+	// deliberately racy at the floor boundary).
+	if got[len(got)-1].DurationMillis < 500 {
+		t.Fatalf("suspiciously fast trace retained: %v", got[len(got)-1].DurationMillis)
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Pipeline aggregates per-stage latency histograms for one store's
+// read/write path: every admission wait, plan, fetch, decode, encode,
+// cache admission, and response flush lands in its stage's Hist. It is
+// the source of the /metrics "pipeline" section. Nil-receiver safe, so
+// un-wired paths can observe unconditionally.
+type Pipeline struct {
+	hists [numStages]Hist
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Observe records one stage duration. No-op on a nil pipeline.
+func (p *Pipeline) Observe(st Stage, d time.Duration) {
+	if p == nil || st >= numStages {
+		return
+	}
+	p.hists[st].Observe(d)
+}
+
+// StageStats is one stage's row in a pipeline snapshot.
+type StageStats struct {
+	// Count is the number of observations (per GOP for fetch/decode/
+	// encode, per request for admission).
+	Count int64 `json:"count"`
+	// TotalMillis is exact cumulative time; with Count it gives the
+	// mean. The quantiles are power-of-two-bucket bounds, within 2x.
+	TotalMillis float64 `json:"total_ms"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+}
+
+// Snapshot returns every stage keyed by name. Unobserved stages are
+// present with zero counts, so the snapshot shape is stable.
+func (p *Pipeline) Snapshot() map[string]StageStats {
+	out := make(map[string]StageStats, numStages)
+	for i := range p.hists {
+		h := &p.hists[i]
+		out[Stage(i).String()] = StageStats{
+			Count:       h.Count(),
+			TotalMillis: h.TotalMillis(),
+			P50Millis:   h.QuantileMillis(0.50),
+			P99Millis:   h.QuantileMillis(0.99),
+		}
+	}
+	return out
+}
+
+// Observe folds one stage duration into both a pipeline and the
+// context's trace; either may be nil/absent. This is the one-liner hot
+// paths call at a stage boundary.
+func Observe(ctx context.Context, p *Pipeline, st Stage, d time.Duration) {
+	p.Observe(st, d)
+	FromContext(ctx).Observe(st, d)
+}

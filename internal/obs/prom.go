@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromOpts configures the JSON → Prometheus mapping of WritePrometheus.
+type PromOpts struct {
+	// Labels maps a JSON path (segments joined with "_", no prefix)
+	// whose object keys or array elements are DYNAMIC — video names,
+	// cluster nodes — to the label name used for them. Children of a
+	// labeled node keep the path of the node itself, so
+	// {"videos": {"cam": {"bytes": 1}}} with Labels{"videos": "video"}
+	// renders as vss_videos_bytes{video="cam"} 1.
+	Labels map[string]string
+	// NameFields lists, in priority order, the string fields tried as
+	// the label value for elements of a labeled array (e.g. "addr" for
+	// node_health rows). An element with none falls back to its index.
+	NameFields []string
+}
+
+// WritePrometheus renders any JSON-marshalable value in the Prometheus
+// text exposition format, one gauge sample per leaf:
+//
+//   - numbers become `prefix_<path> <value>`
+//   - booleans become 1/0
+//   - strings become info-style `prefix_<path>_info{value="..."} 1`
+//   - maps/arrays at a PromOpts.Labels path become labeled series
+//
+// Deriving the exposition from the marshaled JSON — rather than a
+// hand-maintained field list — makes coverage structural: a field added
+// to the snapshot type appears in the Prometheus view by construction
+// (the completeness test in internal/server pins this).
+func WritePrometheus(w io.Writer, prefix string, v any, opts PromOpts) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var root any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return err
+	}
+	pw := &promWriter{w: w, opts: opts}
+	pw.walk(prefix, "", nil, root, false)
+	return pw.err
+}
+
+type promWriter struct {
+	w    io.Writer
+	opts PromOpts
+	err  error
+}
+
+// walk emits samples for v. name is the metric name so far (prefix
+// included), rel the options-lookup path (prefix excluded), labels the
+// accumulated `k="v"` pairs. labeled marks the direct child of a
+// labeled node, whose own Labels match already fired — without it a
+// map element under a labeled map would re-match the same path and
+// label itself again.
+func (pw *promWriter) walk(name, rel string, labels []string, v any, labeled bool) {
+	if pw.err != nil {
+		return
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		if label, ok := pw.opts.Labels[rel]; ok && !labeled {
+			for _, k := range sortedKeys(val) {
+				pw.walk(name, rel, append(labels, label+`=`+quoteLabel(k)), val[k], true)
+			}
+			return
+		}
+		for _, k := range sortedKeys(val) {
+			pw.walk(join(name, sanitizeName(k)), join(rel, k), labels, val[k], false)
+		}
+	case []any:
+		label, ok := pw.opts.Labels[rel]
+		if !ok {
+			label = "index"
+		}
+		for i, el := range val {
+			lv := strconv.Itoa(i)
+			if obj, isObj := el.(map[string]any); isObj {
+				for _, nf := range pw.opts.NameFields {
+					if s, isStr := obj[nf].(string); isStr {
+						lv = s
+						break
+					}
+				}
+			}
+			pw.walk(name, rel, append(labels, label+`=`+quoteLabel(lv)), el, true)
+		}
+	case float64:
+		pw.emit(name, labels, strconv.FormatFloat(val, 'g', -1, 64))
+	case bool:
+		if val {
+			pw.emit(name, labels, "1")
+		} else {
+			pw.emit(name, labels, "0")
+		}
+	case string:
+		pw.emit(name+"_info", append(labels, `value=`+quoteLabel(val)), "1")
+	case nil:
+		// JSON null: nothing to sample.
+	}
+}
+
+func (pw *promWriter) emit(name string, labels []string, value string) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, pw.err = io.WriteString(pw.w, b.String())
+}
+
+func join(base, seg string) string {
+	if base == "" {
+		return seg
+	}
+	if seg == "" {
+		return base
+	}
+	return base + "_" + seg
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sanitizeName maps an arbitrary JSON key onto the metric-name charset
+// [a-zA-Z0-9_]. Dynamic keys (video names) should be routed to labels
+// via PromOpts instead; this is the safety net for fixed keys.
+func sanitizeName(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (c >= '0' && c <= '9' && i > 0) {
+			continue
+		}
+		ok = false
+		break
+	}
+	if ok && s != "" {
+		return s
+	}
+	var b strings.Builder
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// quoteLabel renders a label value with Prometheus escaping (backslash,
+// double quote, newline).
+func quoteLabel(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

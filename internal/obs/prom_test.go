@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, v any, opts PromOpts) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WritePrometheus(&b, "vss", v, opts); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestPromScalars(t *testing.T) {
+	out := render(t, map[string]any{
+		"reads":   3,
+		"ratio":   0.5,
+		"healthy": true,
+		"down":    false,
+		"mode":    "cluster",
+		"nothing": nil,
+	}, PromOpts{})
+	for _, want := range []string{
+		"vss_reads 3\n",
+		"vss_ratio 0.5\n",
+		"vss_healthy 1\n",
+		"vss_down 0\n",
+		`vss_mode_info{value="cluster"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "nothing") {
+		t.Fatalf("null leaf should emit nothing:\n%s", out)
+	}
+}
+
+func TestPromNestedPath(t *testing.T) {
+	out := render(t, map[string]any{
+		"cache": map[string]any{"hits": 7, "misses": 2},
+	}, PromOpts{})
+	if !strings.Contains(out, "vss_cache_hits 7\n") || !strings.Contains(out, "vss_cache_misses 2\n") {
+		t.Fatalf("nested paths wrong:\n%s", out)
+	}
+}
+
+func TestPromLabeledMap(t *testing.T) {
+	out := render(t, map[string]any{
+		"videos": map[string]any{
+			"cam-a": map[string]any{"bytes": 10},
+			"cam-b": map[string]any{"bytes": 20},
+		},
+	}, PromOpts{Labels: map[string]string{"videos": "video"}})
+	if !strings.Contains(out, `vss_videos_bytes{video="cam-a"} 10`+"\n") {
+		t.Fatalf("labeled map sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `vss_videos_bytes{video="cam-b"} 20`+"\n") {
+		t.Fatalf("labeled map sample missing:\n%s", out)
+	}
+	// Deterministic: sorted by key.
+	if strings.Index(out, "cam-a") > strings.Index(out, "cam-b") {
+		t.Fatalf("labeled map not sorted:\n%s", out)
+	}
+}
+
+func TestPromLabeledArrayWithNameFields(t *testing.T) {
+	v := map[string]any{
+		"cluster": map[string]any{
+			"node_health": []any{
+				map[string]any{"addr": "http://n1", "healthy": true},
+				map[string]any{"addr": "http://n2", "healthy": false},
+			},
+		},
+	}
+	out := render(t, v, PromOpts{
+		Labels:     map[string]string{"cluster_node_health": "node"},
+		NameFields: []string{"addr"},
+	})
+	if !strings.Contains(out, `vss_cluster_node_health_healthy{node="http://n1"} 1`+"\n") {
+		t.Fatalf("array element label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `vss_cluster_node_health_healthy{node="http://n2"} 0`+"\n") {
+		t.Fatalf("array element label missing:\n%s", out)
+	}
+	// addr itself re-renders as an _info sample with both labels.
+	if !strings.Contains(out, `vss_cluster_node_health_addr_info{node="http://n1",value="http://n1"} 1`+"\n") {
+		t.Fatalf("string field inside labeled element missing:\n%s", out)
+	}
+}
+
+func TestPromUnlabeledArrayFallsBackToIndex(t *testing.T) {
+	out := render(t, map[string]any{"qs": []any{1.5, 2.5}}, PromOpts{})
+	if !strings.Contains(out, `vss_qs{index="0"} 1.5`+"\n") || !strings.Contains(out, `vss_qs{index="1"} 2.5`+"\n") {
+		t.Fatalf("index fallback wrong:\n%s", out)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	out := render(t, map[string]any{
+		"videos": map[string]any{"we\"ird\\name\n": map[string]any{"bytes": 1}},
+	}, PromOpts{Labels: map[string]string{"videos": "video"}})
+	want := `vss_videos_bytes{video="we\"ird\\name\n"} 1` + "\n"
+	if out != want {
+		t.Fatalf("escaping wrong:\ngot  %q\nwant %q", out, want)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	out := render(t, map[string]any{"p99-ms": 4, "2xx": 9}, PromOpts{})
+	if !strings.Contains(out, "vss_p99_ms 4\n") {
+		t.Fatalf("dash not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, "vss__2xx 9\n") {
+		t.Fatalf("digit-leading key not prefixed:\n%s", out)
+	}
+}
+
+func TestPromStructInput(t *testing.T) {
+	type inner struct {
+		Count int64   `json:"count"`
+		P50   float64 `json:"p50_ms"`
+	}
+	type snap struct {
+		Pipeline map[string]inner `json:"pipeline"`
+	}
+	out := render(t, snap{Pipeline: map[string]inner{"fetch": {Count: 5, P50: 1.024}}}, PromOpts{})
+	if !strings.Contains(out, "vss_pipeline_fetch_count 5\n") {
+		t.Fatalf("struct walk wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "vss_pipeline_fetch_p50_ms 1.024\n") {
+		t.Fatalf("struct walk wrong:\n%s", out)
+	}
+}

@@ -32,7 +32,9 @@ import (
 	"io/fs"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/storage"
 )
@@ -259,7 +261,13 @@ var errWrongSize = errors.New("router: replica is not the expected size")
 // step: a node caught out of sync that way is journaled, so the copy a
 // failover read discovered missing is restored by the next Repair pass
 // instead of waiting for a scrub.
-func (c *Cluster) readReplicas(addr storage.GOPAddr, p []int, op func(node int) error) error {
+//
+// When ctx carries a request trace, every failed attempt and every
+// off-primary success is recorded as a span on it, so /debug/traces
+// shows exactly which nodes a failover read visited and how long each
+// hop cost.
+func (c *Cluster) readReplicas(ctx context.Context, addr storage.GOPAddr, p []int, op func(node int) error) error {
+	tr := obs.FromContext(ctx)
 	if len(p) == 1 {
 		i := p[0]
 		err := op(i)
@@ -275,6 +283,10 @@ func (c *Cluster) readReplicas(addr storage.GOPAddr, p []int, op func(node int) 
 	var errs []error
 	var missing []int
 	for _, i := range c.readOrder(p) {
+		var attemptStart time.Time
+		if tr != nil {
+			attemptStart = time.Now()
+		}
 		err := op(i)
 		if err == nil {
 			c.noteResult(i, nil)
@@ -284,8 +296,14 @@ func (c *Cluster) readReplicas(addr storage.GOPAddr, p []int, op func(node int) 
 			}
 			if i != p[0] {
 				c.failovers.Add(1)
+				if tr != nil {
+					tr.AddSpan(obs.StageFetch, "failover to "+c.labels[i], attemptStart, time.Since(attemptStart), nil)
+				}
 			}
 			return nil
+		}
+		if tr != nil {
+			tr.AddSpan(obs.StageFetch, "fetch "+c.labels[i], attemptStart, time.Since(attemptStart), err)
 		}
 		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, errWrongSize) {
 			missing = append(missing, i)
@@ -299,11 +317,18 @@ func (c *Cluster) readReplicas(addr storage.GOPAddr, p []int, op func(node int) 
 
 // ReadGOP reads one GOP, failing over through its replica nodes.
 func (c *Cluster) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	return c.ReadGOPContext(context.Background(), video, physDir, seq)
+}
+
+// ReadGOPContext is ReadGOP with the caller's context flowing to every
+// node attempt (trace header on the wire, failover hops recorded as
+// spans on the context's trace, remote retries abandoned on cancel).
+func (c *Cluster) ReadGOPContext(ctx context.Context, video, physDir string, seq int) ([]byte, error) {
 	var data []byte
 	addr := storage.GOPAddr{Video: video, PhysDir: physDir, Seq: seq}
-	err := c.readReplicas(addr, c.placement(video, physDir, seq), func(i int) error {
+	err := c.readReplicas(ctx, addr, c.placement(video, physDir, seq), func(i int) error {
 		var err error
-		data, err = c.nodes[i].ReadGOP(video, physDir, seq)
+		data, err = storage.ReadGOPCtx(ctx, c.nodes[i], video, physDir, seq)
 		return err
 	})
 	if err != nil {
@@ -318,13 +343,19 @@ func (c *Cluster) ReadGOP(video, physDir string, seq int) ([]byte, error) {
 // Sharded.ReadGOPExpect: if NO replica has the expected size the
 // expectation itself is presumed stale and the read retries plain.
 func (c *Cluster) ReadGOPExpect(video, physDir string, seq int, want int64) ([]byte, error) {
+	return c.ReadGOPExpectContext(context.Background(), video, physDir, seq, want)
+}
+
+// ReadGOPExpectContext is ReadGOPExpect with the caller's context, as
+// ReadGOPContext.
+func (c *Cluster) ReadGOPExpectContext(ctx context.Context, video, physDir string, seq int, want int64) ([]byte, error) {
 	if c.replicas == 1 || want < 0 {
-		return c.ReadGOP(video, physDir, seq)
+		return c.ReadGOPContext(ctx, video, physDir, seq)
 	}
 	addr := storage.GOPAddr{Video: video, PhysDir: physDir, Seq: seq}
 	var data []byte
-	err := c.readReplicas(addr, c.placement(video, physDir, seq), func(i int) error {
-		d, err := c.nodes[i].ReadGOP(video, physDir, seq)
+	err := c.readReplicas(ctx, addr, c.placement(video, physDir, seq), func(i int) error {
+		d, err := storage.ReadGOPCtx(ctx, c.nodes[i], video, physDir, seq)
 		if err != nil {
 			return err
 		}
@@ -338,7 +369,7 @@ func (c *Cluster) ReadGOPExpect(video, physDir string, seq int, want int64) ([]b
 		return data, nil
 	}
 	if errors.Is(err, errWrongSize) {
-		return c.ReadGOP(video, physDir, seq)
+		return c.ReadGOPContext(ctx, video, physDir, seq)
 	}
 	return nil, err
 }
@@ -348,7 +379,7 @@ func (c *Cluster) ReadGOPExpect(video, physDir string, seq int, want int64) ([]b
 func (c *Cluster) GOPSize(video, physDir string, seq int) (int64, error) {
 	var n int64
 	addr := storage.GOPAddr{Video: video, PhysDir: physDir, Seq: seq}
-	err := c.readReplicas(addr, c.placement(video, physDir, seq), func(i int) error {
+	err := c.readReplicas(context.Background(), addr, c.placement(video, physDir, seq), func(i int) error {
 		var err error
 		n, err = c.nodes[i].GOPSize(video, physDir, seq)
 		return err

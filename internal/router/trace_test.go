@@ -1,0 +1,145 @@
+package router_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/vss"
+)
+
+// traceNode is one httptest vssd storage node that records the trace
+// header of every GOP read it serves, so the test can see propagation
+// at the remote hop.
+type traceNode struct {
+	ts *httptest.Server
+	mu sync.Mutex
+	// gopTraceIDs is the X-VSS-Trace value of each GET /gops request,
+	// in arrival order ("" if the header was absent).
+	gopTraceIDs []string
+}
+
+func (n *traceNode) ids() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.gopTraceIDs...)
+}
+
+func newTraceNode(t *testing.T) *traceNode {
+	t.Helper()
+	sys, err := vss.OpenWith(t.TempDir(), vss.Options{GOPFrames: 8}, vss.NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	n := &traceNode{}
+	h := server.New(sys, server.Config{})
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/gops/") {
+			n.mu.Lock()
+			n.gopTraceIDs = append(n.gopTraceIDs, r.Header.Get(obs.TraceHeader))
+			n.mu.Unlock()
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestClusterTracePropagation is the cross-process tracing drill: one
+// trace ID must follow a routed read across machines — the caller's
+// context, the wire header at every node attempt, the surviving node's
+// own /debug/traces — and a failover must appear on the trace as its
+// own span.
+func TestClusterTracePropagation(t *testing.T) {
+	n0, n1 := newTraceNode(t), newTraceNode(t)
+	c, err := router.Open([]string{n0.ts.URL, n1.ts.URL}, 2,
+		storage.RemoteOptions{Attempts: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("gop!"), 256)
+	if err := c.WriteGOP("v", "p", 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy read: the trace ID reaches the serving node's wire hop.
+	tr := obs.StartTrace("", "read")
+	ctx := obs.WithTrace(context.Background(), tr)
+	got, err := c.ReadGOPContext(ctx, "v", "p", 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("healthy read: %v", err)
+	}
+	primary, survivor := n0, n1
+	if len(primary.ids()) == 0 {
+		primary, survivor = n1, n0
+	}
+	if ids := primary.ids(); len(ids) == 0 || ids[len(ids)-1] != tr.ID() {
+		t.Fatalf("primary node saw trace IDs %v, want %q", ids, tr.ID())
+	}
+	if snap := tr.Snapshot(obs.Request{}, time.Now()); len(snap.Spans) != 0 {
+		t.Fatalf("healthy primary read recorded spans: %v", snap.Spans)
+	}
+
+	// Kill the node that served the read; the next read must fail over
+	// to the survivor under the SAME trace discipline.
+	primary.ts.Close()
+	tr2 := obs.StartTrace("", "read")
+	ctx2 := obs.WithTrace(context.Background(), tr2)
+	got, err = c.ReadGOPContext(ctx2, "v", "p", 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("failover read: %v", err)
+	}
+
+	// The failover hop is a span of its own, and the failed attempt
+	// carries its error.
+	snap := tr2.Snapshot(obs.Request{}, time.Now())
+	var sawFail, sawFailover bool
+	for _, sp := range snap.Spans {
+		if sp.Stage != obs.StageFetch.String() {
+			t.Errorf("span stage = %q, want fetch", sp.Stage)
+		}
+		switch {
+		case strings.HasPrefix(sp.Label, "fetch ") && sp.Err != "":
+			sawFail = true
+		case sp.Label == "failover to "+survivor.ts.URL:
+			sawFailover = true
+		}
+	}
+	if !sawFail || !sawFailover {
+		t.Fatalf("failover read spans = %v, want a failed fetch and a failover hop", snap.Spans)
+	}
+
+	// Same ID at the surviving node's wire hop...
+	ids := survivor.ids()
+	if len(ids) == 0 || ids[len(ids)-1] != tr2.ID() {
+		t.Fatalf("survivor saw trace IDs %v, want %q", ids, tr2.ID())
+	}
+	// ...and in its own slow-trace ring, as the storage-plane side of
+	// the same request.
+	dump, err := (&server.Client{Base: survivor.ts.URL}).Traces(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ts := range dump.Traces {
+		if ts.ID == tr2.ID() && ts.Name == "gop_read" {
+			found = true
+			if ts.Stages["fetch"].Count == 0 {
+				t.Errorf("survivor's gop_read trace has no fetch stage: %v", ts.Stages)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %q not in survivor's /debug/traces (%d retained)", tr2.ID(), len(dump.Traces))
+	}
+}

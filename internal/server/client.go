@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // Client is a minimal Go client for the vssd wire protocol, used by the
@@ -55,6 +56,12 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	}
 	if c.Name != "" {
 		req.Header.Set("X-VSS-Client", c.Name)
+	}
+	// Propagate an active trace so the remote hop joins it: this is how
+	// one trace ID follows a read across processes (client → router →
+	// storage node).
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	return c.http().Do(req)
 }
@@ -281,6 +288,24 @@ func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 		return snap, err
 	}
 	return snap, json.Unmarshal(data, &snap)
+}
+
+// Traces fetches and decodes the /debug/traces slow-trace dump.
+func (c *Client) Traces(ctx context.Context) (TraceDump, error) {
+	var dump TraceDump
+	resp, err := c.do(ctx, http.MethodGet, "/debug/traces", nil)
+	if err != nil {
+		return dump, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dump, errorFrom(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return dump, err
+	}
+	return dump, json.Unmarshal(data, &dump)
 }
 
 // Stat fetches a video's metadata.

@@ -1,0 +1,27 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts the operator debug listener behind -debug-addr:
+// net/http/pprof on its own mux and port, isolated from the serving mux
+// so profiling can never be reached through the public API (and a
+// profile download cannot occupy a serving connection). It returns the
+// bound address; the listener serves until process exit.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -3,13 +3,13 @@ package server
 import (
 	"encoding/binary"
 	"io"
-	"math/bits"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // Response-path tuning. The serving loop used to copy every batch into a
@@ -86,6 +86,11 @@ type chunkWriter struct {
 	bytesOut  int64
 	flushes   int64
 	coalesced int64 // chunks that stayed buffered past their own write
+
+	// Flush-stage observability, armed by instrument (both may stay nil;
+	// bufPool.put's struct reset clears them with everything else).
+	pipe *obs.Pipeline
+	tr   *obs.Trace
 }
 
 // reset arms a pooled chunkWriter for one request. onFirst may be nil.
@@ -93,6 +98,25 @@ func (cw *chunkWriter) reset(w io.Writer, flusher http.Flusher, onFirst func()) 
 	cw.w = w
 	cw.flusher = flusher
 	cw.onFirst = onFirst
+}
+
+// instrument points the writer at the pipeline's flush-stage histogram
+// and the request's trace. Optional — an un-instrumented writer pays
+// only nil checks.
+func (cw *chunkWriter) instrument(pipe *obs.Pipeline, tr *obs.Trace) {
+	cw.pipe = pipe
+	cw.tr = tr
+}
+
+// observeFlush folds one write/flush cycle's duration into the flush
+// stage.
+func (cw *chunkWriter) observeFlush(t0 time.Time) {
+	if cw.pipe == nil && cw.tr == nil {
+		return
+	}
+	d := time.Since(t0)
+	cw.pipe.Observe(obs.StageFlush, d)
+	cw.tr.Observe(obs.StageFlush, d)
 }
 
 // appendHeader appends one chunk's length framing to the buffer.
@@ -104,6 +128,7 @@ func (cw *chunkWriter) appendHeader(n int) {
 
 // flush writes the buffered bytes and pushes them past the HTTP layer.
 func (cw *chunkWriter) flush() error {
+	t0 := time.Now()
 	if len(cw.buf) > 0 {
 		n, err := cw.w.Write(cw.buf)
 		cw.bytesOut += int64(n)
@@ -118,6 +143,7 @@ func (cw *chunkWriter) flush() error {
 	}
 	cw.flushes++
 	cw.lastFlush = time.Now()
+	cw.observeFlush(t0)
 	return nil
 }
 
@@ -155,6 +181,7 @@ func (cw *chunkWriter) writeGOP(gop []byte) error {
 // bypass writes one chunk zero-copy: the pending buffer plus this chunk's
 // header go out first, then the payload directly from its owner's buffer.
 func (cw *chunkWriter) bypass(payload []byte) error {
+	t0 := time.Now()
 	cw.appendHeader(len(payload))
 	n, err := cw.w.Write(cw.buf)
 	cw.bytesOut += int64(n)
@@ -173,6 +200,7 @@ func (cw *chunkWriter) bypass(payload []byte) error {
 	}
 	cw.flushes++
 	cw.lastFlush = time.Now()
+	cw.observeFlush(t0)
 	return nil
 }
 
@@ -200,6 +228,7 @@ func (cw *chunkWriter) writeFrames(frames []*frame.Frame) error {
 				return err
 			}
 		} else {
+			t0 := time.Now()
 			cw.appendHeader(int(chunkBytes))
 			wn, err := cw.w.Write(cw.buf)
 			cw.bytesOut += int64(wn)
@@ -220,6 +249,7 @@ func (cw *chunkWriter) writeFrames(frames []*frame.Frame) error {
 			}
 			cw.flushes++
 			cw.lastFlush = time.Now()
+			cw.observeFlush(t0)
 		}
 		frames = frames[n:]
 	}
@@ -236,47 +266,6 @@ func (cw *chunkWriter) finish() error {
 // possible if nothing was committed).
 func (cw *chunkWriter) abort() { cw.buf = cw.buf[:0] }
 
-// latencyHist is a lock-free power-of-two-bucket latency histogram:
-// bucket i counts observations in [2^i, 2^(i+1)) microseconds. Quantiles
-// read the bucket upper bound, so they are exact to within 2x — plenty
-// for a p99 TTFB gauge that must cost two atomic ops per request.
-type latencyHist struct {
-	buckets [32]atomic.Int64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	i := bits.Len64(uint64(us))
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i].Add(1)
-}
-
-// quantileMillis returns the q-quantile in milliseconds (0 if empty).
-func (h *latencyHist) quantileMillis(q float64) float64 {
-	var counts [32]int64
-	var total int64
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen >= target {
-			return float64(uint64(1)<<uint(i)) / 1000 // bucket upper bound, µs→ms
-		}
-	}
-	return float64(uint64(1)<<31) / 1000
-}
+// The power-of-two latency histogram that used to live here (as
+// latencyHist) is now obs.Hist: it grew from the TTFB gauge into the
+// shared implementation behind every per-stage pipeline histogram.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // countingDiscard is a flushable sink that only tallies bytes, so alloc
@@ -188,17 +189,18 @@ func TestChunkWriterFirstChunkFlushes(t *testing.T) {
 	pool.put(cw)
 }
 
-// TestLatencyHistQuantiles sanity-checks the power-of-two histogram: the
-// quantile must land within its 2x bucket of the true value.
+// TestLatencyHistQuantiles sanity-checks the power-of-two histogram
+// behind the TTFB gauge (now obs.Hist): the quantile must land within
+// its 2x bucket of the true value.
 func TestLatencyHistQuantiles(t *testing.T) {
-	var h latencyHist
+	var h obs.Hist
 	for i := 0; i < 50; i++ {
-		h.observe(1 * time.Millisecond)
+		h.Observe(1 * time.Millisecond)
 	}
 	for i := 0; i < 50; i++ {
-		h.observe(900 * time.Millisecond)
+		h.Observe(900 * time.Millisecond)
 	}
-	p50, p99 := h.quantileMillis(0.50), h.quantileMillis(0.99)
+	p50, p99 := h.QuantileMillis(0.50), h.QuantileMillis(0.99)
 	if p50 < 1 || p50 > 2.1 {
 		t.Errorf("p50 = %.2fms, want ~1-2ms", p50)
 	}

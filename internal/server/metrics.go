@@ -3,6 +3,7 @@ package server
 import (
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/vss"
 )
 
@@ -29,7 +30,7 @@ type metrics struct {
 
 	flushes        atomic.Int64 // socket write/flush cycles on the read path
 	flushCoalesced atomic.Int64 // chunks that rode a later flush instead of their own
-	ttfb           latencyHist  // request arrival → first committed body byte
+	ttfb           obs.Hist     // request arrival → first committed body byte
 
 	writes      atomic.Int64
 	gopsWritten atomic.Int64
@@ -108,12 +109,18 @@ type VideoMetrics struct {
 
 // MetricsSnapshot is the JSON document served by /metrics.
 type MetricsSnapshot struct {
-	Reads     ReadMetrics             `json:"reads"`
-	Admission AdmissionMetrics        `json:"admission"`
-	Cache     CacheMetrics            `json:"cache"`
-	Response  ResponseMetrics         `json:"response"`
-	Writes    WriteMetrics            `json:"writes"`
-	Videos    map[string]VideoMetrics `json:"videos"`
+	Reads     ReadMetrics      `json:"reads"`
+	Admission AdmissionMetrics `json:"admission"`
+	Cache     CacheMetrics     `json:"cache"`
+	Response  ResponseMetrics  `json:"response"`
+	Writes    WriteMetrics     `json:"writes"`
+	// Pipeline is the per-stage read/write pipeline latency section:
+	// count, total time, and p50/p99 per stage (admission wait, plan,
+	// fetch, decode, encode, cache admit, flush), from the store's shared
+	// power-of-two histograms. Every stage is always present, even at
+	// count 0, so dashboards see a stable shape.
+	Pipeline map[string]obs.StageStats `json:"pipeline"`
+	Videos   map[string]VideoMetrics   `json:"videos"`
 	// Storage is the backend section: which backend kind serves the
 	// store plus its cumulative read/write byte and latency counters
 	// (vss.BackendStats, sampled at snapshot time).

@@ -15,7 +15,9 @@
 //	GET    /videos/{name}          metadata and physical-view summary
 //	POST   /videos/{name}/gops     GOP-level encoded write (?fps=), body framed
 //	GET    /videos/{name}/read     streaming read (spec in query parameters)
-//	GET    /metrics                live metrics snapshot (JSON)
+//	GET    /metrics                live metrics snapshot (JSON, or
+//	                               Prometheus text with ?format=prometheus)
+//	GET    /debug/traces           N slowest recent request traces (JSON)
 //	POST   /maintain               run one maintenance pass
 //	GET    /healthz                liveness probe (storage plane)
 //
@@ -40,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/vss"
 )
 
@@ -69,6 +73,14 @@ type Config struct {
 	// CacheBytes bounds the hot-response LRU. 0 disables response
 	// caching; the store's own materialized-view cache still applies.
 	CacheBytes int64
+	// SlowTraces bounds the slow-trace ring served by /debug/traces: the
+	// N slowest recent requests with full per-stage breakdowns. 0
+	// defaults to obs.DefaultSlowTraces.
+	SlowTraces int
+	// RequestLog enables one structured slog line per finished read
+	// (trace ID, video, status, bytes, TTFB, stage breakdown) on the
+	// default logger.
+	RequestLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,17 +106,26 @@ type Server struct {
 	bufs  bufPool
 	m     metrics
 	mux   *http.ServeMux
+
+	pipe   *obs.Pipeline // the store's per-stage histograms (never nil)
+	traces *obs.SlowRing // N slowest recent traces, served by /debug/traces
+	log    *slog.Logger  // per-request log, nil unless cfg.RequestLog
 }
 
 // New builds a Server around an open system.
 func New(sys *vss.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		sys:   sys,
-		cfg:   cfg,
-		adm:   newAdmission(cfg.MaxInFlightReads, cfg.MaxQueuedReads, cfg.MaxReadsPerClient),
-		cache: newResponseCache(cfg.CacheBytes),
-		mux:   http.NewServeMux(),
+		sys:    sys,
+		cfg:    cfg,
+		adm:    newAdmission(cfg.MaxInFlightReads, cfg.MaxQueuedReads, cfg.MaxReadsPerClient),
+		cache:  newResponseCache(cfg.CacheBytes),
+		mux:    http.NewServeMux(),
+		pipe:   sys.Store().Pipeline(),
+		traces: obs.NewSlowRing(cfg.SlowTraces),
+	}
+	if cfg.RequestLog {
+		s.log = slog.Default()
 	}
 	s.mux.HandleFunc("GET /videos", s.handleList)
 	s.mux.HandleFunc("GET /videos/{name}", s.handleStat)
@@ -113,6 +134,7 @@ func New(sys *vss.System, cfg Config) *Server {
 	s.mux.HandleFunc("POST /videos/{name}/gops", s.handleWriteGOPs)
 	s.mux.HandleFunc("GET /videos/{name}/read", s.handleRead)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /maintain", s.handleMaintain)
 	// Storage plane: the GOP-level endpoints a router fleet uses to treat
 	// this node as a remote replica store (storageplane.go).
@@ -130,19 +152,29 @@ func New(sys *vss.System, cfg Config) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// httpError maps store errors onto status codes.
-func httpError(w http.ResponseWriter, err error) {
+// statusFor maps a store error onto its response status code.
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, vss.ErrNotFound):
-		http.Error(w, err.Error(), http.StatusNotFound)
+		return http.StatusNotFound
 	case errors.Is(err, vss.ErrExists):
-		http.Error(w, err.Error(), http.StatusConflict)
+		return http.StatusConflict
 	case errors.Is(err, vss.ErrInvalidSpec):
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
 	}
 }
+
+// httpError maps store errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), statusFor(err))
+}
+
+// statusClientGone records "client closed request" (the nginx 499
+// convention) in request logs and trace snapshots. It is never sent on
+// the wire — there is no client left to send it to.
+const statusClientGone = 499
 
 // clientFault reports whether a read failure was the client's own doing —
 // those map to 4xx and must not count toward server read-error metrics.
@@ -351,6 +383,44 @@ func parseReadSpec(q map[string][]string) (vss.ReadSpec, string, error) {
 	return spec, key, nil
 }
 
+// readObs accumulates one request's outcome for the slow-trace ring and
+// the optional per-request log, finalized exactly once when the handler
+// returns. A zero status means the success path ran to completion (200).
+type readObs struct {
+	s      *Server
+	tr     *obs.Trace
+	video  string
+	detail string
+	status int
+	bytes  int64
+	ttfb   time.Duration
+}
+
+// finish snapshots the trace into the slow ring and emits the request
+// log line. The snapshot is taken once here, so ring and log agree.
+func (ro *readObs) finish() {
+	if ro.status == 0 {
+		ro.status = http.StatusOK
+	}
+	snap := ro.tr.Snapshot(obs.Request{
+		Video: ro.video, Detail: ro.detail,
+		Status: ro.status, Bytes: ro.bytes, TTFB: ro.ttfb,
+	}, time.Now())
+	ro.s.traces.Add(snap)
+	if ro.s.log != nil {
+		ro.s.log.Info(snap.Name,
+			"trace", snap.ID,
+			"video", snap.Video,
+			"detail", snap.Detail,
+			"status", snap.Status,
+			"bytes", snap.Bytes,
+			"ttfb_ms", snap.TTFBMillis,
+			"total_ms", snap.DurationMillis,
+			"stages", snap.StageSummary(),
+		)
+	}
+}
+
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now() // TTFB clock starts before admission queueing
 	name := r.PathValue("name")
@@ -360,15 +430,29 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace the request: resume an upstream-minted ID from the wire
+	// header or mint a fresh one, echo it back, and ride the context so
+	// every pipeline stage below (and every remote hop the storage layer
+	// makes) folds into the same trace.
+	tr := obs.StartTrace(r.Header.Get(obs.TraceHeader), "read")
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	ctx := obs.WithTrace(r.Context(), tr)
+	ro := &readObs{s: s, tr: tr, video: name, detail: key}
+	defer ro.finish()
+
 	// Admission: bound the reads in flight before touching the store.
-	release, err := s.adm.acquire(r.Context(), clientKey(r))
+	admStart := time.Now()
+	release, err := s.adm.acquire(ctx, clientKey(r))
+	obs.Observe(ctx, s.pipe, obs.StageAdmission, time.Since(admStart))
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull), errors.Is(err, errPerClientLimit):
 			s.m.admissionRejected.Add(1)
+			ro.status = http.StatusTooManyRequests
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 		default: // client disconnected while queued
 			s.m.admissionAborted.Add(1)
+			ro.status = statusClientGone
 		}
 		return
 	}
@@ -385,7 +469,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if cacheable {
 		if e, ok := s.cache.get(cacheKey); ok {
 			s.m.cacheHits.Add(1)
-			s.replayCached(w, e, arrived)
+			s.replayCached(w, e, arrived, tr, ro)
 			return
 		}
 		s.m.cacheMisses.Add(1)
@@ -397,11 +481,12 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	// Stream the read: the request context is the read's context, so a
 	// client that disconnects mid-stream cancels the remaining decode
 	// work at the next GOP boundary.
-	st, err := s.sys.ReadStream(r.Context(), name, spec)
+	st, err := s.sys.ReadStream(ctx, name, spec)
 	if err != nil {
 		if !clientFault(err) {
 			s.m.readErrors.Add(1)
 		}
+		ro.status = statusFor(err)
 		httpError(w, err)
 		return
 	}
@@ -412,6 +497,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		// frame needs an ~300-megapixel output) is an absurd request, not
 		// a serving case.
 		st.Close()
+		ro.status = http.StatusBadRequest
 		http.Error(w, "requested frame size exceeds the wire chunk limit", http.StatusBadRequest)
 		return
 	}
@@ -429,8 +515,13 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, _ := w.(http.Flusher)
 	cw := s.bufs.get()
-	cw.reset(w, flusher, func() { s.m.ttfb.observe(time.Since(arrived)) })
+	cw.reset(w, flusher, func() {
+		ro.ttfb = time.Since(arrived)
+		s.m.ttfb.Observe(ro.ttfb)
+	})
+	cw.instrument(s.pipe, tr)
 	defer func() {
+		ro.bytes = cw.bytesOut
 		s.m.bytesSent.Add(cw.bytesOut)
 		s.m.flushes.Add(cw.flushes)
 		s.m.flushCoalesced.Add(cw.coalesced)
@@ -459,12 +550,15 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 			switch {
 			case r.Context().Err() != nil:
 				s.m.readsCancelled.Add(1)
+				ro.status = statusClientGone
 			case !cw.committed:
 				cw.abort()
 				s.m.readErrors.Add(1)
+				ro.status = statusFor(err)
 				httpError(w, err)
 			default:
 				s.m.readErrors.Add(1)
+				ro.status = statusFor(err)
 			}
 			s.noteReadStats(st)
 			return
@@ -480,6 +574,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		if werr != nil {
 			s.m.readsCancelled.Add(1)
+			ro.status = statusClientGone
 			s.noteReadStats(st)
 			return
 		}
@@ -492,6 +587,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := cw.finish(); err != nil { // clean-EOF terminator
 		s.m.readsCancelled.Add(1)
+		ro.status = statusClientGone
 		s.noteReadStats(st)
 		return
 	}
@@ -508,8 +604,10 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 
 // replayCached serves a hot response from the LRU without touching the
 // store. It rides the same coalescing chunkWriter as live reads — the
-// hot path benefits most, since nothing throttles it but the wire.
-func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry, arrived time.Time) {
+// hot path benefits most, since nothing throttles it but the wire — and
+// the same trace, so cache hits show up in /debug/traces as
+// flush-dominated requests with no plan/fetch/decode stages.
+func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry, arrived time.Time, tr *obs.Trace, ro *readObs) {
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-VSS-Width", strconv.Itoa(e.width))
@@ -519,8 +617,13 @@ func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry, arrived time
 	h.Set("X-VSS-Cache", "hit")
 	flusher, _ := w.(http.Flusher)
 	cw := s.bufs.get()
-	cw.reset(w, flusher, func() { s.m.ttfb.observe(time.Since(arrived)) })
+	cw.reset(w, flusher, func() {
+		ro.ttfb = time.Since(arrived)
+		s.m.ttfb.Observe(ro.ttfb)
+	})
+	cw.instrument(s.pipe, tr)
 	defer func() {
+		ro.bytes = cw.bytesOut
 		s.m.bytesSent.Add(cw.bytesOut)
 		s.m.flushes.Add(cw.flushes)
 		s.m.flushCoalesced.Add(cw.coalesced)
@@ -529,11 +632,13 @@ func (s *Server) replayCached(w http.ResponseWriter, e *cacheEntry, arrived time
 	for _, g := range e.gops {
 		if err := cw.writeGOP(g); err != nil {
 			s.m.readsCancelled.Add(1)
+			ro.status = statusClientGone
 			return
 		}
 	}
 	if err := cw.finish(); err != nil {
 		s.m.readsCancelled.Add(1)
+		ro.status = statusClientGone
 		return
 	}
 	s.m.readsCompleted.Add(1)
@@ -547,7 +652,57 @@ func (s *Server) noteReadStats(st *vss.ReadStream) {
 	s.m.bytesRead.Add(stats.BytesRead)
 }
 
+// promOpts maps the snapshot's dynamic-key maps and object arrays onto
+// Prometheus labels: per-video rows become vss_videos_*{video="..."},
+// cluster node-health rows vss_cluster_node_health_*{node="addr"}, and
+// replication shard-health rows use the shard root as the label value.
+var promOpts = obs.PromOpts{
+	Labels: map[string]string{
+		"videos":                   "video",
+		"cluster_node_health":      "node",
+		"replication_shard_health": "shard",
+	},
+	NameFields: []string{"addr", "root"},
+}
+
+// wantsProm reports whether the client asked for Prometheus text
+// exposition: ?format=prometheus, or an Accept header naming it.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "prometheus")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metricsSnapshot()
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, "vss", snap, promOpts)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// TraceDump is the JSON document served by /debug/traces.
+type TraceDump struct {
+	Capacity int                 `json:"capacity"`
+	Traces   []obs.TraceSnapshot `json:"traces"`
+}
+
+// handleTraces serves the slow-trace ring: the N slowest recent
+// requests, slowest first, each with its full span and stage breakdown.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.traces.Snapshot()
+	if traces == nil {
+		traces = []obs.TraceSnapshot{} // an empty ring serves [], not null
+	}
+	writeJSON(w, TraceDump{Capacity: s.traces.Cap(), Traces: traces})
+}
+
+// metricsSnapshot assembles the full point-in-time snapshot served by
+// /metrics in both formats.
+func (s *Server) metricsSnapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		Reads: ReadMetrics{
 			Started:     s.m.readsStarted.Load(),
@@ -571,8 +726,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Writes:      s.m.writes.Load(),
 			GOPsWritten: s.m.gopsWritten.Load(),
 		},
-		Videos:  make(map[string]VideoMetrics),
-		Storage: s.sys.BackendStats(),
+		Pipeline: s.pipe.Snapshot(),
+		Videos:   make(map[string]VideoMetrics),
+		Storage:  s.sys.BackendStats(),
 	}
 	// A routed store reports the cluster section; the generic replication
 	// section it also implements (nodes relabeled as shards) would repeat
@@ -594,8 +750,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CoalescedChunks: s.m.flushCoalesced.Load(),
 		PoolHits:        s.bufs.hits.Load(),
 		PoolMisses:      s.bufs.misses.Load(),
-		TTFBP50Millis:   s.m.ttfb.quantileMillis(0.50),
-		TTFBP99Millis:   s.m.ttfb.quantileMillis(0.99),
+		TTFBP50Millis:   s.m.ttfb.QuantileMillis(0.50),
+		TTFBP99Millis:   s.m.ttfb.QuantileMillis(0.99),
 	}
 	if t := snap.Response.PoolHits + snap.Response.PoolMisses; t > 0 {
 		snap.Response.PoolHitRate = float64(snap.Response.PoolHits) / float64(t)
@@ -607,7 +763,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		snap.Videos[name] = VideoMetrics{Bytes: total, DeferredLevel: s.sys.DeferredLevel(name)}
 	}
-	writeJSON(w, snap)
+	return snap
 }
 
 func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {

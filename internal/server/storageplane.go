@@ -8,6 +8,10 @@ import (
 	"io/fs"
 	"net/http"
 	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 // This file implements the GOP storage plane: the endpoints a router
@@ -91,7 +95,39 @@ func (s *Server) handleGOPRead(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	data, err := s.sys.Backend().ReadGOP(video, phys, seq)
+	// Join the propagated trace (the router forwards its ID in the wire
+	// header), so the node-local fetch shows up under the same trace ID
+	// the client and router saw — and in this node's own slow ring.
+	tr := obs.StartTrace(r.Header.Get(obs.TraceHeader), "gop_read")
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	ctx := obs.WithTrace(r.Context(), tr)
+	start := time.Now()
+	data, err := storage.ReadGOPCtx(ctx, s.sys.Backend(), video, phys, seq)
+	obs.Observe(ctx, s.pipe, obs.StageFetch, time.Since(start))
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusInternalServerError
+		if errors.Is(err, fs.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+	}
+	defer func() {
+		req := obs.Request{
+			Video:  video,
+			Detail: phys + "/" + strconv.Itoa(seq),
+			Status: status,
+			Bytes:  int64(len(data)),
+		}
+		snap := tr.Snapshot(req, time.Now())
+		s.traces.Add(snap)
+		if s.log != nil {
+			s.log.Info(snap.Name,
+				"trace", snap.ID, "video", snap.Video, "detail", snap.Detail,
+				"status", snap.Status, "bytes", snap.Bytes,
+				"total_ms", snap.DurationMillis, "stages", snap.StageSummary(),
+			)
+		}
+	}()
 	if err != nil {
 		storageError(w, err)
 		return

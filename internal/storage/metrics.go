@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -118,6 +119,28 @@ func (i *Instrumented) ReadGOPExpect(video, physDir string, seq int, want int64)
 	}
 	start := time.Now()
 	data, err := er.ReadGOPExpect(video, physDir, seq, want)
+	return i.countRead(data, err, start)
+}
+
+// ReadGOPContext forwards the caller context when the wrapped backend
+// is a ContextReader, falling back to a plain ReadGOP. Same no-Unwrap
+// discovery and shared accounting as ReadGOPExpect.
+func (i *Instrumented) ReadGOPContext(ctx context.Context, video, physDir string, seq int) ([]byte, error) {
+	cr, ok := i.b.(ContextReader)
+	if !ok {
+		return i.ReadGOP(video, physDir, seq)
+	}
+	start := time.Now()
+	data, err := cr.ReadGOPContext(ctx, video, physDir, seq)
+	return i.countRead(data, err, start)
+}
+
+// ReadGOPExpectContext forwards both the caller context and the size
+// hint, degrading through the wrapped backend's capabilities the way
+// ReadGOPExpectCtx does. Counted exactly like ReadGOP.
+func (i *Instrumented) ReadGOPExpectContext(ctx context.Context, video, physDir string, seq int, want int64) ([]byte, error) {
+	start := time.Now()
+	data, err := ReadGOPExpectCtx(ctx, i.b, video, physDir, seq, want)
 	return i.countRead(data, err, start)
 }
 

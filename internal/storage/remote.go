@@ -125,11 +125,22 @@ func normalize(err error) error {
 // retry runs op up to opts.Attempts times, backing off between tries,
 // and normalizes the final error.
 func (r *Remote) retry(op func() error) error {
+	return r.retryCtx(context.Background(), op)
+}
+
+// retryCtx is retry with a caller context: the backoff wait aborts when
+// ctx is done, returning the operation's own (normalized) error — the
+// caller cares what the node said, not that it stopped waiting.
+func (r *Remote) retryCtx(ctx context.Context, op func() error) error {
 	backoff := r.opts.Backoff
 	var err error
 	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return normalize(err)
+			}
 			backoff *= 2
 		}
 		if err = op(); err == nil || !retryable(err) {
@@ -146,10 +157,18 @@ func (r *Remote) WriteGOP(video, physDir string, seq int, data []byte) error {
 }
 
 func (r *Remote) ReadGOP(video, physDir string, seq int) ([]byte, error) {
+	return r.ReadGOPContext(context.Background(), video, physDir, seq)
+}
+
+// ReadGOPContext is ReadGOP with the caller's context on the wire: the
+// node client sees ctx (so a trace ID on it rides the request header,
+// and cancellation aborts the HTTP round trip) and the retry backoff
+// stops waiting when ctx is done.
+func (r *Remote) ReadGOPContext(ctx context.Context, video, physDir string, seq int) ([]byte, error) {
 	var data []byte
-	err := r.retry(func() error {
+	err := r.retryCtx(ctx, func() error {
 		var err error
-		data, err = r.node.GOPRead(context.Background(), video, physDir, seq)
+		data, err = r.node.GOPRead(ctx, video, physDir, seq)
 		return err
 	})
 	if err != nil {
