@@ -102,6 +102,38 @@ func BenchmarkFig21EndToEnd(b *testing.B) { runExperiment(b, "fig21") }
 // single-stream write throughput by encode workers).
 func BenchmarkIngestExperiment(b *testing.B) { runExperiment(b, "ingest") }
 
+// BenchmarkCodecExperiment measures the lossless tiers end to end over
+// the standard workload — raw GOP container bytes in, frames back out —
+// and reports encode/decode MB/s plus compression ratio per tier. The
+// bench CI job gates ls-q100 at >=2x the flate tier on both directions
+// at a comparable ratio (the PR 9 tentpole's pinned claim); benchjson
+// additionally gates every metric against the previous same-machine
+// snapshot.
+func BenchmarkCodecExperiment(b *testing.B) {
+	var tiers []bench.CodecTier
+	for i := 0; i < b.N; i++ {
+		var err error
+		if tiers, err = bench.CodecTiers(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range tiers {
+		switch t.Name {
+		case "ls-q100":
+			b.ReportMetric(t.EncMBps, "ls_enc_MBps")
+			b.ReportMetric(t.DecMBps, "ls_dec_MBps")
+			b.ReportMetric(t.RatioX, "ls_ratio_x")
+		case "ls-q80":
+			b.ReportMetric(t.EncMBps, "lsnear_enc_MBps")
+			b.ReportMetric(t.RatioX, "lsnear_ratio_x")
+		default: // the flate tier (name carries the level)
+			b.ReportMetric(t.EncMBps, "flate_enc_MBps")
+			b.ReportMetric(t.DecMBps, "flate_dec_MBps")
+			b.ReportMetric(t.RatioX, "flate_ratio_x")
+		}
+	}
+}
+
 // BenchmarkServeExperiment regenerates the serving experiment (HTTP
 // streaming read throughput by concurrent clients, through the vssd
 // serving subsystem: admission control, streaming responses, response

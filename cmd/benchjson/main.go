@@ -102,14 +102,18 @@ func main() {
 	if dir == "" {
 		dir = filepath.Dir(*out)
 	}
-	basePath := previousSnapshot(dir, filepath.Base(*out))
+	base, basePath, skipped := previousSnapshot(dir, filepath.Base(*out), snap.CPU)
 	if basePath == "" {
-		fmt.Println("no previous BENCH_*.json baseline; trajectory seeded")
+		if len(skipped) > 0 {
+			// Loud, not silent: a missing machine-class baseline must be
+			// visible in CI logs, or a snapshot from a different machine
+			// would quietly stop the trajectory from gating anything.
+			fmt.Printf("SKIPPING regression gate: no BENCH_*.json baseline matches cpu %q (candidates from other machines: %s)\n",
+				snap.CPU, strings.Join(skipped, ", "))
+		} else {
+			fmt.Println("no previous BENCH_*.json baseline; trajectory seeded")
+		}
 		return
-	}
-	base, err := load(basePath)
-	if err != nil {
-		fatal(err)
 	}
 	printRatios(base, snap, basePath)
 	regressions := compare(base, snap, *maxRegress, strictRe, *strictRegress)
@@ -242,15 +246,23 @@ func load(path string) (*Snapshot, error) {
 // prNumber extracts n from BENCH_PRn.json, or -1.
 var prNumber = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
 
-// previousSnapshot finds the highest-numbered BENCH_PRn.json in dir other
-// than the one being written, so each PR gates against its predecessor.
-func previousSnapshot(dir, exclude string) string {
+// previousSnapshot finds the highest-numbered BENCH_PRn.json in dir (other
+// than the one being written) whose recorded cpu matches the current run's,
+// so each PR gates against its predecessor from the same machine class —
+// a laptop snapshot never gates a CI runner or vice versa. Returns the
+// loaded baseline and its path; when candidates exist but none match the
+// cpu, both are empty and skipped lists the mismatched files so the caller
+// can announce the skipped gate.
+func previousSnapshot(dir, exclude, cpu string) (*Snapshot, string, []string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return ""
+		return nil, "", nil
 	}
-	bestN := -1
-	best := ""
+	type cand struct {
+		n    int
+		path string
+	}
+	var cands []cand
 	for _, e := range entries {
 		name := e.Name()
 		if name == exclude {
@@ -261,11 +273,23 @@ func previousSnapshot(dir, exclude string) string {
 			continue
 		}
 		n, _ := strconv.Atoi(m[1])
-		if n > bestN {
-			bestN, best = n, filepath.Join(dir, name)
-		}
+		cands = append(cands, cand{n, filepath.Join(dir, name)})
 	}
-	return best
+	sort.Slice(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+	var skipped []string
+	for _, c := range cands {
+		base, err := load(c.path)
+		if err != nil {
+			skipped = append(skipped, filepath.Base(c.path)+" (unreadable)")
+			continue
+		}
+		if base.CPU != cpu {
+			skipped = append(skipped, fmt.Sprintf("%s (cpu %q)", filepath.Base(c.path), base.CPU))
+			continue
+		}
+		return base, c.path, skipped
+	}
+	return nil, "", skipped
 }
 
 // lowerIsBetter reports whether a custom metric regresses upward, like

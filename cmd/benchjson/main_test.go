@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, cpu string, bench map[string]Result) {
+	t.Helper()
+	data, err := json.Marshal(&Snapshot{CPU: cpu, Benchmarks: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreviousSnapshotKeysOnCPU(t *testing.T) {
+	dir := t.TempDir()
+	bench := map[string]Result{"X": {NsPerOp: 1}}
+	writeSnap(t, dir, "BENCH_PR2.json", "machine-a", bench)
+	writeSnap(t, dir, "BENCH_PR3.json", "machine-b", bench)
+	writeSnap(t, dir, "BENCH_PR4.json", "machine-a", bench)
+
+	// Highest-numbered snapshot with a matching cpu wins, skipping newer
+	// snapshots from other machine classes.
+	base, path, skipped := previousSnapshot(dir, "BENCH_PR5.json", "machine-a")
+	if base == nil || filepath.Base(path) != "BENCH_PR4.json" {
+		t.Fatalf("baseline = %q, want BENCH_PR4.json", path)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none (PR4 matches first)", skipped)
+	}
+
+	base, path, skipped = previousSnapshot(dir, "BENCH_PR5.json", "machine-b")
+	if base == nil || filepath.Base(path) != "BENCH_PR3.json" {
+		t.Fatalf("baseline = %q, want BENCH_PR3.json", path)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "BENCH_PR4.json") {
+		t.Fatalf("skipped = %v, want the mismatched PR4", skipped)
+	}
+
+	// No machine-class match: no baseline, every candidate reported so the
+	// caller can announce the skipped gate.
+	base, path, skipped = previousSnapshot(dir, "BENCH_PR5.json", "machine-c")
+	if base != nil || path != "" {
+		t.Fatalf("baseline = %q, want none for unknown cpu", path)
+	}
+	if len(skipped) != 3 {
+		t.Fatalf("skipped = %v, want all 3 candidates", skipped)
+	}
+
+	// The snapshot being written never gates against itself.
+	if _, path, _ = previousSnapshot(dir, "BENCH_PR4.json", "machine-a"); filepath.Base(path) != "BENCH_PR2.json" {
+		t.Fatalf("baseline = %q, want BENCH_PR2.json when PR4 is excluded", path)
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"Fast":   {NsPerOp: 100, Metrics: map[string]float64{"fps": 50, "p99_ms": 10}},
+		"Strict": {NsPerOp: 100},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Result{
+		"Fast":   {NsPerOp: 100, Metrics: map[string]float64{"fps": 30, "p99_ms": 15}},
+		"Strict": {NsPerOp: 115},
+	}}
+	strict := regexp.MustCompile("^Strict$")
+	got := compare(base, cur, 0.20, strict, 0.10)
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "fps") {
+		t.Errorf("shrunken throughput metric not flagged: %v", got)
+	}
+	if !strings.Contains(joined, "p99_ms") {
+		t.Errorf("grown latency metric not flagged: %v", got)
+	}
+	if !strings.Contains(joined, "Strict") {
+		t.Errorf("strict benchmark over 10%% not flagged: %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d regressions, want 3: %v", len(got), got)
+	}
+}

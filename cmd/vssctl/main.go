@@ -288,7 +288,7 @@ func runWrite(sys *vss.System, args []string) {
 	width := fs.Int("width", 240, "frame width")
 	height := fs.Int("height", 136, "frame height")
 	fps := fs.Int("fps", 8, "frame rate")
-	cd := fs.String("codec", "h264", "codec (raw|h264|hevc)")
+	cd := fs.String("codec", "h264", "codec ("+vss.CodecNames()+")")
 	quality := fs.Int("quality", 0, "encode quality 1-100 (0 default)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	fs.Parse(args)
@@ -313,7 +313,7 @@ func runRead(sys *vss.System, args []string) {
 	end := fs.Float64("end", 0, "end seconds (0 = video end)")
 	width := fs.Int("width", 0, "output width (0 source)")
 	height := fs.Int("height", 0, "output height (0 source)")
-	cd := fs.String("codec", "raw", "output codec (raw|h264|hevc)")
+	cd := fs.String("codec", "raw", "output codec ("+vss.CodecNames()+")")
 	dump := fs.String("dump", "", "dump first decoded frame to this PGM file")
 	fs.Parse(args)
 	if *name == "" {

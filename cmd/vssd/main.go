@@ -69,12 +69,17 @@ func main() {
 	nodes := flag.String("nodes", "", "route GOP storage to a vssd node fleet (comma-separated base URLs; vssrouterd is the purpose-built front end)")
 	slowTraces := flag.Int("slow-traces", 0, "slow-trace ring capacity for /debug/traces (0 = default)")
 	logRequests := flag.Bool("log-requests", false, "log one structured line per request to stderr (trace ID, status, stage timings)")
+	defCodec := flag.String("codec", "", "default output codec for reads that omit codec= ("+vss.CodecNames()+"; empty = raw frames)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on a dedicated address, e.g. localhost:6060 (off by default)")
 	flag.Parse()
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "usage: vssd -store DIR [-addr HOST:PORT] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if *defCodec != "" && *defCodec != "raw" && !vss.Codec(*defCodec).Valid() {
+		fatal(fmt.Errorf("-codec %q: not a registered codec (have %s)", *defCodec, vss.CodecNames()))
 	}
 
 	backend, err := backendcli.Open("vssd", *store, *backendKind, *shards, *replicas, *shardRoots, *nodes, os.Stderr)
@@ -103,6 +108,7 @@ func main() {
 		CacheBytes:        *cacheMB << 20,
 		SlowTraces:        *slowTraces,
 		RequestLog:        *logRequests,
+		DefaultCodec:      vss.Codec(*defCodec),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

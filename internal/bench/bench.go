@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"fig19", "Joint compression overhead by resolution and camera dynamicism", Fig19},
 		{"fig20", "Read throughput of deferred-compressed fragments by level", Fig20},
 		{"fig21", "End-to-end application performance by client count", Fig21},
+		{"codec", "Lossless tier: ls codec vs flate blocks (encode/decode MB/s and ratio)", CodecExp},
 		{"ingest", "Pipelined ingest: single-stream write throughput by encode workers", Ingest},
 		{"serve", "Serving: HTTP streaming read throughput by concurrent clients", ServeExp},
 		{"streams", "Streams: concurrent stream readers through admission control", StreamsExp},

@@ -34,42 +34,32 @@ import (
 // ID names a compression codec (the physical parameter c in the VSS API).
 type ID string
 
-// Supported codecs. The names intentionally match the paper's usage; the
-// implementations are the from-scratch profiles described in the package
-// comment.
+// Built-in codecs, registered in this package's init functions. The names
+// intentionally match the paper's usage; the implementations are the
+// from-scratch profiles described in the package comment, plus "ls" — the
+// fast JPEG-LS-style near-lossless codec (see ls.go). Validity is a
+// registry question (see registry.go), not a fixed list: external packages
+// may Register additional codecs.
 const (
 	Raw  ID = "raw"
 	H264 ID = "h264"
 	HEVC ID = "hevc"
+	LS   ID = "ls"
 )
-
-// Valid reports whether the codec is one this package implements.
-func (id ID) Valid() bool {
-	switch id {
-	case Raw, H264, HEVC:
-		return true
-	}
-	return false
-}
-
-// Compressed reports whether the codec produces lossy compressed output.
-func (id ID) Compressed() bool { return id == H264 || id == HEVC }
 
 // DefaultQuality is the quality preset used when a write or read does not
 // specify one. Quality ranges over [1, 100]; 100 is the finest quantizer.
 const DefaultQuality = 80
 
-// profile captures the per-codec coding parameters.
+// profile captures the per-codec coding parameters of the predictive
+// (lossy) profiles. Each registered lossyCodec instance carries its own
+// profile, so profile selection is registry-driven rather than a map keyed
+// by a closed ID set.
 type profile struct {
 	blockSize    int  // inter-prediction block size
 	searchRadius int  // motion search radius in pixels (0 = zero-MV only)
 	intra2D      bool // average left+top intra prediction (vs left only)
 	flateLevel   int  // entropy-coding effort
-}
-
-var profiles = map[ID]profile{
-	H264: {blockSize: 8, searchRadius: 0, intra2D: false, flateLevel: 4},
-	HEVC: {blockSize: 16, searchRadius: 3, intra2D: true, flateLevel: 6},
 }
 
 // quantizer maps the quality preset to the uniform quantization step.
@@ -126,6 +116,11 @@ type Header struct {
 	Quality    int
 	FrameCount int
 	FrameTypes []FrameType
+
+	// tableOff is the byte offset of the frame table within the container
+	// (version-dependent: v2 headers carry a variable-length codec name).
+	// Set by DecodeHeader; framePayloads relies on it.
+	tableOff int
 }
 
 // Stats summarizes an encode for the quality/cost models.
@@ -136,13 +131,24 @@ type Stats struct {
 	PFrames      int
 }
 
+// Container versions. v1 tags the codec with a single byte from the fixed
+// legacy table below; every GOP written before the registry existed is v1,
+// and the three original codecs still write v1 so their bytes are
+// identical to pre-registry builds. v2 tags the codec by name (one length
+// byte + the name), so registered codecs need no entry in any table —
+// that is what makes per-GOP codec tags open-ended.
 const (
-	gopMagic     = "VGOP"
-	containerVer = 1
+	gopMagic      = "VGOP"
+	containerV1   = 1
+	containerV2   = 2
+	maxCodecName  = 32      // v2 name length bound (sanity, not a format limit)
+	maxFrameCount = 1 << 20 // implausibility bound on the header frame count
 )
 
-var codecByte = map[ID]byte{Raw: 0, H264: 1, HEVC: 2}
-var codecFromByte = map[byte]ID{0: Raw, 1: H264, 2: HEVC}
+// legacyCodecByte is the closed v1 tag table. Frozen: new codecs get v2
+// name tags instead of new bytes.
+var legacyCodecByte = map[ID]byte{Raw: 0, H264: 1, HEVC: 2}
+var legacyCodecFromByte = map[byte]ID{0: Raw, 1: H264, 2: HEVC}
 
 // EncodeGOP encodes a contiguous run of frames as one independently
 // decodable GOP. All frames must share dimensions; lossy codecs convert
@@ -158,30 +164,49 @@ func EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, err
 
 // DecodeHeader parses only the container header. It is cheap: the read
 // planner uses it to learn frame types and dimensions without paying
-// decode cost.
+// decode cost. Unknown codec tags (a v1 byte outside the legacy table, or
+// a v2 name with no registered codec) fail with ErrUnknownCodec.
 func DecodeHeader(data []byte) (Header, error) {
 	var hd Header
-	if len(data) < 20 || string(data[:4]) != gopMagic {
+	if len(data) < 6 || string(data[:4]) != gopMagic {
 		return hd, fmt.Errorf("codec: bad GOP magic")
 	}
-	if data[4] != containerVer {
+	var off int
+	switch data[4] {
+	case containerV1:
+		if len(data) < 20 {
+			return hd, fmt.Errorf("codec: truncated v1 header")
+		}
+		id, ok := legacyCodecFromByte[data[5]]
+		if !ok {
+			return hd, fmt.Errorf("codec: codec byte %d: %w", data[5], ErrUnknownCodec)
+		}
+		hd.Codec = id
+		off = 6
+	case containerV2:
+		n := int(data[5])
+		if n == 0 || n > maxCodecName || len(data) < 6+n+14 {
+			return hd, fmt.Errorf("codec: bad v2 codec tag")
+		}
+		hd.Codec = ID(data[6 : 6+n])
+		if !hd.Codec.Valid() {
+			return hd, fmt.Errorf("codec: codec %q: %w", hd.Codec, ErrUnknownCodec)
+		}
+		off = 6 + n
+	default:
 		return hd, fmt.Errorf("codec: unsupported container version %d", data[4])
 	}
-	id, ok := codecFromByte[data[5]]
-	if !ok {
-		return hd, fmt.Errorf("codec: unknown codec byte %d", data[5])
-	}
-	hd.Codec = id
-	hd.PixFmt = frame.PixelFormat(data[6])
-	hd.Quality = int(data[7])
-	hd.Width = int(binary.LittleEndian.Uint32(data[8:12]))
-	hd.Height = int(binary.LittleEndian.Uint32(data[12:16]))
-	hd.FrameCount = int(binary.LittleEndian.Uint32(data[16:20]))
-	if hd.FrameCount < 0 || hd.FrameCount > 1<<20 {
+	hd.PixFmt = frame.PixelFormat(data[off])
+	hd.Quality = int(data[off+1])
+	hd.Width = int(binary.LittleEndian.Uint32(data[off+2 : off+6]))
+	hd.Height = int(binary.LittleEndian.Uint32(data[off+6 : off+10]))
+	hd.FrameCount = int(binary.LittleEndian.Uint32(data[off+10 : off+14]))
+	if hd.FrameCount < 0 || hd.FrameCount > maxFrameCount {
 		return hd, fmt.Errorf("codec: implausible frame count %d", hd.FrameCount)
 	}
+	off += 14
+	hd.tableOff = off
 	// Walk the frame table to collect types without touching payloads.
-	off := 20
 	hd.FrameTypes = make([]FrameType, 0, hd.FrameCount)
 	for i := 0; i < hd.FrameCount; i++ {
 		if off+5 > len(data) {
@@ -217,26 +242,37 @@ func DecodeRange(data []byte, from, to int) ([]*frame.Frame, Header, error) {
 	if from < 0 || from > to {
 		return nil, hd, fmt.Errorf("codec: bad decode range [%d,%d) of %d", from, to, hd.FrameCount)
 	}
-	switch hd.Codec {
-	case Raw:
-		return decodeRawRange(data, hd, from, to)
-	case H264, HEVC:
-		return decodeLossyRange(data, hd, from, to)
-	default:
-		return nil, hd, fmt.Errorf("codec: unknown codec %q", hd.Codec)
+	c, ok := Lookup(hd.Codec)
+	if !ok {
+		return nil, hd, fmt.Errorf("codec: %q: %w", hd.Codec, ErrUnknownCodec)
 	}
+	frames, err := c.DecodeRange(data, hd, from, to)
+	return frames, hd, err
 }
 
 // writeContainer assembles the GOP container: header then (type, length,
-// payload) per frame.
+// payload) per frame. Codecs with a legacy v1 byte write the v1 layout —
+// byte-identical to pre-registry builds, so existing stored GOPs and new
+// ones stay interchangeable — and everything else gets a v2 name tag.
 func writeContainer(codec ID, pixfmt frame.PixelFormat, quality, w, h int, types []FrameType, payloads [][]byte) []byte {
-	total := 20
+	legacy, isLegacy := legacyCodecByte[codec]
+	hdrLen := 20
+	if !isLegacy {
+		hdrLen = 6 + len(codec) + 14
+	}
+	total := hdrLen
 	for _, p := range payloads {
 		total += 5 + len(p)
 	}
 	out := make([]byte, 0, total)
 	out = append(out, gopMagic...)
-	out = append(out, containerVer, codecByte[codec], byte(pixfmt), byte(quality))
+	if isLegacy {
+		out = append(out, containerV1, legacy)
+	} else {
+		out = append(out, containerV2, byte(len(codec)))
+		out = append(out, codec...)
+	}
+	out = append(out, byte(pixfmt), byte(quality))
 	var b4 [4]byte
 	binary.LittleEndian.PutUint32(b4[:], uint32(w))
 	out = append(out, b4[:]...)
@@ -254,10 +290,14 @@ func writeContainer(codec ID, pixfmt frame.PixelFormat, quality, w, h int, types
 }
 
 // framePayloads iterates the container's frame table, returning per-frame
-// payload slices (views into data).
+// payload slices (views into data). hd must come from DecodeHeader (its
+// tableOff locates the table past the version-dependent header).
 func framePayloads(data []byte, hd Header) ([][]byte, error) {
+	off := hd.tableOff
+	if off <= 0 {
+		return nil, fmt.Errorf("codec: header missing table offset")
+	}
 	payloads := make([][]byte, 0, hd.FrameCount)
-	off := 20
 	for i := 0; i < hd.FrameCount; i++ {
 		if off+5 > len(data) {
 			return nil, fmt.Errorf("codec: truncated frame table")

@@ -37,17 +37,17 @@ func (r *residReader) next() (int, error) {
 	return int(z>>1) ^ -int(z&1), nil
 }
 
-// decodeLossyRange reconstructs frames [from, to). Every frame from the GOP
+// DecodeRange reconstructs frames [from, to). Every frame from the GOP
 // start through to-1 must be decoded because P-frames chain; only the
 // requested window is materialized and returned. This asymmetry — paying
 // for Δ dependencies you do not return — is exactly the look-back cost the
 // planner's c_l models.
-func decodeLossyRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Header, error) {
-	prof := profiles[hd.Codec]
+func (c lossyCodec) DecodeRange(data []byte, hd Header, from, to int) ([]*frame.Frame, error) {
+	prof := c.prof
 	q := quantizer(hd.Quality)
 	payloads, err := framePayloads(data, hd)
 	if err != nil {
-		return nil, hd, err
+		return nil, err
 	}
 	out := make([]*frame.Frame, 0, to-from)
 	var recon [3]plane
@@ -56,7 +56,7 @@ func decodeLossyRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Hea
 		stream, err := io.ReadAll(zr)
 		zr.Close()
 		if err != nil {
-			return nil, hd, fmt.Errorf("codec: frame %d entropy decode: %w", i, err)
+			return nil, fmt.Errorf("codec: frame %d entropy decode: %w", i, err)
 		}
 		rd := &residReader{data: stream}
 		if hd.FrameTypes[i] == IFrame {
@@ -64,17 +64,17 @@ func decodeLossyRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Hea
 			for p, dim := range planeDims(hd.Width, hd.Height) {
 				next[p], err = decodeIntraPlane(rd, dim.w, dim.h, q, prof.intra2D)
 				if err != nil {
-					return nil, hd, fmt.Errorf("codec: frame %d plane %d: %w", i, p, err)
+					return nil, fmt.Errorf("codec: frame %d plane %d: %w", i, p, err)
 				}
 			}
 			recon = next
 		} else {
 			if i == 0 {
-				return nil, hd, fmt.Errorf("codec: GOP begins with P-frame")
+				return nil, fmt.Errorf("codec: GOP begins with P-frame")
 			}
 			mvs, n, err := decodeMVs(stream, hd.Width, hd.Height, prof)
 			if err != nil {
-				return nil, hd, fmt.Errorf("codec: frame %d MV table: %w", i, err)
+				return nil, fmt.Errorf("codec: frame %d MV table: %w", i, err)
 			}
 			rd.pos = n
 			next := [3]plane{}
@@ -85,7 +85,7 @@ func decodeLossyRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Hea
 				}
 				next[p], err = decodeInterPlane(rd, recon[p], mvs, dim.w, dim.h, bs, scale, q)
 				if err != nil {
-					return nil, hd, fmt.Errorf("codec: frame %d plane %d: %w", i, p, err)
+					return nil, fmt.Errorf("codec: frame %d plane %d: %w", i, p, err)
 				}
 			}
 			recon = next
@@ -94,7 +94,7 @@ func decodeLossyRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Hea
 			out = append(out, assembleYUV420(hd.Width, hd.Height, recon))
 		}
 	}
-	return out, hd, nil
+	return out, nil
 }
 
 // planeDims returns the Y, U, V plane dimensions for a YUV420 frame.

@@ -49,37 +49,49 @@ func quantize(r, q int) int {
 	return -((-r + q/2) / q)
 }
 
-// Encoder carries the scratch state of one GOP encoder so repeated encodes
-// reuse allocations instead of re-making them per GOP: the deflate
-// compressor (by far the largest), the per-frame residual/MV stream, the
-// deflate output buffer, ping-pong reconstruction planes, the motion
-// vector table, and a YUV conversion frame. The zero value is ready to
-// use. An Encoder is NOT safe for concurrent use; pipelines allocate one
-// per encode worker.
+// Encoder carries per-codec scratch state so repeated encodes reuse
+// allocations instead of re-making them per GOP. The scratch itself is
+// registry-driven: each codec materializes its own scratch type on first
+// use via Scratch (the lossy profiles keep a deflate compressor and
+// reconstruction planes there; ls keeps its bit writer and row buffers).
+// The zero value is ready to use. An Encoder is NOT safe for concurrent
+// use; pipelines allocate one per encode worker.
 type Encoder struct {
-	zw      *flate.Writer
-	zwLevel int
-	stream  []byte       // per-frame MV+residual stream
-	comp    bytes.Buffer // per-frame deflate output
-	rec     [2][3]plane  // ping-pong reconstructed frames (decoder mirror)
-	mvs     []mv         // per-frame motion vector table
-	yuv     *frame.Frame // pixel format conversion scratch
+	scratch map[ID]any
 }
 
 // NewEncoder returns an empty Encoder. Equivalent to new(Encoder); the
 // constructor exists so call sites read naturally.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// Scratch returns the encoder's scratch value for a codec, calling mk to
+// create it on first use. Codec implementations call this from EncodeGOP;
+// the returned value is private to them.
+func (e *Encoder) Scratch(id ID, mk func() any) any {
+	if e.scratch == nil {
+		e.scratch = make(map[ID]any, 1)
+	}
+	v, ok := e.scratch[id]
+	if !ok {
+		v = mk()
+		e.scratch[id] = v
+	}
+	return v
+}
+
 // EncodeGOP encodes one GOP reusing the encoder's scratch buffers. It is
 // the allocation-frugal form of the package-level EncodeGOP; semantics and
-// output bytes are identical.
+// output bytes are identical. Shared validation (non-empty GOP, uniform
+// dimensions and format, quality clamping) happens here; the registered
+// codec does the rest.
 func (e *Encoder) EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
 	var st Stats
 	if len(frames) == 0 {
 		return nil, st, fmt.Errorf("codec: empty GOP")
 	}
-	if !codec.Valid() {
-		return nil, st, fmt.Errorf("codec: unknown codec %q", codec)
+	c, ok := Lookup(codec)
+	if !ok {
+		return nil, st, fmt.Errorf("codec: %q: %w", codec, ErrUnknownCodec)
 	}
 	w, h := frames[0].Width, frames[0].Height
 	fmt0 := frames[0].Format
@@ -97,11 +109,7 @@ func (e *Encoder) EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byt
 	if quality > 100 {
 		quality = 100
 	}
-
-	if codec == Raw {
-		return encodeRawGOP(frames)
-	}
-	return e.encodeLossyGOP(frames, codec, quality)
+	return c.EncodeGOP(e, frames, quality)
 }
 
 // sizePlanes shapes a reconstruction plane triple for a w x h YUV420 frame,
@@ -118,41 +126,76 @@ func sizePlanes(ps *[3]plane, w, h int) {
 	}
 }
 
+// lossyCodec is one predictive profile ("h264" or "hevc") registered as a
+// Codec. The id names it on the wire and in container tags; the profile
+// carries its coding parameters.
+type lossyCodec struct {
+	id   ID
+	prof profile
+}
+
+func init() {
+	Register(lossyCodec{H264, profile{blockSize: 8, searchRadius: 0, intra2D: false, flateLevel: 4}})
+	Register(lossyCodec{HEVC, profile{blockSize: 16, searchRadius: 3, intra2D: true, flateLevel: 6}})
+}
+
+func (c lossyCodec) Name() ID { return c.id }
+
+// Lossless is false at every quality: even at quality 100 (exact
+// residuals) inputs are converted to YUV420 first, so non-YUV420 frames do
+// not round-trip bit-exactly.
+func (c lossyCodec) Lossless(quality int) bool { return false }
+
+// lossyScratch is the per-Encoder scratch of the predictive profiles: the
+// deflate compressor (by far the largest allocation), the per-frame
+// residual/MV stream, the deflate output buffer, ping-pong reconstruction
+// planes, the motion vector table, and a YUV conversion frame.
+type lossyScratch struct {
+	zw      *flate.Writer
+	zwLevel int
+	stream  []byte       // per-frame MV+residual stream
+	comp    bytes.Buffer // per-frame deflate output
+	rec     [2][3]plane  // ping-pong reconstructed frames (decoder mirror)
+	mvs     []mv         // per-frame motion vector table
+	yuv     *frame.Frame // pixel format conversion scratch
+}
+
 // deflate compresses one frame's stream into a fresh exactly-sized payload,
-// reusing the encoder's compressor and output buffer.
-func (e *Encoder) deflate(stream []byte, level int) ([]byte, error) {
-	e.comp.Reset()
-	if e.zw == nil || e.zwLevel != level {
-		zw, err := flate.NewWriter(&e.comp, level)
+// reusing the scratch compressor and output buffer.
+func (s *lossyScratch) deflate(stream []byte, level int) ([]byte, error) {
+	s.comp.Reset()
+	if s.zw == nil || s.zwLevel != level {
+		zw, err := flate.NewWriter(&s.comp, level)
 		if err != nil {
 			return nil, fmt.Errorf("codec: %w", err)
 		}
-		e.zw, e.zwLevel = zw, level
+		s.zw, s.zwLevel = zw, level
 	} else {
-		e.zw.Reset(&e.comp)
+		s.zw.Reset(&s.comp)
 	}
-	if _, err := e.zw.Write(stream); err != nil {
+	if _, err := s.zw.Write(stream); err != nil {
 		return nil, fmt.Errorf("codec: %w", err)
 	}
-	if err := e.zw.Close(); err != nil {
+	if err := s.zw.Close(); err != nil {
 		return nil, fmt.Errorf("codec: %w", err)
 	}
-	out := make([]byte, e.comp.Len())
-	copy(out, e.comp.Bytes())
+	out := make([]byte, s.comp.Len())
+	copy(out, s.comp.Bytes())
 	return out, nil
 }
 
-// encodeLossyGOP encodes frames with one of the predictive profiles. Input
-// frames are converted to YUV420; dimensions must be even (the storage
-// layer guarantees this; synthetic generators emit even sizes, as real
-// camera pipelines do).
-func (e *Encoder) encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
+// EncodeGOP encodes frames with the predictive profile. Input frames are
+// converted to YUV420; dimensions must be even (the storage layer
+// guarantees this; synthetic generators emit even sizes, as real camera
+// pipelines do).
+func (c lossyCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([]byte, Stats, error) {
 	var st Stats
 	w, h := frames[0].Width, frames[0].Height
 	if w%2 != 0 || h%2 != 0 {
-		return nil, st, fmt.Errorf("codec: %s requires even dimensions, got %dx%d", codec, w, h)
+		return nil, st, fmt.Errorf("codec: %s requires even dimensions, got %dx%d", c.id, w, h)
 	}
-	prof := profiles[codec]
+	sc := e.Scratch(c.id, func() any { return new(lossyScratch) }).(*lossyScratch)
+	prof := c.prof
 	q := quantizer(quality)
 
 	types := make([]FrameType, len(frames))
@@ -161,15 +204,15 @@ func (e *Encoder) encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) (
 	for i, f := range frames {
 		src := f
 		if f.Format != frame.YUV420 {
-			src = f.ConvertInto(e.yuv, frame.YUV420)
-			e.yuv = src
+			src = f.ConvertInto(sc.yuv, frame.YUV420)
+			sc.yuv = src
 		}
 		planes := yuvPlanes(src)
 		// Reconstructed planes ping-pong: frame i predicts from the planes
 		// frame i-1 reconstructed into the other buffer.
-		cur := &e.rec[i&1]
+		cur := &sc.rec[i&1]
 		sizePlanes(cur, w, h)
-		stream := e.stream[:0]
+		stream := sc.stream[:0]
 		if i == 0 {
 			types[i] = IFrame
 			st.IFrames++
@@ -179,10 +222,10 @@ func (e *Encoder) encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) (
 		} else {
 			types[i] = PFrame
 			st.PFrames++
-			prev := e.rec[(i+1)&1]
+			prev := sc.rec[(i+1)&1]
 			// Motion vectors are estimated on luma and halved for chroma.
-			e.mvs = estimateMotion(e.mvs, planes[0], prev[0], prof)
-			stream = appendMVs(stream, e.mvs, prof)
+			sc.mvs = estimateMotion(sc.mvs, planes[0], prev[0], prof)
+			stream = appendMVs(stream, sc.mvs, prof)
 			for p := 0; p < 3; p++ {
 				bs := prof.blockSize
 				scale := 1
@@ -190,18 +233,18 @@ func (e *Encoder) encodeLossyGOP(frames []*frame.Frame, codec ID, quality int) (
 					bs /= 2
 					scale = 2
 				}
-				stream = encodeInterPlane(stream, planes[p], prev[p], e.mvs, bs, scale, q, cur[p])
+				stream = encodeInterPlane(stream, planes[p], prev[p], sc.mvs, bs, scale, q, cur[p])
 			}
 		}
-		e.stream = stream // keep the grown buffer for the next frame
-		payload, err := e.deflate(stream, prof.flateLevel)
+		sc.stream = stream // keep the grown buffer for the next frame
+		payload, err := sc.deflate(stream, prof.flateLevel)
 		if err != nil {
 			return nil, st, err
 		}
 		payloads[i] = payload
 	}
 
-	data := writeContainer(codec, frame.YUV420, quality, w, h, types, payloads)
+	data := writeContainer(c.id, frame.YUV420, quality, w, h, types, payloads)
 	st.Bytes = len(data)
 	st.BitsPerPixel = float64(len(data)) * 8 / float64(w*h*len(frames))
 	return data, st, nil

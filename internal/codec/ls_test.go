@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// lsContent fills n frames of the given format with one of several
+// content classes chosen to stress distinct codec paths: "noise" defeats
+// the run mode entirely, "flat" is all run mode, "gradient" is all
+// regular mode with small residuals, and "mixed" alternates flat bands
+// with noisy bands so run interrupts and mode switches fire constantly.
+func lsContent(t *testing.T, class string, pf frame.PixelFormat, n, w, h int, seed int64) []*frame.Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]*frame.Frame, n)
+	for i := 0; i < n; i++ {
+		f := frame.New(w, h, pf)
+		switch class {
+		case "noise":
+			rng.Read(f.Data)
+		case "flat":
+			v := byte(rng.Intn(256))
+			for j := range f.Data {
+				f.Data[j] = v
+			}
+		case "gradient":
+			for j := range f.Data {
+				f.Data[j] = byte((j + i*3) / 7)
+			}
+		case "mixed":
+			for j := range f.Data {
+				if (j/97)%2 == 0 {
+					f.Data[j] = 200
+				} else {
+					f.Data[j] = byte(rng.Intn(256))
+				}
+			}
+		default:
+			t.Fatalf("unknown content class %q", class)
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// TestLSLosslessBitExact pins the codec's core promise: at any quality
+// where Lossless reports true, decode returns the input bytes exactly,
+// across every pixel format and content class.
+func TestLSLosslessBitExact(t *testing.T) {
+	c, ok := Lookup(LS)
+	if !ok {
+		t.Fatal("ls not registered")
+	}
+	if !c.Lossless(100) {
+		t.Fatal("ls must be lossless at q100")
+	}
+	formats := []frame.PixelFormat{frame.Gray, frame.RGB, frame.YUV420, frame.YUV422}
+	for _, pf := range formats {
+		for _, class := range []string{"noise", "flat", "gradient", "mixed"} {
+			frames := lsContent(t, class, pf, 4, 36, 28, int64(pf)*100+int64(len(class)))
+			data, _, err := EncodeGOP(frames, LS, 100)
+			if err != nil {
+				t.Fatalf("%v/%s: encode: %v", pf, class, err)
+			}
+			dec, _, err := DecodeGOP(data)
+			if err != nil {
+				t.Fatalf("%v/%s: decode: %v", pf, class, err)
+			}
+			for i := range frames {
+				if !bytes.Equal(frames[i].Data, dec[i].Data) {
+					t.Fatalf("%v/%s: frame %d not byte-identical", pf, class, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLSNearErrorBound checks the near-lossless contract: every decoded
+// sample is within lsNear(quality) of the input, for qualities spanning
+// the dial.
+func TestLSNearErrorBound(t *testing.T) {
+	for _, q := range []int{95, 80, 50, 20} {
+		near := lsNear(q)
+		if near <= 0 {
+			t.Fatalf("q%d: expected a positive error bound, got %d", q, near)
+		}
+		for _, class := range []string{"noise", "gradient", "mixed"} {
+			frames := lsContent(t, class, frame.YUV420, 3, 48, 32, int64(q))
+			data, _, err := EncodeGOP(frames, LS, q)
+			if err != nil {
+				t.Fatalf("q%d/%s: encode: %v", q, class, err)
+			}
+			dec, _, err := DecodeGOP(data)
+			if err != nil {
+				t.Fatalf("q%d/%s: decode: %v", q, class, err)
+			}
+			for i := range frames {
+				for j := range frames[i].Data {
+					d := int(frames[i].Data[j]) - int(dec[i].Data[j])
+					if d < 0 {
+						d = -d
+					}
+					if d > near {
+						t.Fatalf("q%d/%s: frame %d byte %d off by %d > NEAR=%d",
+							q, class, i, j, d, near)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLSSubrangeDecode checks DecodeRange against a full decode: ls
+// frames are independently coded, so any subrange must match the
+// corresponding full-decode frames exactly. GOMAXPROCS is raised so the
+// per-frame decode fan-out runs with multiple workers even on 1-core
+// hosts — parallel decode must be byte-identical to serial.
+func TestLSSubrangeDecode(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	frames := lsContent(t, "mixed", frame.YUV420, 8, 40, 24, 7)
+	for _, q := range []int{100, 70} {
+		data, _, err := EncodeGOP(frames, LS, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := DecodeGOP(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range [][2]int{{0, 1}, {3, 6}, {7, 8}, {0, 8}} {
+			sub, _, err := DecodeRange(data, r[0], r[1])
+			if err != nil {
+				t.Fatalf("q%d [%d,%d): %v", q, r[0], r[1], err)
+			}
+			if len(sub) != r[1]-r[0] {
+				t.Fatalf("q%d [%d,%d): got %d frames", q, r[0], r[1], len(sub))
+			}
+			for i, f := range sub {
+				if !bytes.Equal(f.Data, full[r[0]+i].Data) {
+					t.Fatalf("q%d [%d,%d): frame %d differs from full decode", q, r[0], r[1], i)
+				}
+			}
+		}
+	}
+}
+
+// TestLSCorruptStreams feeds the decoder truncated and bit-flipped
+// containers: it must return an error or a valid frame set, never panic
+// or read out of bounds. (Run with -race for the latter.)
+func TestLSCorruptStreams(t *testing.T) {
+	frames := lsContent(t, "mixed", frame.YUV420, 4, 32, 24, 13)
+	data, _, err := EncodeGOP(frames, LS, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations at every length must not panic; most should error.
+	for cut := len(data) - 1; cut >= 0; cut -= 17 {
+		_, _, _ = DecodeGOP(data[:cut])
+	}
+	if _, _, err := DecodeGOP(data[:len(data)/2]); err == nil {
+		t.Error("half-truncated container decoded without error")
+	}
+
+	// Single bit flips across the payload region must not panic.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 64; trial++ {
+		bad := append([]byte(nil), data...)
+		pos := 32 + rng.Intn(len(bad)-32)
+		bad[pos] ^= 1 << uint(rng.Intn(8))
+		_, _, _ = DecodeGOP(bad)
+	}
+}
+
+// TestLSRatioBeatsRawOnStructuredContent sanity-checks compression: on
+// gradient and flat content the ls stream must be much smaller than raw;
+// on pure noise it must not blow up beyond a small constant overhead.
+func TestLSRatioBeatsRawOnStructuredContent(t *testing.T) {
+	for _, tc := range []struct {
+		class   string
+		maxFrac float64 // encoded bytes / raw bytes upper bound
+	}{
+		{"flat", 0.10},
+		{"gradient", 0.40},
+		{"noise", 1.20},
+	} {
+		frames := lsContent(t, tc.class, frame.YUV420, 4, 64, 48, 31)
+		raw := 0
+		for _, f := range frames {
+			raw += len(f.Data)
+		}
+		data, _, err := EncodeGOP(frames, LS, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac := float64(len(data)) / float64(raw); frac > tc.maxFrac {
+			t.Errorf("%s: encoded %.2fx of raw, want <= %.2fx", tc.class, frac, tc.maxFrac)
+		}
+	}
+}

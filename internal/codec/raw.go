@@ -6,10 +6,18 @@ import (
 	"repro/internal/frame"
 )
 
-// encodeRawGOP stores frames losslessly in their original pixel format.
+// rawCodec stores frames losslessly in their original pixel format.
 // Raw GOPs have no inter-frame dependencies: every frame is independently
 // decodable, so all frames are typed IFrame and look-back cost is zero.
-func encodeRawGOP(frames []*frame.Frame) ([]byte, Stats, error) {
+type rawCodec struct{}
+
+func init() { Register(rawCodec{}) }
+
+func (rawCodec) Name() ID { return Raw }
+
+func (rawCodec) Lossless(quality int) bool { return true }
+
+func (rawCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([]byte, Stats, error) {
 	f0 := frames[0]
 	types := make([]FrameType, len(frames))
 	payloads := make([][]byte, len(frames))
@@ -23,20 +31,20 @@ func encodeRawGOP(frames []*frame.Frame) ([]byte, Stats, error) {
 	return data, st, nil
 }
 
-func decodeRawRange(data []byte, hd Header, from, to int) ([]*frame.Frame, Header, error) {
+func (rawCodec) DecodeRange(data []byte, hd Header, from, to int) ([]*frame.Frame, error) {
 	payloads, err := framePayloads(data, hd)
 	if err != nil {
-		return nil, hd, err
+		return nil, err
 	}
 	want := hd.PixFmt.Size(hd.Width, hd.Height)
 	out := make([]*frame.Frame, 0, to-from)
 	for i := from; i < to; i++ {
 		if len(payloads[i]) != want {
-			return nil, hd, fmt.Errorf("codec: raw frame %d payload %d bytes, want %d", i, len(payloads[i]), want)
+			return nil, fmt.Errorf("codec: raw frame %d payload %d bytes, want %d", i, len(payloads[i]), want)
 		}
 		f := &frame.Frame{Width: hd.Width, Height: hd.Height, Format: hd.PixFmt, Data: make([]byte, want)}
 		copy(f.Data, payloads[i])
 		out = append(out, f)
 	}
-	return out, hd, nil
+	return out, nil
 }

@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/frame"
+)
+
+// ErrUnknownCodec reports a codec name (or on-disk container tag) that no
+// registered codec claims. Callers match it with errors.Is to distinguish
+// "this build does not know the codec" from data corruption.
+var ErrUnknownCodec = errors.New("codec: unknown codec")
+
+// Codec is one registered compression implementation. The paper treats the
+// codec as a pluggable physical parameter (its prototype delegates to
+// FFmpeg/NVENC); this registry is the reproduction's version of that seam:
+// the store, planner, wire protocol, and deferred-compression tier all
+// dispatch through it, so adding a codec is one Register call away from
+// being a first-class physical format (including, eventually, external or
+// hardware encoders).
+//
+// Implementations must be stateless values — per-GOP scratch lives in the
+// *Encoder passed to EncodeGOP (see Encoder.Scratch), which is the only
+// mutable state and is never shared across goroutines.
+type Codec interface {
+	// Name returns the codec's ID (the physical parameter c, the wire
+	// protocol's codec= value, and the container tag).
+	Name() ID
+	// Lossless reports whether encoding at the given quality round-trips
+	// input frames bit-exactly (same pixel format, identical bytes).
+	Lossless(quality int) bool
+	// EncodeGOP encodes frames (validated: non-empty, uniform dims and
+	// format, quality clamped to [1,100]) into a GOP container.
+	EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([]byte, Stats, error)
+	// DecodeRange decodes frames [from, to) of a container this codec
+	// produced; hd is its already-parsed header and from/to are validated.
+	DecodeRange(data []byte, hd Header, from, to int) ([]*frame.Frame, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[ID]Codec{}
+)
+
+// Register adds a codec to the registry; it panics on a duplicate name
+// (registration is an init-time, programmer-error path). After Register,
+// the ID validates everywhere — resolve, wire protocol, container tags —
+// with no switch to update.
+func Register(c Codec) {
+	id := c.Name()
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[id]; dup {
+		panic("codec: duplicate registration of " + string(id))
+	}
+	registry[id] = c
+}
+
+// Lookup returns the registered codec with the given name.
+func Lookup(id ID) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[id]
+	return c, ok
+}
+
+// Registered lists every registered codec ID in sorted order (stable for
+// help strings, calibration sweeps, and tests).
+func Registered() []ID {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]ID, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names returns the registered codec names joined for flag help text,
+// e.g. "h264|hevc|ls|raw".
+func Names() string {
+	ids := Registered()
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += "|"
+		}
+		s += string(id)
+	}
+	return s
+}
+
+// Valid reports whether the codec is registered in this build.
+func (id ID) Valid() bool {
+	_, ok := Lookup(id)
+	return ok
+}
+
+// Compressed reports whether the codec produces a compressed bitstream —
+// i.e. reads requesting it return GOP containers rather than raw frames.
+// Derived from the registry (everything but raw), not a hard-coded list,
+// so a newly registered codec is never misclassified by a stale switch.
+func (id ID) Compressed() bool { return id != Raw && id.Valid() }

@@ -149,7 +149,7 @@ func TestResnapshotGOP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frames, _, err := decodeSnap(snap, 0, -1)
+	frames, _, _, err := decodeSnap(snap, 0, -1)
 	if err != nil || len(frames) == 0 {
 		t.Fatalf("re-snapshotted GOP not decodable: %v (%d frames)", err, len(frames))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/codec"
@@ -174,5 +175,72 @@ func TestCompactionRejectsJointAndOriginal(t *testing.T) {
 	}
 	if _, err := s.CompactVideo("missing"); err != ErrNotFound {
 		t.Errorf("missing video: %v", err)
+	}
+}
+
+// TestLegacyFlateBlockGOPStillReads pins backward compatibility with
+// stores written before the ls codec: the deferred tier used to wrap
+// raw GOP containers in VSL1 flate blocks, and those bytes are still on
+// disk in old stores. Rewrite a cached raw GOP the old way — flate
+// block, Lossless level set in the catalog — and the read path must
+// inflate it transparently and return the same frames.
+func TestLegacyFlateBlockGOPStillReads(t *testing.T) {
+	s := newStore(t, Options{BudgetMultiple: 60, DeferredThreshold: 0.01, GOPFrames: 8, DisableDeferred: true})
+	writeVideo(t, s, "v", scene(16, 64, 48, 91), 4, codec.H264)
+	before, err := s.Read("v", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite one cached raw GOP exactly as the pre-registry deferred
+	// tier did: lossless.Compress over the container bytes.
+	vs := s.acquire("v")
+	if vs == nil {
+		t.Fatal("video vanished")
+	}
+	rewrote := false
+	for _, p := range vs.phys {
+		if p.Codec != codec.Raw || len(p.GOPs) == 0 || rewrote {
+			continue
+		}
+		g := &p.GOPs[0]
+		data, err := s.files.ReadGOP("v", p.Dir, g.Seq)
+		if err != nil {
+			vs.mu.Unlock()
+			t.Fatal(err)
+		}
+		block, err := lossless.Compress(data, 7)
+		if err != nil {
+			vs.mu.Unlock()
+			t.Fatal(err)
+		}
+		if err := s.files.WriteGOP("v", p.Dir, g.Seq, block); err != nil {
+			vs.mu.Unlock()
+			t.Fatal(err)
+		}
+		g.Lossless = 7
+		g.Bytes = int64(len(block))
+		if err := s.savePhys("v", p); err != nil {
+			vs.mu.Unlock()
+			t.Fatal(err)
+		}
+		rewrote = true
+	}
+	vs.mu.Unlock()
+	if !rewrote {
+		t.Fatal("no cached raw view to rewrite; read did not populate the cache")
+	}
+
+	after, err := s.Read("v", ReadSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Frames) != len(before.Frames) {
+		t.Fatalf("read %d frames, want %d", len(after.Frames), len(before.Frames))
+	}
+	for i := range before.Frames {
+		if !bytes.Equal(before.Frames[i].Data, after.Frames[i].Data) {
+			t.Fatalf("frame %d changed through the legacy flate block", i)
+		}
 	}
 }

@@ -103,7 +103,7 @@ func (s *Store) FindJointCandidates() ([]PairCandidate, int, error) {
 		// Decode first frames on the worker pool (one I-frame each).
 		firsts := make([]*frame.Frame, len(snaps))
 		if err := s.runJobs(context.Background(), len(snaps), func(i int) error {
-			frames, _, err := decodeSnap(snaps[i].snap, 0, 1)
+			frames, _, _, err := decodeSnap(snaps[i].snap, 0, 1)
 			if err != nil {
 				return err
 			}
@@ -223,7 +223,7 @@ func (s *Store) firstFrameIn(held map[string]*videoState, vs *videoState, p *Phy
 	if err != nil {
 		return nil, err
 	}
-	frames, _, err := decodeSnap(snap, 0, 1)
+	frames, _, _, err := decodeSnap(snap, 0, 1)
 	if err != nil {
 		return nil, err
 	}

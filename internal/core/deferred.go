@@ -95,7 +95,7 @@ func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	block, err := lossless.Compress(data, level)
+	block, err := lossless.Recompress(data, level)
 	if err != nil {
 		return false, err
 	}

@@ -148,7 +148,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if err != nil {
 		return nil, err
 	}
-	fL, _, err := decodeSnap(gopSnap{data: dataL, losslessLevel: gL.Lossless}, 0, -1)
+	fL, _, _, err := decodeSnap(gopSnap{data: dataL, losslessLevel: gL.Lossless}, 0, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +156,7 @@ func (s *Store) loadPair(held map[string]*videoState, left, right GOPRef) (*join
 	if err != nil {
 		return nil, err
 	}
-	fR, _, err := decodeSnap(gopSnap{data: dataR, losslessLevel: gR.Lossless}, 0, -1)
+	fR, _, _, err := decodeSnap(gopSnap{data: dataR, losslessLevel: gR.Lossless}, 0, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -477,72 +477,72 @@ func unpackJointStreams(data []byte) ([][]byte, error) {
 // decodeJointSnap reconstructs the frames of a snapshotted jointly
 // compressed GOP (either role), reversing the partition applied at
 // compression time. Pure function of the snapshot — safe on the worker
-// pool. Returns the reconstructed frames and the number of GOP streams
-// decoded.
-func decodeJointSnap(snap gopSnap) ([]*frame.Frame, int, error) {
+// pool. Returns the reconstructed frames, the number of GOP streams
+// decoded, and the codec of the primary stream (for per-codec metrics).
+func decodeJointSnap(snap gopSnap) ([]*frame.Frame, int, codec.ID, error) {
 	j := snap.joint
 	data := snap.data
 	if lossless.IsCompressed(data) {
 		var err error
 		if data, err = lossless.Decompress(data); err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 	}
 	streams, err := unpackJointStreams(data)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	if j.Role == "left" {
 		if len(streams) != 2 {
-			return nil, 0, fmt.Errorf("core: left joint GOP has %d streams", len(streams))
+			return nil, 0, "", fmt.Errorf("core: left joint GOP has %d streams", len(streams))
 		}
-		leftFrames, _, err := codec.DecodeGOP(streams[0])
+		leftFrames, hd, err := codec.DecodeGOP(streams[0])
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, hd.Codec, err
 		}
 		overlapFrames, _, err := codec.DecodeGOP(streams[1])
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, hd.Codec, err
 		}
 		out := make([]*frame.Frame, len(leftFrames))
 		for i := range leftFrames {
 			out[i] = reconstructLeft(leftFrames[i], overlapFrames[i], snap.width, snap.height)
 		}
-		return out, 2, nil
+		return out, 2, hd.Codec, nil
 	}
 	// Right role: the overlap stream lives in the partner's file,
 	// snapshotted alongside ours.
 	partnerData := snap.partner
 	if partnerData == nil {
-		return nil, 0, fmt.Errorf("core: right joint GOP snapshot missing partner stream")
+		return nil, 0, "", fmt.Errorf("core: right joint GOP snapshot missing partner stream")
 	}
 	if lossless.IsCompressed(partnerData) {
 		if partnerData, err = lossless.Decompress(partnerData); err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 	}
 	partnerStreams, err := unpackJointStreams(partnerData)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	if len(partnerStreams) != 2 {
-		return nil, 0, fmt.Errorf("core: joint partner has %d streams", len(partnerStreams))
+		return nil, 0, "", fmt.Errorf("core: joint partner has %d streams", len(partnerStreams))
 	}
-	rightFrames, _, err := codec.DecodeGOP(streams[0])
+	rightFrames, hd, err := codec.DecodeGOP(streams[0])
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, hd.Codec, err
 	}
 	overlapFrames, _, err := codec.DecodeGOP(partnerStreams[1])
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, hd.Codec, err
 	}
 	hInv, err := j.H.Inverse()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, hd.Codec, err
 	}
 	out := make([]*frame.Frame, len(rightFrames))
 	for i := range rightFrames {
 		out[i] = reconstructRight(rightFrames[i], overlapFrames[i], hInv, j.SplitL, j.SplitR, snap.width, snap.height)
 	}
-	return out, 2, nil
+	return out, 2, hd.Codec, nil
 }

@@ -153,7 +153,8 @@ type decodeJob struct {
 	bytes    *atomic.Int64 // BytesRead accumulator for re-snapshot reads
 	from, to int
 	frames   []*frame.Frame
-	decoded  int // GOP streams decoded, for ReadStats
+	decoded  int      // GOP streams decoded, for ReadStats
+	codecID  codec.ID // codec the bytes decoded through, for per-codec metrics
 
 	once   sync.Once    // streaming: lazy decode guard
 	runErr error        // streaming: result of the once'd run
@@ -161,8 +162,8 @@ type decodeJob struct {
 }
 
 func (j *decodeJob) decode(snap gopSnap) error {
-	frames, decoded, err := decodeSnap(snap, j.from, j.to)
-	j.frames, j.decoded = frames, decoded
+	frames, decoded, id, err := decodeSnap(snap, j.from, j.to)
+	j.frames, j.decoded, j.codecID = frames, decoded, id
 	return err
 }
 
@@ -819,34 +820,42 @@ func (s *Store) startPrefetch(ctx context.Context, fetches []*gopFetch) {
 }
 
 // decodeSnap decodes frames [from, to) of a snapshotted GOP. It is a pure
-// function of the snapshot — callable without any lock.
-func decodeSnap(snap gopSnap, from, to int) ([]*frame.Frame, int, error) {
+// function of the snapshot — callable without any lock. The returned ID is
+// the codec the stored bytes actually decoded through (which per-codec
+// pipeline metrics attribute time to); it can differ from the physical
+// video's nominal codec when the deferred tier has rewritten a raw GOP
+// through the fast lossless codec.
+func decodeSnap(snap gopSnap, from, to int) ([]*frame.Frame, int, codec.ID, error) {
 	if snap.joint != nil {
-		frames, decoded, err := decodeJointSnap(snap)
+		frames, decoded, id, err := decodeJointSnap(snap)
 		if err != nil {
-			return nil, decoded, err
+			return nil, decoded, id, err
 		}
 		if to < 0 || to > len(frames) {
 			to = len(frames)
 		}
 		if from < 0 || from > to {
-			return nil, decoded, fmt.Errorf("core: bad GOP range [%d,%d)", from, to)
+			return nil, decoded, id, fmt.Errorf("core: bad GOP range [%d,%d)", from, to)
 		}
-		return frames[from:to], decoded, nil
+		return frames[from:to], decoded, id, nil
 	}
 	data := snap.data
-	if snap.losslessLevel > 0 || lossless.IsCompressed(data) {
+	// Deferred-lossless state is sniffed from the bytes, not the metadata
+	// level: flate-era entries carry the VSL1 block framing, while GOPs the
+	// deferred tier rewrote through the ls codec are plain containers that
+	// decode directly.
+	if lossless.IsCompressed(data) {
 		var err error
 		data, err = lossless.Decompress(data)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 	}
-	frames, _, err := codec.DecodeRange(data, from, to)
+	frames, hd, err := codec.DecodeRange(data, from, to)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, hd.Codec, err
 	}
-	return frames, 1, nil
+	return frames, 1, hd.Codec, nil
 }
 
 // executeJob is phase B: run every decode job on the worker pool, convert
@@ -879,7 +888,7 @@ func (s *Store) executeJob(ctx context.Context, job *readJob) error {
 		func(i int) error {
 			start := time.Now()
 			err := job.jobs[i].decodeResolved(dctx, snaps[i], s)
-			obs.Observe(ctx, s.pipe, obs.StageDecode, time.Since(start))
+			obs.ObserveCodec(ctx, s.pipe, obs.StageDecode, string(job.jobs[i].codecID), time.Since(start))
 			return err
 		},
 	); err != nil {
@@ -993,7 +1002,7 @@ func (s *Store) assembleCompressed(ctx context.Context, job *readJob, converted 
 	if err := s.runJobs(ctx, len(chunks), func(i int) error {
 		start := time.Now()
 		data, _, err := codec.EncodeGOP(chunks[i].frames, r.codec, r.quality)
-		obs.Observe(ctx, s.pipe, obs.StageEncode, time.Since(start))
+		obs.ObserveCodec(ctx, s.pipe, obs.StageEncode, string(r.codec), time.Since(start))
 		if err != nil {
 			return err
 		}

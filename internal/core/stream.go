@@ -303,7 +303,7 @@ func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
 			}
 			start := time.Now()
 			j.runErr = j.decodeResolved(st.ctx, snap, s)
-			obs.Observe(st.ctx, s.pipe, obs.StageDecode, time.Since(start))
+			obs.ObserveCodec(st.ctx, s.pipe, obs.StageDecode, string(j.codecID), time.Since(start))
 			<-s.workSem
 			if j.runErr == nil {
 				st.decoded.Add(int64(j.decoded))
@@ -343,7 +343,7 @@ func (st *ReadStream) produce(u *streamUnit) (*ReadBatch, error) {
 	if st.r.codec.Compressed() {
 		start := time.Now()
 		data, _, err := codec.EncodeGOP(frames, st.r.codec, st.r.quality)
-		obs.Observe(st.ctx, s.pipe, obs.StageEncode, time.Since(start))
+		obs.ObserveCodec(st.ctx, s.pipe, obs.StageEncode, string(st.r.codec), time.Since(start))
 		if err != nil {
 			return nil, err
 		}

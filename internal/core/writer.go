@@ -417,7 +417,7 @@ func (w *Writer) encodeAndCommitBuf() error {
 	w.s.workSem <- struct{}{}
 	start := time.Now()
 	data, _, err := w.enc.EncodeGOP(w.buf, w.spec.Codec, w.spec.Quality)
-	w.s.pipe.Observe(obs.StageEncode, time.Since(start))
+	w.s.pipe.ObserveCodec(obs.StageEncode, string(w.spec.Codec), time.Since(start))
 	<-w.s.workSem
 	if err != nil {
 		return err
@@ -589,7 +589,7 @@ func (p *ingestPipe) encodeWorker() {
 		p.s.workSem <- struct{}{}
 		start := time.Now()
 		data, _, err := enc.EncodeGOP(job.frames, p.spec.Codec, p.spec.Quality)
-		p.s.pipe.Observe(obs.StageEncode, time.Since(start))
+		p.s.pipe.ObserveCodec(obs.StageEncode, string(p.spec.Codec), time.Since(start))
 		<-p.s.workSem
 		p.done <- ingestResult{
 			seq:    job.seq,

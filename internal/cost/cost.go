@@ -63,6 +63,13 @@ var defaultAlphas = map[Op]float64{
 	{codec.H264, codec.HEVC}: 80,
 	{codec.HEVC, codec.H264}: 58,
 	{codec.Raw, codec.Raw}:   2,
+	// ls is flate-free both ways: encode sits well under h264 (no motion
+	// search, no deflate) and decode is comparable to the predictive
+	// decoders. Cross-codec ops involving ls fall out of calibration (or
+	// the pessimistic unknown-op fallback) rather than seeding.
+	{codec.Raw, codec.LS}: 18,
+	{codec.LS, codec.Raw}: 12,
+	{codec.LS, codec.LS}:  30,
 }
 
 // PassthroughAlpha is the per-pixel cost charged when no conversion is
@@ -105,13 +112,24 @@ func Calibrate(resolutions []CalibrationResolution, frames int) (*Model, error) 
 	}
 	m := &Model{points: make(map[Op][]point)}
 	rng := rand.New(rand.NewSource(1))
+	// The op set is registry-driven: every registered codec is measured, so
+	// a newly registered codec gets calibrated alphas with no cost-package
+	// change. Raw is measured with the rest; `compressed` drives the
+	// decode and transcode sweeps.
+	all := codec.Registered()
+	var compressed []codec.ID
+	for _, id := range all {
+		if id.Compressed() {
+			compressed = append(compressed, id)
+		}
+	}
 	for _, res := range resolutions {
 		gop := calibrationScene(rng, frames, res.W, res.H)
 		pixels := float64(res.W * res.H * frames)
 
 		encoded := make(map[codec.ID][]byte)
 		// raw -> X (encode) and encode raw passthrough.
-		for _, to := range []codec.ID{codec.H264, codec.HEVC, codec.Raw} {
+		for _, to := range all {
 			start := time.Now()
 			data, _, err := codec.EncodeGOP(gop, to, codec.DefaultQuality)
 			if err != nil {
@@ -121,7 +139,7 @@ func Calibrate(resolutions []CalibrationResolution, frames int) (*Model, error) 
 			encoded[to] = data
 		}
 		// X -> raw (decode).
-		for _, from := range []codec.ID{codec.H264, codec.HEVC} {
+		for _, from := range compressed {
 			start := time.Now()
 			if _, _, err := codec.DecodeGOP(encoded[from]); err != nil {
 				return nil, fmt.Errorf("cost: calibrate decode %v: %w", from, err)
@@ -129,8 +147,8 @@ func Calibrate(resolutions []CalibrationResolution, frames int) (*Model, error) 
 			m.observe(Op{from, codec.Raw}, pixels, float64(time.Since(start).Nanoseconds())/pixels)
 		}
 		// X -> Y (full transcode: decode + encode).
-		for _, from := range []codec.ID{codec.H264, codec.HEVC} {
-			for _, to := range []codec.ID{codec.H264, codec.HEVC} {
+		for _, from := range compressed {
+			for _, to := range compressed {
 				start := time.Now()
 				dec, _, err := codec.DecodeGOP(encoded[from])
 				if err != nil {

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/codec"
 )
 
 // MinLevel and MaxLevel bound the compression level dial, matching
@@ -81,6 +83,28 @@ func Level(block []byte) (int, error) {
 // IsCompressed reports whether data carries the lossless block framing.
 func IsCompressed(data []byte) bool {
 	return len(data) >= 13 && bytes.Equal(data[:4], magic[:])
+}
+
+// Recompress rewrites stored GOP bytes losslessly for the deferred tier.
+// When the data is a raw GOP container and the registry has a lossless
+// fast codec (ls), the GOP is re-encoded through it — the result is a
+// plain, directly-decodable GOP container with no flate on the read path.
+// Anything else (non-container data, non-raw codecs, or an ls failure)
+// falls back to the flate block framing of Compress, so callers always
+// get a decodable block and the level dial keeps meaning for the
+// fallback. Decoding is uniform either way: IsCompressed sniffs the VSL1
+// framing, and registry dispatch handles container bytes.
+func Recompress(data []byte, level int) ([]byte, error) {
+	if hd, err := codec.DecodeHeader(data); err == nil && hd.Codec == codec.Raw {
+		if c, ok := codec.Lookup(codec.LS); ok && c.Lossless(100) {
+			if frames, _, err := codec.DecodeGOP(data); err == nil {
+				if out, _, err := codec.EncodeGOP(frames, codec.LS, 100); err == nil {
+					return out, nil
+				}
+			}
+		}
+	}
+	return Compress(data, level)
 }
 
 // LevelForBudget implements the paper's budget-driven level scaling: the

@@ -300,3 +300,46 @@ func TestSlowRingConcurrent(t *testing.T) {
 		t.Fatalf("suspiciously fast trace retained: %v", got[len(got)-1].DurationMillis)
 	}
 }
+
+func TestPipelineObserveCodec(t *testing.T) {
+	p := NewPipeline()
+	p.ObserveCodec(StageDecode, "ls", 3*time.Millisecond)
+	p.ObserveCodec(StageDecode, "ls", 5*time.Millisecond)
+	p.ObserveCodec(StageDecode, "h264", 2*time.Millisecond)
+	p.ObserveCodec(StageEncode, "ls", 7*time.Millisecond)
+
+	snap := p.Snapshot()
+	// The aggregate stage totals stay complete...
+	if snap["decode"].Count != 3 || snap["decode"].TotalMillis != 10 {
+		t.Fatalf("decode aggregate = %+v", snap["decode"])
+	}
+	// ...and each codec gets its breakout row.
+	if snap["decode/ls"].Count != 2 || snap["decode/ls"].TotalMillis != 8 {
+		t.Fatalf("decode/ls = %+v", snap["decode/ls"])
+	}
+	if snap["decode/h264"].Count != 1 {
+		t.Fatalf("decode/h264 = %+v", snap["decode/h264"])
+	}
+	if snap["encode/ls"].Count != 1 {
+		t.Fatalf("encode/ls = %+v", snap["encode/ls"])
+	}
+
+	// Empty codec degrades to the aggregate only; no "decode/" row.
+	p.ObserveCodec(StageDecode, "", time.Millisecond)
+	if _, ok := p.Snapshot()["decode/"]; ok {
+		t.Fatal("empty codec created a breakout row")
+	}
+
+	// Nil pipeline and out-of-range stage are no-ops.
+	var nilP *Pipeline
+	nilP.ObserveCodec(StageDecode, "ls", time.Millisecond)
+	p.ObserveCodec(numStages, "ls", time.Millisecond)
+
+	// Package-level ObserveCodec folds into pipeline and context trace.
+	tr := StartTrace("", "read")
+	ctx := WithTrace(context.Background(), tr)
+	ObserveCodec(ctx, p, StageDecode, "raw", 4*time.Millisecond)
+	if p.Snapshot()["decode/raw"].Count != 1 {
+		t.Fatal("package ObserveCodec missed the pipeline breakout")
+	}
+}

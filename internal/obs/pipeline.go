@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -10,8 +11,17 @@ import (
 // cache admission, and response flush lands in its stage's Hist. It is
 // the source of the /metrics "pipeline" section. Nil-receiver safe, so
 // un-wired paths can observe unconditionally.
+//
+// Encode and decode additionally break out per codec: ObserveCodec folds
+// the duration into both the aggregate stage histogram and a
+// "stage/codec" histogram (e.g. "decode/ls") created on first use. The
+// codec set is open — whatever the registry serves shows up — so new
+// codecs appear in /metrics without obs changes.
 type Pipeline struct {
 	hists [numStages]Hist
+
+	mu      sync.Mutex
+	byCodec map[string]*Hist // "decode/h264" -> hist; Hist is internally atomic
 }
 
 // NewPipeline returns an empty pipeline.
@@ -23,6 +33,29 @@ func (p *Pipeline) Observe(st Stage, d time.Duration) {
 		return
 	}
 	p.hists[st].Observe(d)
+}
+
+// ObserveCodec records one stage duration attributed to a codec: the
+// aggregate stage histogram gets it (so stage totals stay complete) and
+// so does the per-codec breakout. Empty codec degrades to Observe. No-op
+// on a nil pipeline.
+func (p *Pipeline) ObserveCodec(st Stage, codec string, d time.Duration) {
+	p.Observe(st, d)
+	if p == nil || st >= numStages || codec == "" {
+		return
+	}
+	key := st.String() + "/" + codec
+	p.mu.Lock()
+	h, ok := p.byCodec[key]
+	if !ok {
+		if p.byCodec == nil {
+			p.byCodec = make(map[string]*Hist, 4)
+		}
+		h = new(Hist)
+		p.byCodec[key] = h
+	}
+	p.mu.Unlock()
+	h.Observe(d)
 }
 
 // StageStats is one stage's row in a pipeline snapshot.
@@ -37,19 +70,29 @@ type StageStats struct {
 	P99Millis   float64 `json:"p99_ms"`
 }
 
-// Snapshot returns every stage keyed by name. Unobserved stages are
-// present with zero counts, so the snapshot shape is stable.
+// Snapshot returns every stage keyed by name, plus one "stage/codec" row
+// per codec that has been observed. Unobserved stages are present with
+// zero counts, so the snapshot shape is stable; per-codec rows appear as
+// codecs are exercised (the Prometheus exposition derives metric names
+// structurally, so new rows surface without exporter changes).
 func (p *Pipeline) Snapshot() map[string]StageStats {
 	out := make(map[string]StageStats, numStages)
-	for i := range p.hists {
-		h := &p.hists[i]
-		out[Stage(i).String()] = StageStats{
+	stat := func(h *Hist) StageStats {
+		return StageStats{
 			Count:       h.Count(),
 			TotalMillis: h.TotalMillis(),
 			P50Millis:   h.QuantileMillis(0.50),
 			P99Millis:   h.QuantileMillis(0.99),
 		}
 	}
+	for i := range p.hists {
+		out[Stage(i).String()] = stat(&p.hists[i])
+	}
+	p.mu.Lock()
+	for key, h := range p.byCodec {
+		out[key] = stat(h)
+	}
+	p.mu.Unlock()
 	return out
 }
 
@@ -58,5 +101,13 @@ func (p *Pipeline) Snapshot() map[string]StageStats {
 // paths call at a stage boundary.
 func Observe(ctx context.Context, p *Pipeline, st Stage, d time.Duration) {
 	p.Observe(st, d)
+	FromContext(ctx).Observe(st, d)
+}
+
+// ObserveCodec is Observe with codec attribution: the pipeline gets the
+// per-codec breakout, the trace gets the stage total (traces are
+// per-request and stay codec-agnostic).
+func ObserveCodec(ctx context.Context, p *Pipeline, st Stage, codec string, d time.Duration) {
+	p.ObserveCodec(st, codec, d)
 	FromContext(ctx).Observe(st, d)
 }

@@ -81,6 +81,11 @@ type Config struct {
 	// (trace ID, video, status, bytes, TTFB, stage breakdown) on the
 	// default logger.
 	RequestLog bool
+	// DefaultCodec is the output codec applied to reads whose query omits
+	// codec= entirely (an explicit codec=raw still means raw). Empty means
+	// raw frames, the historical behavior. Must name a registered codec;
+	// vssd validates the flag at startup.
+	DefaultCodec vss.Codec
 }
 
 func (c Config) withDefaults() Config {
@@ -315,7 +320,10 @@ func (s *Server) handleWriteGOPs(w http.ResponseWriter, r *http.Request) {
 
 // parseReadSpec builds a vss.ReadSpec from read query parameters, plus a
 // canonical cache key suffix covering every parameter that affects bytes.
-func parseReadSpec(q map[string][]string) (vss.ReadSpec, string, error) {
+// def is the codec applied when the query has no codec= at all (the cache
+// key embeds the resolved codec, so defaulted and explicit requests for
+// the same codec share entries).
+func parseReadSpec(q map[string][]string, def vss.Codec) (vss.ReadSpec, string, error) {
 	get := func(k string) string {
 		if v, ok := q[k]; ok && len(v) > 0 {
 			return v[0]
@@ -360,7 +368,14 @@ func parseReadSpec(q map[string][]string) (vss.ReadSpec, string, error) {
 		}
 		spec.S.ROI = &r
 	}
-	if cd := get("codec"); cd != "" && cd != "raw" {
+	cd, hasCodec := "", false
+	if v, ok := q["codec"]; ok && len(v) > 0 {
+		cd, hasCodec = v[0], true
+	}
+	if !hasCodec && def != "" && def != vss.RawCodec {
+		cd = string(def)
+	}
+	if cd != "" && cd != "raw" {
 		spec.P.Codec = vss.Codec(cd)
 		// Validate here, not just in the store's resolve: the codec string
 		// is embedded in the response-cache key, and the cache is consulted
@@ -424,7 +439,7 @@ func (ro *readObs) finish() {
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now() // TTFB clock starts before admission queueing
 	name := r.PathValue("name")
-	spec, key, err := parseReadSpec(r.URL.Query())
+	spec, key, err := parseReadSpec(r.URL.Query(), s.cfg.DefaultCodec)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

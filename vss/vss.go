@@ -175,12 +175,20 @@ const (
 // Codec identifies a compression codec.
 type Codec = codec.ID
 
-// Supported codecs.
+// Supported codecs. LS is the JPEG-LS-style near-lossless codec: bit-exact
+// at quality >= 97, error-bounded below, with no flate on either path. The
+// set is open — codecs register with internal/codec's registry, and
+// CodecNames reports what this build serves.
 const (
 	RawCodec = codec.Raw
 	H264     = codec.H264
 	HEVC     = codec.HEVC
+	LS       = codec.LS
 )
+
+// CodecNames returns the registered codec names, pipe-joined (for flag
+// help strings and error messages).
+func CodecNames() string { return codec.Names() }
 
 // NewFrame allocates a zeroed frame.
 func NewFrame(w, h int, format PixelFormat) *Frame { return frame.New(w, h, format) }
