@@ -99,6 +99,8 @@ func main() {
 		runWrite(sys, args)
 	case "read":
 		runRead(sys, args)
+	case "query":
+		runQuery(sys, args)
 	case "delete":
 		runDelete(sys, args)
 	case "stat":
@@ -122,8 +124,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vssctl -store DIR [-shards N | -nodes URLS] COMMAND [flags]
        vssctl metrics|traces -addr URL
-commands: create write read delete stat compact joint maintain
+commands: create write read query delete stat compact joint maintain
           recover-catalog ls metrics traces
+
+query runs a predicate read: only GOPs whose ingest-time feature
+summaries could match are decoded, e.g.
+  vssctl -store DIR query -name traffic -where "motion > 2 and count >= 1"
 
 metrics and traces need no -store: they fetch a running daemon's
 /metrics snapshot and /debug/traces slow-trace ring over HTTP
@@ -338,6 +344,51 @@ func runRead(sys *vss.System, args []string) {
 			fatal(err)
 		}
 		fmt.Printf("dumped first frame to %s\n", *dump)
+	}
+}
+
+// runQuery executes a predicate read over the store and prints each
+// matching frame's index, timestamp, and content record, followed by the
+// planner's skip statistics.
+func runQuery(sys *vss.System, args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	name := fs.String("name", "", "video name")
+	where := fs.String("where", "", `predicate, e.g. "motion > 2 and count >= 1" or "color ~ 200,40,40 < 60"`)
+	start := fs.Float64("start", 0, "start seconds")
+	end := fs.Float64("end", 0, "end seconds (0 = video end)")
+	limit := fs.Int("limit", 20, "print at most N matches (0 = all)")
+	dump := fs.String("dump", "", "dump the first matching frame to this PGM file")
+	fs.Parse(args)
+	if *name == "" || *where == "" {
+		fatal(fmt.Errorf("query: -name and -where required"))
+	}
+	pred, err := vss.ParsePredicate(*where)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.ReadWhere(context.Background(), *name, pred, *start, *end)
+	if err != nil {
+		fatal(err)
+	}
+	for i, m := range res.Matches {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("  ... %d more\n", len(res.Matches)-i)
+			break
+		}
+		fmt.Printf("  frame %-6d t=%-8.3fs motion=%-7.3f count=%d\n",
+			m.Index, m.Time, m.Info.Motion, m.Info.Count())
+	}
+	st := res.Stats
+	fmt.Printf("query %q: %d/%d frames matched; gops considered=%d skipped=%d decoded=%d (no-summary=%d), bytes=%d\n",
+		pred, st.FramesMatched, st.FramesScanned, st.GOPsConsidered, st.GOPsSkipped, st.GOPsDecoded, st.NoSummary, st.BytesRead)
+	if *dump != "" && len(res.Matches) > 0 {
+		f := res.Matches[0].Frame.Convert(vss.Gray)
+		out := fmt.Appendf(nil, "P5\n%d %d\n255\n", f.Width, f.Height)
+		out = append(out, f.Data...)
+		if err := os.WriteFile(*dump, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dumped frame %d to %s\n", res.Matches[0].Index, *dump)
 	}
 }
 

@@ -1,23 +1,27 @@
-// Trafficmonitor runs the paper's end-to-end application (Section 6.4):
-// an intersection monitor that (i) indexes video frames containing
-// automobiles, (ii) searches the index for vehicles of a queried color,
-// and (iii) retrieves streaming clips of the matches. It runs the same
-// application against VSS and against an OpenCV-style local-filesystem
-// variant and reports per-phase timings.
+// Trafficmonitor runs the paper's end-to-end application (Section 6.4)
+// on the public VSS API: an intersection monitor that (i) finds the
+// frames containing automobiles, (ii) narrows them to vehicles of a
+// queried color, and (iii) retrieves clips around the matches.
+//
+// In the paper the application builds its own index by running a
+// detector over every decoded frame. Here phases (i) and (ii) are each
+// ONE predicate read — the per-GOP feature summaries VSS computes at
+// ingest make the storage layer answer content queries directly, and the
+// planner decodes only the GOPs whose summary bounds admit a match. The
+// same search is then repeated the old way (full scan + client-side
+// AnalyzeFrames filter) to show what the pruning buys; the two must
+// agree frame for frame.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"repro/internal/app"
-	"repro/internal/baseline"
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/frame"
 	"repro/internal/visualroad"
+	"repro/vss"
 )
 
 const (
@@ -27,83 +31,124 @@ const (
 )
 
 func main() {
-	frames := visualroad.Generate(visualroad.Config{Width: width, Height: height, FPS: fps, Seed: 7}, seconds*fps)
-	fmt.Printf("generated %d frames of synthetic intersection footage\n\n", len(frames))
-
-	runVSS(frames)
-	runFS(frames)
-}
-
-func runVSS(frames []*frame.Frame) {
 	dir, err := os.MkdirTemp("", "vss-monitor-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	s, err := core.Open(dir, core.Options{BudgetMultiple: -1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer s.Close()
-	if err := s.Create("cam", -1); err != nil {
-		log.Fatal(err)
-	}
-	if err := s.Write("cam", core.WriteSpec{FPS: fps, Codec: codec.H264, Quality: 90}, frames); err != nil {
-		log.Fatal(err)
-	}
-	m := &app.Monitor{Backend: &app.VSSBackend{Store: s}, FPS: fps, IndexEvery: 4, ThumbW: 120, ThumbH: 68}
-	phases(m, "VSS")
-}
 
-func runFS(frames []*frame.Frame) {
-	dir, err := os.MkdirTemp("", "fs-monitor-*")
+	sys, err := vss.Open(dir, vss.Options{GOPFrames: fps}) // one-second GOPs
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
-	fs, err := baseline.NewLocalFS(dir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := fs.Write("cam", frames, codec.H264, 90, 30); err != nil {
-		log.Fatal(err)
-	}
-	m := &app.Monitor{Backend: &app.FSBackend{FS: fs, FPS: fps}, FPS: fps, IndexEvery: 4, ThumbW: 120, ThumbH: 68}
-	phases(m, "Local FS (OpenCV-style variant)")
-}
+	defer sys.Close()
 
-func phases(m *app.Monitor, label string) {
+	frames := visualroad.Generate(visualroad.Config{Width: width, Height: height, FPS: fps, Seed: 7}, seconds*fps)
+	if err := sys.Create("cam", -1); err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
-	index, err := m.Index("cam")
+	if err := sys.Write("cam", vss.WriteSpec{FPS: fps, Codec: vss.H264, Quality: 90}, frames); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d frames (%.1fms) — summaries computed by the encode workers\n\n",
+		len(frames), ms(time.Since(t0)))
+
+	ctx := context.Background()
+
+	// Phase 1: index. The paper's app decodes everything and runs the
+	// detector per frame; with summaries this is a predicate read.
+	vehicles, err := vss.ParsePredicate("count >= 1")
 	if err != nil {
 		log.Fatal(err)
 	}
-	tIndex := time.Since(t0)
-
 	t0 = time.Now()
-	matches := m.Search(index, [3]float64{210, 40, 40}) // find the red car
-	tSearch := time.Since(t0)
-
-	// The search phase in the paper re-reads cached low-resolution
-	// frames; model that by repeating the thumbnail read before
-	// retrieval.
-	t0 = time.Now()
-	if _, err := m.Backend.ReadLowRes("cam", m.ThumbW, m.ThumbH); err != nil {
-		log.Fatal(err)
-	}
-	tSearch += time.Since(t0)
-
-	t0 = time.Now()
-	clips, err := m.Retrieve("cam", matches, 1.5, seconds)
+	idx, err := sys.ReadWhere(ctx, "cam", vehicles, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tStream := time.Since(t0)
+	fmt.Printf("index:  %7.1fms  %d frames with vehicles (decoded %d/%d GOPs, %d pruned)\n",
+		ms(time.Since(t0)), len(idx.Matches), idx.Stats.GOPsDecoded, idx.Stats.GOPsConsidered, idx.Stats.GOPsSkipped)
 
-	fmt.Printf("%s:\n", label)
-	fmt.Printf("  indexing:  %8.1fms (%d indexed frames with vehicles)\n", ms(tIndex), len(index))
-	fmt.Printf("  search:    %8.1fms (%d frames match 'red vehicle')\n", ms(tSearch), len(matches))
-	fmt.Printf("  streaming: %8.1fms (%d clips retrieved)\n\n", ms(tStream), len(clips))
+	// Phase 2: search. "Find the red car" is a color term; the planner
+	// prunes GOPs whose summary color histogram cannot contain it.
+	red, err := vss.ParsePredicate("count >= 1 and color ~ 210,40,40 < 60")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	hits, err := sys.ReadWhere(ctx, "cam", red, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search: %7.1fms  %d frames match 'red vehicle' (decoded %d/%d GOPs)\n",
+		ms(time.Since(t0)), len(hits.Matches), hits.Stats.GOPsDecoded, hits.Stats.GOPsConsidered)
+
+	// Phase 3: streaming retrieval — ±1.5s clips around each match,
+	// merged when they overlap, served as ordinary reads.
+	t0 = time.Now()
+	clips := clipWindows(hits.Matches, 1.5, seconds)
+	var clipFrames int
+	for _, c := range clips {
+		res, err := sys.Read("cam", vss.ReadSpec{T: vss.Temporal{Start: c[0], End: c[1]}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clipFrames += len(res.Frames)
+	}
+	fmt.Printf("clips:  %7.1fms  %d clips, %d frames retrieved\n\n", ms(time.Since(t0)), len(clips), clipFrames)
+
+	// The old way: decode the whole video and filter client-side. The
+	// matches must be identical — predicate pruning never changes
+	// results, only how many GOPs pay for them.
+	t0 = time.Now()
+	full, err := sys.Read("cam", vss.ReadSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseline []int
+	for i := 0; i < len(full.Frames); i += fps {
+		end := min(i+fps, len(full.Frames))
+		for j, fi := range vss.AnalyzeFrames(full.Frames[i:end]) {
+			if red.Match(fi) {
+				baseline = append(baseline, i+j)
+			}
+		}
+	}
+	fmt.Printf("full scan + client-side filter: %.1fms for the same %d matches\n",
+		ms(time.Since(t0)), len(baseline))
+	if len(baseline) != len(hits.Matches) {
+		log.Fatalf("parity violation: predicate read found %d matches, full scan %d", len(hits.Matches), len(baseline))
+	}
+	for i, m := range hits.Matches {
+		if m.Index != baseline[i] {
+			log.Fatalf("parity violation: match %d at frame %d, full scan says %d", i, m.Index, baseline[i])
+		}
+	}
+	fmt.Println("parity: predicate read ≡ full scan, frame for frame")
+}
+
+// clipWindows turns match times into ±pad second windows clamped to the
+// video, merging overlaps so contiguous activity becomes one clip.
+func clipWindows(matches []vss.Match, pad, duration float64) [][2]float64 {
+	var out [][2]float64
+	for _, m := range matches {
+		lo, hi := m.Time-pad, m.Time+pad
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > duration {
+			hi = duration
+		}
+		if n := len(out); n > 0 && lo <= out[n-1][1] {
+			if hi > out[n-1][1] {
+				out[n-1][1] = hi
+			}
+			continue
+		}
+		out = append(out, [2]float64{lo, hi})
+	}
+	return out
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -60,6 +60,7 @@ func Experiments() []Experiment {
 		{"io", "Cold reads by storage backend (localfs/sharded/mem, prefetch on/off)", IOExp},
 		{"degraded", "Replicated reads with a wiped shard root (healthy vs failover vs scrubbed)", DegradedExp},
 		{"cluster", "Routed reads over a vssd node fleet with one node killed (failover + journal repair)", ClusterExp},
+		{"predicate", "Predicate reads: planner pruning vs full scan + client-side filter by selectivity", PredicateExp},
 	}
 }
 

@@ -10,11 +10,12 @@ import (
 func TestExperimentRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must be present,
 	// plus the repository's own system experiments (codec, ingest,
-	// serve, streams, io, degraded, cluster).
+	// serve, streams, io, degraded, cluster, predicate).
 	want := []string{
 		"table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "table2", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"codec", "ingest", "serve", "streams", "io", "degraded", "cluster",
+		"predicate",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -352,5 +353,53 @@ func TestIDValid(t *testing.T) {
 	}
 	if Raw.Compressed() || !H264.Compressed() || !HEVC.Compressed() {
 		t.Error("Compressed() wrong")
+	}
+}
+
+// TestEncodeGOPReconMatchesDecode pins the ReconEncoder contract: the
+// reconstructed frames returned alongside the bitstream must be
+// byte-identical to decoding that bitstream, and the bitstream itself must
+// be identical to a plain EncodeGOP. The predictive profiles satisfy this
+// from their closed prediction loop; ls exercises the decode-back
+// fallback; raw exercises the lossless identity shortcut.
+func TestEncodeGOPReconMatchesDecode(t *testing.T) {
+	frames := testScene(9, 64, 48, 41)
+	for _, tc := range []struct {
+		id      ID
+		quality int
+	}{
+		{H264, 85}, {HEVC, 70}, {LS, DefaultQuality}, {Raw, 100},
+	} {
+		enc := NewEncoder()
+		plain, _, err := enc.EncodeGOP(frames, tc.id, tc.quality)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		data, recon, _, err := enc.EncodeGOPRecon(frames, tc.id, tc.quality)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		if !bytes.Equal(plain, data) {
+			t.Errorf("%s: EncodeGOPRecon bitstream differs from EncodeGOP", tc.id)
+		}
+		if len(recon) != len(frames) {
+			t.Fatalf("%s: %d recon frames, want %d", tc.id, len(recon), len(frames))
+		}
+		dec, _, err := DecodeGOP(data)
+		if err != nil {
+			t.Fatalf("%s: decode back: %v", tc.id, err)
+		}
+		for i := range dec {
+			want := dec[i]
+			got := recon[i]
+			// Lossless codecs may return the inputs themselves; compare in
+			// the stored pixel format either way.
+			if got.Format != want.Format {
+				got = got.Convert(want.Format)
+			}
+			if !bytes.Equal(got.Data, want.Data) {
+				t.Errorf("%s: recon frame %d differs from decoded frame", tc.id, i)
+			}
+		}
 	}
 }

@@ -85,22 +85,74 @@ func (e *Encoder) Scratch(id ID, mk func() any) any {
 // dimensions and format, quality clamping) happens here; the registered
 // codec does the rest.
 func (e *Encoder) EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byte, Stats, error) {
-	var st Stats
+	c, quality, err := validateGOP(frames, codec, quality)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return c.EncodeGOP(e, frames, quality)
+}
+
+// ReconEncoder is an optional Codec extension. A codec whose encoder runs
+// a closed prediction loop (reconstructing each frame exactly as the
+// decoder will, to predict the next from decoded state rather than pristine
+// input) already holds the decoder-identical frames when EncodeGOP
+// returns; implementing ReconEncoder hands them to the caller instead of
+// throwing them away. Ingest-time summarization uses this to analyze the
+// exact pixels a later read will decode without paying a decode-back pass.
+type ReconEncoder interface {
+	// EncodeGOPRecon is EncodeGOP plus the reconstructed frames, one per
+	// input frame, byte-identical to what DecodeGOP of the returned data
+	// produces.
+	EncodeGOPRecon(e *Encoder, frames []*frame.Frame, quality int) ([]byte, []*frame.Frame, Stats, error)
+}
+
+// EncodeGOPRecon encodes one GOP and also returns the reconstructed frames
+// a decoder would produce from the encoded bytes. Codecs that implement
+// ReconEncoder supply them from the encoder's own prediction loop; for a
+// codec that is lossless at this quality the inputs round-trip bit-exactly
+// and are returned as-is; anything else pays an explicit decode-back. A nil
+// reconstruction with a nil error means the encode succeeded but the
+// decode-back failed — callers treat the GOP as unanalyzable, not invalid.
+func (e *Encoder) EncodeGOPRecon(frames []*frame.Frame, codec ID, quality int) ([]byte, []*frame.Frame, Stats, error) {
+	c, quality, err := validateGOP(frames, codec, quality)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	if rc, ok := c.(ReconEncoder); ok {
+		return rc.EncodeGOPRecon(e, frames, quality)
+	}
+	data, st, err := c.EncodeGOP(e, frames, quality)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	if c.Lossless(quality) {
+		return data, frames, st, nil
+	}
+	recon, _, err := DecodeGOP(data)
+	if err != nil {
+		return data, nil, st, nil
+	}
+	return data, recon, st, nil
+}
+
+// validateGOP performs the shared pre-encode checks: non-empty GOP,
+// uniform dimensions and format, known codec, quality clamped to [1,100].
+func validateGOP(frames []*frame.Frame, codec ID, quality int) (Codec, int, error) {
 	if len(frames) == 0 {
-		return nil, st, fmt.Errorf("codec: empty GOP")
+		return nil, 0, fmt.Errorf("codec: empty GOP")
 	}
 	c, ok := Lookup(codec)
 	if !ok {
-		return nil, st, fmt.Errorf("codec: %q: %w", codec, ErrUnknownCodec)
+		return nil, 0, fmt.Errorf("codec: %q: %w", codec, ErrUnknownCodec)
 	}
 	w, h := frames[0].Width, frames[0].Height
 	fmt0 := frames[0].Format
 	for i, f := range frames {
 		if f.Width != w || f.Height != h {
-			return nil, st, fmt.Errorf("codec: frame %d dimensions %dx%d differ from %dx%d", i, f.Width, f.Height, w, h)
+			return nil, 0, fmt.Errorf("codec: frame %d dimensions %dx%d differ from %dx%d", i, f.Width, f.Height, w, h)
 		}
 		if f.Format != fmt0 {
-			return nil, st, fmt.Errorf("codec: frame %d format %v differs from %v", i, f.Format, fmt0)
+			return nil, 0, fmt.Errorf("codec: frame %d format %v differs from %v", i, f.Format, fmt0)
 		}
 	}
 	if quality < 1 {
@@ -109,7 +161,7 @@ func (e *Encoder) EncodeGOP(frames []*frame.Frame, codec ID, quality int) ([]byt
 	if quality > 100 {
 		quality = 100
 	}
-	return c.EncodeGOP(e, frames, quality)
+	return c, quality, nil
 }
 
 // sizePlanes shapes a reconstruction plane triple for a w x h YUV420 frame,
@@ -149,7 +201,8 @@ func (c lossyCodec) Lossless(quality int) bool { return false }
 // lossyScratch is the per-Encoder scratch of the predictive profiles: the
 // deflate compressor (by far the largest allocation), the per-frame
 // residual/MV stream, the deflate output buffer, ping-pong reconstruction
-// planes, the motion vector table, and a YUV conversion frame.
+// planes, the motion vector table, a YUV conversion frame, and the
+// quantizer table.
 type lossyScratch struct {
 	zw      *flate.Writer
 	zwLevel int
@@ -158,6 +211,30 @@ type lossyScratch struct {
 	rec     [2][3]plane  // ping-pong reconstructed frames (decoder mirror)
 	mvs     []mv         // per-frame motion vector table
 	yuv     *frame.Frame // pixel format conversion scratch
+	qt      quantTab     // residual quantization lookup
+}
+
+// quantTab tabulates quantize(r, q) and its dequantized reconstruction
+// delta for every residual r in [-255, 255], replacing two integer
+// divisions per sample in the encode inner loops with array lookups. The
+// entries are exactly quantize's results, so encoded bytes are unchanged.
+type quantTab struct {
+	q  int // the step the tables were built for (0 = unbuilt)
+	qr [511]int16
+	rq [511]int16
+}
+
+// build (re)fills the tables for quantization step q.
+func (t *quantTab) build(q int) {
+	if t.q == q {
+		return
+	}
+	t.q = q
+	for r := -255; r <= 255; r++ {
+		qr := quantize(r, q)
+		t.qr[r+255] = int16(qr)
+		t.rq[r+255] = int16(qr * q)
+	}
 }
 
 // deflate compresses one frame's stream into a fresh exactly-sized payload,
@@ -189,17 +266,35 @@ func (s *lossyScratch) deflate(stream []byte, level int) ([]byte, error) {
 // guarantees this; synthetic generators emit even sizes, as real camera
 // pipelines do).
 func (c lossyCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([]byte, Stats, error) {
+	data, _, st, err := c.encode(e, frames, quality, false)
+	return data, st, err
+}
+
+// EncodeGOPRecon implements ReconEncoder: the prediction loop is closed
+// (every frame is encoded against reconstructed, not pristine, reference
+// planes), so the reconstructions the loop maintains ARE the decoder's
+// output and capturing them costs one plane copy per frame.
+func (c lossyCodec) EncodeGOPRecon(e *Encoder, frames []*frame.Frame, quality int) ([]byte, []*frame.Frame, Stats, error) {
+	return c.encode(e, frames, quality, true)
+}
+
+func (c lossyCodec) encode(e *Encoder, frames []*frame.Frame, quality int, capture bool) ([]byte, []*frame.Frame, Stats, error) {
 	var st Stats
 	w, h := frames[0].Width, frames[0].Height
 	if w%2 != 0 || h%2 != 0 {
-		return nil, st, fmt.Errorf("codec: %s requires even dimensions, got %dx%d", c.id, w, h)
+		return nil, nil, st, fmt.Errorf("codec: %s requires even dimensions, got %dx%d", c.id, w, h)
 	}
 	sc := e.Scratch(c.id, func() any { return new(lossyScratch) }).(*lossyScratch)
 	prof := c.prof
 	q := quantizer(quality)
+	sc.qt.build(q)
 
 	types := make([]FrameType, len(frames))
 	payloads := make([][]byte, len(frames))
+	var recon []*frame.Frame
+	if capture {
+		recon = make([]*frame.Frame, len(frames))
+	}
 
 	for i, f := range frames {
 		src := f
@@ -217,7 +312,7 @@ func (c lossyCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([
 			types[i] = IFrame
 			st.IFrames++
 			for p := 0; p < 3; p++ {
-				stream = encodeIntraPlane(stream, planes[p], q, prof.intra2D, cur[p])
+				stream = encodeIntraPlane(stream, planes[p], &sc.qt, prof.intra2D, cur[p])
 			}
 		} else {
 			types[i] = PFrame
@@ -233,21 +328,28 @@ func (c lossyCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([
 					bs /= 2
 					scale = 2
 				}
-				stream = encodeInterPlane(stream, planes[p], prev[p], sc.mvs, bs, scale, q, cur[p])
+				stream = encodeInterPlane(stream, planes[p], prev[p], sc.mvs, bs, scale, &sc.qt, cur[p])
 			}
 		}
 		sc.stream = stream // keep the grown buffer for the next frame
 		payload, err := sc.deflate(stream, prof.flateLevel)
 		if err != nil {
-			return nil, st, err
+			return nil, nil, st, err
 		}
 		payloads[i] = payload
+		if capture {
+			rf := frame.New(w, h, frame.YUV420)
+			n := copy(rf.Data, cur[0].pix)
+			n += copy(rf.Data[n:], cur[1].pix)
+			copy(rf.Data[n:], cur[2].pix)
+			recon[i] = rf
+		}
 	}
 
 	data := writeContainer(c.id, frame.YUV420, quality, w, h, types, payloads)
 	st.Bytes = len(data)
 	st.BitsPerPixel = float64(len(data)) * 8 / float64(w*h*len(frames))
-	return data, st, nil
+	return data, recon, st, nil
 }
 
 // encodeIntraPlane codes a plane with spatial DPCM prediction: each sample
@@ -255,15 +357,14 @@ func (c lossyCodec) EncodeGOP(e *Encoder, frames []*frame.Frame, quality int) ([
 // average of left and top (hevc profile), quantized, and entropy coded.
 // Residuals append to dst; the reconstruction the next frame predicts from
 // is written into rec, which must already have the plane's dimensions.
-func encodeIntraPlane(dst []byte, p plane, q int, intra2D bool, rec plane) []byte {
+func encodeIntraPlane(dst []byte, p plane, qt *quantTab, intra2D bool, rec plane) []byte {
 	for y := 0; y < p.h; y++ {
 		row := y * p.w
 		for x := 0; x < p.w; x++ {
 			pred := intraPredict(rec, x, y, intra2D)
 			r := int(p.pix[row+x]) - pred
-			qr := quantize(r, q)
-			dst = zigzagAppend(dst, qr)
-			rec.pix[row+x] = clampU8(pred + qr*q)
+			dst = zigzagAppend(dst, int(qt.qr[r+255]))
+			rec.pix[row+x] = clampU8(pred + int(qt.rq[r+255]))
 		}
 	}
 	return dst
@@ -294,7 +395,7 @@ func intraPredict(rec plane, x, y int, intra2D bool) int {
 // encodeInterPlane codes a plane against the previous reconstructed plane
 // using per-block motion vectors (scaled down by `scale` for chroma).
 // Residuals append to dst; the reconstruction is written into rec.
-func encodeInterPlane(dst []byte, p, ref plane, mvs []mv, bs, scale, q int, rec plane) []byte {
+func encodeInterPlane(dst []byte, p, ref plane, mvs []mv, bs, scale int, qt *quantTab, rec plane) []byte {
 	bw := (p.w + bs - 1) / bs
 	for y := 0; y < p.h; y++ {
 		row := y * p.w
@@ -303,9 +404,8 @@ func encodeInterPlane(dst []byte, p, ref plane, mvs []mv, bs, scale, q int, rec 
 			m := mvs[by*bw+x/bs]
 			pred := refSample(ref, x+m.dx/scale, y+m.dy/scale)
 			r := int(p.pix[row+x]) - pred
-			qr := quantize(r, q)
-			dst = zigzagAppend(dst, qr)
-			rec.pix[row+x] = clampU8(pred + qr*q)
+			dst = zigzagAppend(dst, int(qt.qr[r+255]))
+			rec.pix[row+x] = clampU8(pred + int(qt.rq[r+255]))
 		}
 	}
 	return dst

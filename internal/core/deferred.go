@@ -112,6 +112,60 @@ func (s *Store) compressOneLocked(vs *videoState, level int) (bool, error) {
 	return true, s.savePhys(v.Name, c.phys)
 }
 
+// backfillBudget bounds how many GOPs one Maintain pass summarizes per
+// video: the pass holds the video's lock, so backfilling a large
+// pre-summary store must stay incremental rather than stall readers for
+// one long pass.
+const backfillBudget = 16
+
+// backfillSummariesLocked computes feature summaries for original GOPs
+// that lack one — stores written before summaries existed, ingest
+// decode-back failures, and GOPs whose summaries were invalidated by
+// joint compression or duplicate elision. Each GOP is decoded through
+// the same snapshot machinery predicate reads use (eagerly, under the
+// held lock — the compressOneLocked idiom: CPU work runs under the video
+// lock and never touches workSem, which a lock-holder must not acquire),
+// so the recomputed bounds are exact over the reconstructed pixels
+// queries decode. GOPs whose references escape this video (cross-video
+// joint partners or duplicate targets) are skipped and stay summaryless:
+// predicate reads keep decoding them conservatively. Caller holds the
+// video's lock.
+func (s *Store) backfillSummariesLocked(vs *videoState) error {
+	if s.opts.DisableSummaries {
+		return nil
+	}
+	p := vs.original()
+	if p == nil {
+		return nil
+	}
+	held := map[string]*videoState{vs.meta.Name: vs}
+	filled := 0
+	for i := range p.GOPs {
+		if filled >= backfillBudget {
+			break
+		}
+		g := &p.GOPs[i]
+		if g.Summary != nil {
+			continue
+		}
+		c := &snapCollector{ctx: context.Background(), stats: &ReadStats{}, eager: true}
+		snap, err := s.snapshotGOP(held, vs, p, g, c)
+		if err != nil {
+			continue
+		}
+		frames, _, _, err := decodeSnap(snap, 0, -1)
+		if err != nil {
+			continue
+		}
+		g.Summary = summarizeFrames(frames)
+		filled++
+	}
+	if filled == 0 {
+		return nil
+	}
+	return s.savePhys(vs.meta.Name, p)
+}
+
 // tempSweepAge is how old a crash-orphaned write temp must be before
 // maintenance reclaims it. Live atomicWrite temps exist for
 // milliseconds; an hour leaves a colossal safety margin while still
@@ -142,8 +196,10 @@ func (s *Store) Maintain() error {
 			if err := s.deferredPressureLocked(vs); err != nil {
 				return err
 			}
-			_, err := s.compactLocked(vs)
-			return err
+			if _, err := s.compactLocked(vs); err != nil {
+				return err
+			}
+			return s.backfillSummariesLocked(vs)
 		}()
 		if err != nil {
 			return err

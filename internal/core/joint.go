@@ -204,6 +204,10 @@ func (s *Store) markDuplicateHeld(pair *jointPair, left GOPRef) (JointResult, er
 	}
 	pair.gR.DupOf = &left
 	pair.gR.Bytes = 0
+	// The right GOP now decodes to the LEFT GOP's pixels; its summary no
+	// longer describes what a predicate read would scan. Maintain backfills
+	// a fresh one from the deduplicated bytes.
+	pair.gR.Summary = nil
 	res.BytesAfter = pair.gL.Bytes
 	res.Compressed = true
 	res.LeftPSNR = quality.InfPSNR
@@ -343,6 +347,11 @@ func (s *Store) compressPairWithH(pair *jointPair, h vision.Homography, merge Me
 	pair.gR.Joint = &GOPJoint{Role: "right", Partner: leftRef, H: h, SplitL: xf, SplitR: xg, Merge: string(merge)}
 	pair.gL.Bytes = int64(len(leftFile))
 	pair.gR.Bytes = int64(len(rightFile))
+	// Joint reconstruction changes both GOPs' decoded pixels (merged
+	// overlap, re-encode), so the ingest-time summaries are no longer
+	// sound bounds; drop them and let Maintain backfill.
+	pair.gL.Summary = nil
+	pair.gR.Summary = nil
 	if err := s.savePhys(pair.vL.Name, pair.pL); err != nil {
 		return res, err
 	}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements the predicate language of predicate reads — the
+// paper's "frames with motion > t over [t0,t1]" analytics queries as a
+// first-class read mode. A predicate has two evaluations:
+//
+//   - Match(FrameInfo): the exact per-frame truth, applied to every
+//     frame of every decoded candidate GOP.
+//   - CanMatch(*GOPSummary): a sound GOP-level over-approximation
+//     consulted by the query planner. CanMatch returns false only when
+//     the summary bounds PROVE no frame of the GOP can satisfy the
+//     predicate; a nil summary always reports true (conservative full
+//     decode).
+//
+// Grammar (keywords case-insensitive; `and` binds tighter than `or`):
+//
+//	pred  := or
+//	or    := and { "or" and }
+//	and   := term { "and" term }
+//	term  := "(" pred ")" | cmp
+//	cmp   := "motion" relop number
+//	       | "count"  relop number
+//	       | "color" "~" r "," g "," b [ "<" distance ]
+//	relop := "<" | "<=" | ">" | ">=" | "=" | "=="
+//
+// A color term matches a frame containing at least one detection whose
+// dominant color lies within Euclidean distance `distance` (default 50,
+// the application-level match threshold) of the queried RGB color.
+//
+// String renders the canonical form, and ParsePredicate(p.String())
+// reproduces p exactly — the round-trip the wire protocol, the response
+// cache key, and FuzzPredicateParse all rely on.
+
+// Predicate is a content predicate over video frames. Implementations
+// form a closed set (comparisons plus and/or); build one with
+// ParsePredicate.
+type Predicate interface {
+	// Match reports the exact per-frame truth.
+	Match(fi FrameInfo) bool
+	// CanMatch reports whether any frame of a GOP with this summary
+	// could satisfy the predicate. A false result is a proof; nil is
+	// always true.
+	CanMatch(s *GOPSummary) bool
+	// String renders the canonical form ParsePredicate accepts.
+	String() string
+
+	// isPredicate keeps the implementation set closed: CanMatch
+	// soundness is an invariant of this package, not something callers
+	// can extend.
+	isPredicate()
+}
+
+// relop is a comparison operator.
+type relop int
+
+const (
+	opLT relop = iota
+	opLE
+	opGT
+	opGE
+	opEQ
+)
+
+func (o relop) String() string {
+	return [...]string{"<", "<=", ">", ">=", "="}[o]
+}
+
+// cmp applies the operator to a measured value.
+func (o relop) cmp(v, bound float64) bool {
+	switch o {
+	case opLT:
+		return v < bound
+	case opLE:
+		return v <= bound
+	case opGT:
+		return v > bound
+	case opGE:
+		return v >= bound
+	default:
+		return v == bound
+	}
+}
+
+// rangeCanMatch reports whether any value in [lo, hi] satisfies `x op
+// bound` — the interval test all scalar summary bounds prune through.
+func (o relop) rangeCanMatch(lo, hi, bound float64) bool {
+	switch o {
+	case opLT:
+		return lo < bound
+	case opLE:
+		return lo <= bound
+	case opGT:
+		return hi > bound
+	case opGE:
+		return hi >= bound
+	default:
+		return lo <= bound && bound <= hi
+	}
+}
+
+// motionPred is `motion relop v`.
+type motionPred struct {
+	op relop
+	v  float64
+}
+
+func (p motionPred) Match(fi FrameInfo) bool { return p.op.cmp(fi.Motion, p.v) }
+func (p motionPred) CanMatch(s *GOPSummary) bool {
+	return s == nil || p.op.rangeCanMatch(s.MinMotion, s.MaxMotion, p.v)
+}
+func (p motionPred) String() string {
+	return fmt.Sprintf("motion %s %s", p.op, formatNum(p.v))
+}
+func (p motionPred) isPredicate() {}
+
+// countPred is `count relop v`.
+type countPred struct {
+	op relop
+	v  float64
+}
+
+func (p countPred) Match(fi FrameInfo) bool { return p.op.cmp(float64(fi.Count()), p.v) }
+func (p countPred) CanMatch(s *GOPSummary) bool {
+	return s == nil || p.op.rangeCanMatch(float64(s.MinCount), float64(s.MaxCount), p.v)
+}
+func (p countPred) String() string {
+	return fmt.Sprintf("count %s %s", p.op, formatNum(p.v))
+}
+func (p countPred) isPredicate() {}
+
+// defaultColorDistance is the match threshold when a color term omits
+// `< distance` — the same cutoff the traffic-monitor application uses.
+const defaultColorDistance = 50
+
+// colorPred is `color ~ r,g,b < dist`: some detection within dist.
+type colorPred struct {
+	rgb  [3]float64
+	dist float64
+}
+
+func (p colorPred) Match(fi FrameInfo) bool {
+	for _, d := range fi.Detections {
+		if ColorDistance(d.Color, p.rgb) <= p.dist {
+			return true
+		}
+	}
+	return false
+}
+
+func (p colorPred) CanMatch(s *GOPSummary) bool {
+	if s == nil {
+		return true
+	}
+	if s.MaxCount == 0 {
+		return false // no detections anywhere in the GOP
+	}
+	// Any occupied histogram cell whose nearest point is within range
+	// may hold a matching detection. cellMinDistance lower-bounds the
+	// true distance, so skipping requires every cell to be provably out
+	// of range.
+	for bits, cell := s.ColorBits, uint(0); bits != 0; bits, cell = bits>>1, cell+1 {
+		if bits&1 != 0 && cellMinDistance(cell, p.rgb) <= p.dist {
+			return true
+		}
+	}
+	return false
+}
+
+func (p colorPred) String() string {
+	return fmt.Sprintf("color ~ %s,%s,%s < %s",
+		formatNum(p.rgb[0]), formatNum(p.rgb[1]), formatNum(p.rgb[2]), formatNum(p.dist))
+}
+func (p colorPred) isPredicate() {}
+
+// andPred / orPred combine predicates. Both prune soundly: a conjunction
+// cannot match a GOP where either side cannot; a disjunction cannot
+// match only where neither side can.
+type andPred struct{ l, r Predicate }
+
+func (p andPred) Match(fi FrameInfo) bool     { return p.l.Match(fi) && p.r.Match(fi) }
+func (p andPred) CanMatch(s *GOPSummary) bool { return p.l.CanMatch(s) && p.r.CanMatch(s) }
+func (p andPred) String() string {
+	return fmt.Sprintf("%s and %s", parenOr(p.l), parenOr(p.r))
+}
+func (p andPred) isPredicate() {}
+
+type orPred struct{ l, r Predicate }
+
+func (p orPred) Match(fi FrameInfo) bool     { return p.l.Match(fi) || p.r.Match(fi) }
+func (p orPred) CanMatch(s *GOPSummary) bool { return p.l.CanMatch(s) || p.r.CanMatch(s) }
+func (p orPred) String() string              { return fmt.Sprintf("%s or %s", p.l, p.r) }
+func (p orPred) isPredicate()                {}
+
+// parenOr parenthesizes or-children of an and, preserving precedence in
+// the canonical form.
+func parenOr(p Predicate) string {
+	if _, ok := p.(orPred); ok {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// formatNum renders a number with the shortest exact representation, so
+// canonical forms round-trip through the parser bit-for-bit.
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParsePredicate parses the predicate language. It never panics on any
+// input (FuzzPredicateParse pins this), and for every predicate p it
+// returns, ParsePredicate(p.String()) reproduces p.
+func ParsePredicate(s string) (Predicate, error) {
+	p := &predParser{toks: tokenizePred(s)}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok != "" {
+		return nil, fmt.Errorf("core: unexpected %q after predicate", tok)
+	}
+	return pred, nil
+}
+
+// tokenizePred splits the input into keywords, operators, and numbers.
+func tokenizePred(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '~':
+			toks = append(toks, string(c))
+			i++
+		case c == '<' || c == '>' || c == '=':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n\r(),~<>=", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type predParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *predParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *predParser) next() string {
+	tok := p.peek()
+	if tok != "" {
+		p.pos++
+	}
+	return tok
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orPred{left, right}
+	}
+	return left, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = andPred{left, right}
+	}
+	return left, nil
+}
+
+func (p *predParser) parseTerm() (Predicate, error) {
+	switch tok := p.next(); {
+	case tok == "(":
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("core: missing ')' in predicate")
+		}
+		return pred, nil
+	case strings.EqualFold(tok, "motion"):
+		op, v, err := p.parseCmpTail("motion")
+		if err != nil {
+			return nil, err
+		}
+		return motionPred{op, v}, nil
+	case strings.EqualFold(tok, "count"):
+		op, v, err := p.parseCmpTail("count")
+		if err != nil {
+			return nil, err
+		}
+		return countPred{op, v}, nil
+	case strings.EqualFold(tok, "color"):
+		return p.parseColorTail()
+	case tok == "":
+		return nil, fmt.Errorf("core: empty predicate")
+	default:
+		return nil, fmt.Errorf("core: unexpected %q in predicate (want motion, count, color, or '(')", tok)
+	}
+}
+
+func (p *predParser) parseCmpTail(field string) (relop, float64, error) {
+	op, err := parseRelop(p.next())
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: %s: %w", field, err)
+	}
+	v, err := p.parseNumber(field)
+	if err != nil {
+		return 0, 0, err
+	}
+	return op, v, nil
+}
+
+func (p *predParser) parseColorTail() (Predicate, error) {
+	if p.next() != "~" {
+		return nil, fmt.Errorf("core: color requires '~ r,g,b'")
+	}
+	var rgb [3]float64
+	for ch := 0; ch < 3; ch++ {
+		if ch > 0 {
+			if p.next() != "," {
+				return nil, fmt.Errorf("core: color requires three comma-separated channels")
+			}
+		}
+		v, err := p.parseNumber("color")
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("core: color channel %v out of range [0,255]", v)
+		}
+		rgb[ch] = v
+	}
+	dist := float64(defaultColorDistance)
+	if p.peek() == "<" {
+		p.next()
+		v, err := p.parseNumber("color distance")
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative color distance")
+		}
+		dist = v
+	}
+	return colorPred{rgb: rgb, dist: dist}, nil
+}
+
+func (p *predParser) parseNumber(field string) (float64, error) {
+	tok := p.next()
+	if tok == "" {
+		return 0, fmt.Errorf("core: %s: missing number", field)
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("core: %s: bad number %q", field, tok)
+	}
+	return v, nil
+}
+
+func parseRelop(tok string) (relop, error) {
+	switch tok {
+	case "<":
+		return opLT, nil
+	case "<=":
+		return opLE, nil
+	case ">":
+		return opGT, nil
+	case ">=":
+		return opGE, nil
+	case "=", "==":
+		return opEQ, nil
+	default:
+		return 0, fmt.Errorf("core: bad comparison operator %q", tok)
+	}
+}

@@ -95,6 +95,15 @@ type Options struct {
 	// admit: holding decoded frames is what streaming exists to avoid.
 	StreamAdmitBytes int64
 
+	// DisableSummaries turns off per-GOP feature summarization entirely
+	// — at ingest and during Maintain backfill. Predicate reads still
+	// work — every GOP is decoded conservatively, as on a pre-summary
+	// store — but the planner can no longer skip non-matching GOPs.
+	// Escape hatch for ingest paths where any analysis cost matters more
+	// than query speed. (Uncompressed ingest already defers
+	// summarization to Maintain on its own; see encodeForIngest.)
+	DisableSummaries bool
+
 	// GreedyPlanner selects the dependency-naive greedy baseline instead
 	// of the solver (Section 6.1 comparison).
 	GreedyPlanner bool

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/visualroad"
+)
+
+// BenchmarkSummarizeGOP measures ingest-time summarization of one GOP of
+// a busy synthetic scene — the per-GOP cost every write with summaries
+// enabled pays on top of encoding.
+func BenchmarkSummarizeGOP(b *testing.B) {
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: 8, Seed: 11, Vehicles: 6}, 8)
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f.Data))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if summarizeFrames(frames) == nil {
+			b.Fatal("nil summary")
+		}
+	}
+}

@@ -153,6 +153,12 @@ type GOPMeta struct {
 	LRU        int64     `json:"lru"`                // last-use tick
 	Joint      *GOPJoint `json:"joint,omitempty"`
 	DupOf      *GOPRef   `json:"dup_of,omitempty"` // near-identical duplicate pointer
+	// Summary is the GOP's feature summary for predicate-read planning
+	// (summary.go). nil means unknown — pre-summary stores, decode-back
+	// failures, or GOPs whose decoded bytes were changed by joint
+	// compression or duplicate elision; predicate reads decode such GOPs
+	// conservatively and Maintain backfills them.
+	Summary *GOPSummary `json:"summary,omitempty"`
 }
 
 // PhysMeta is the catalog record for a physical video (materialized view).

@@ -233,8 +233,40 @@ func (s *Store) ensureOriginalLocked(vs *videoState, spec WriteSpec, w, h int, p
 
 // encodedGOP is one encoded GOP awaiting commit.
 type encodedGOP struct {
-	data   []byte
-	frames int
+	data    []byte
+	frames  int
+	summary *GOPSummary // feature summary for predicate planning; may be nil
+}
+
+// encodeForIngest encodes one GOP and, unless summaries are disabled,
+// computes its feature summary from the encoder's reconstructed frames —
+// the exact pixels a predicate read will decode (codec.EncodeGOPRecon
+// captures them from the closed prediction loop, so no decode-back pass
+// is paid). A nil reconstruction leaves the GOP summaryless and predicate
+// reads decode it conservatively. CPU-heavy; callers run it under a
+// workSem slot.
+//
+// Uncompressed (raw) ingest skips inline summarization: raw writes are
+// the high-rate capture path — storing bytes at memory speed, thousands
+// of fps — and per-frame content analysis would dominate them, exactly
+// the work-at-ingest the deferred machinery exists to avoid. Raw GOPs
+// stay summaryless (predicate reads decode them, still correct) until
+// the next Maintain pass backfills their summaries. Compressed ingest
+// summarizes inline, where analysis amortizes against encode cost and
+// the reconstruction is free.
+func encodeForIngest(s *Store, enc *codec.Encoder, spec WriteSpec, frames []*frame.Frame) ([]byte, *GOPSummary, error) {
+	start := time.Now()
+	if s.opts.DisableSummaries || !spec.Codec.Compressed() {
+		data, _, err := enc.EncodeGOP(frames, spec.Codec, spec.Quality)
+		s.pipe.ObserveCodec(obs.StageEncode, string(spec.Codec), time.Since(start))
+		return data, nil, err
+	}
+	data, recon, _, err := enc.EncodeGOPRecon(frames, spec.Codec, spec.Quality)
+	s.pipe.ObserveCodec(obs.StageEncode, string(spec.Codec), time.Since(start))
+	if err != nil || recon == nil {
+		return data, nil, err
+	}
+	return data, summarizeFrames(recon), nil
 }
 
 // appendGOPLocked persists one encoded GOP and registers it. Caller holds
@@ -276,6 +308,7 @@ func (s *Store) appendGOPBatchLocked(vs *videoState, p *PhysMeta, batch []encode
 			Frames:     g.frames,
 			Bytes:      int64(len(g.data)),
 			LRU:        s.tick(v),
+			Summary:    g.summary,
 		})
 		appended++
 	}
@@ -415,16 +448,14 @@ func (w *Writer) encodeAndCommitBuf() error {
 		w.enc = codec.NewEncoder()
 	}
 	w.s.workSem <- struct{}{}
-	start := time.Now()
-	data, _, err := w.enc.EncodeGOP(w.buf, w.spec.Codec, w.spec.Quality)
-	w.s.pipe.ObserveCodec(obs.StageEncode, string(w.spec.Codec), time.Since(start))
+	data, sum, err := encodeForIngest(w.s, w.enc, w.spec, w.buf)
 	<-w.s.workSem
 	if err != nil {
 		return err
 	}
 	n := len(w.buf)
 	w.buf = w.buf[:0]
-	return w.s.commitGOPs(w.video, w.phys, []encodedGOP{{data: data, frames: n}})
+	return w.s.commitGOPs(w.video, w.phys, []encodedGOP{{data: data, frames: n, summary: sum}})
 }
 
 // pipelineErr reports the pipeline's first error, if any, without waiting.
@@ -587,13 +618,11 @@ func (p *ingestPipe) encodeWorker() {
 	enc := codec.NewEncoder()
 	for job := range p.jobs {
 		p.s.workSem <- struct{}{}
-		start := time.Now()
-		data, _, err := enc.EncodeGOP(job.frames, p.spec.Codec, p.spec.Quality)
-		p.s.pipe.ObserveCodec(obs.StageEncode, string(p.spec.Codec), time.Since(start))
+		data, sum, err := encodeForIngest(p.s, enc, p.spec, job.frames)
 		<-p.s.workSem
 		p.done <- ingestResult{
 			seq:    job.seq,
-			gop:    encodedGOP{data: data, frames: len(job.frames)},
+			gop:    encodedGOP{data: data, frames: len(job.frames), summary: sum},
 			err:    err,
 			permit: true,
 		}

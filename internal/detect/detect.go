@@ -7,8 +7,10 @@
 package detect
 
 import (
+	"encoding/binary"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/frame"
 	"repro/internal/visualroad"
@@ -29,6 +31,29 @@ const (
 	maxAspect = 6.0
 )
 
+// detectScratch holds the per-call mask, candidate, and flood-fill
+// buffers. Ingest summarization runs the detector on every frame written,
+// so these are pooled instead of reallocated per frame. The mask needs no
+// clearing between frames: it starts zeroed, the scan loop sets only
+// matched pixels, and the flood fill consumes every one of them (each
+// candidate is either a blob seed or swallowed by an earlier blob), so
+// the mask is all-false again when Vehicles returns.
+type detectScratch struct {
+	mask  []bool
+	cand  []int32
+	stack []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(detectScratch) }}
+
+// grab returns a mask buffer of at least n entries (contents arbitrary).
+func (s *detectScratch) grab(n int) {
+	if cap(s.mask) < n {
+		s.mask = make([]bool, n)
+	}
+	s.mask = s.mask[:n]
+}
+
 // Vehicles detects vehicle-colored blobs in an RGB frame via palette
 // matching and connected components.
 func Vehicles(f *frame.Frame) []Detection {
@@ -37,30 +62,55 @@ func Vehicles(f *frame.Frame) []Detection {
 		src = f.Convert(frame.RGB)
 	}
 	w, h := src.Width, src.Height
-	mask := make([]bool, w*h)
-	for i := 0; i < w*h; i++ {
-		r := int(src.Data[i*3])
-		g := int(src.Data[i*3+1])
-		b := int(src.Data[i*3+2])
-		if isVehicleColor(r, g, b) {
+	lutOnce.Do(buildVehicleLUT)
+	sc := scratchPool.Get().(*detectScratch)
+	defer scratchPool.Put(sc)
+	sc.grab(w * h)
+	mask := sc.mask
+	data := src.Data[: 3*w*h : 3*w*h]
+	cand := sc.cand[:0] // indices of matched pixels, ascending
+	// One 4-byte load per pixel (the classification is the ingest hot
+	// loop); the LUT index folds the three channel shifts into shift-mask
+	// arithmetic on the loaded word. The last pixel has no 4th byte to
+	// over-read, so it takes the byte-wise tail below.
+	i, j := 0, 0
+	for ; j+4 <= len(data); i, j = i+1, j+3 {
+		x := binary.LittleEndian.Uint32(data[j:])
+		v := vehicleLUT[(x&0xF8)<<7|(x>>6)&0x3E0|(x>>19)&0x1F]
+		if v != lutOut && (v == lutIn || isVehicleColor(int(x&0xFF), int(x>>8&0xFF), int(x>>16&0xFF))) {
 			mask[i] = true
+			cand = append(cand, int32(i))
 		}
 	}
-	labels := make([]int32, w*h)
+	for ; j < len(data); i, j = i+1, j+3 {
+		r, g, b := int(data[j]), int(data[j+1]), int(data[j+2])
+		v := vehicleLUT[((r>>lutShift)*lutDim+(g>>lutShift))*lutDim+(b>>lutShift)]
+		if v != lutOut && (v == lutIn || isVehicleColor(r, g, b)) {
+			mask[i] = true
+			cand = append(cand, int32(i))
+		}
+	}
+	// Connected components, seeded from the sparse candidate list instead
+	// of rescanning the frame. The flood fill consumes mask entries (a
+	// pixel is cleared when pushed), so the mask doubles as the visited
+	// set and candidates swallowed by an earlier blob skip naturally.
+	// Stack entries pack coordinates as py<<16|px, trading the pop-time
+	// div/mod for one multiply.
 	var boxes []frame.Rect
-	var stack []int
-	for i := 0; i < w*h; i++ {
-		if !mask[i] || labels[i] != 0 {
+	stack := sc.stack[:0]
+	for _, c := range cand {
+		i := int(c)
+		if !mask[i] {
 			continue
 		}
-		label := int32(len(boxes) + 1)
 		box := frame.Rect{X0: w, Y0: h, X1: 0, Y1: 0}
-		stack = append(stack[:0], i)
-		labels[i] = label
+		stack = append(stack[:0], i/w<<16|i%w)
+		mask[i] = false
 		for len(stack) > 0 {
-			p := stack[len(stack)-1]
+			e := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			px, py := p%w, p/w
+			px, py := e&0xffff, e>>16
+			p := py*w + px
 			if px < box.X0 {
 				box.X0 = px
 			}
@@ -73,21 +123,26 @@ func Vehicles(f *frame.Frame) []Detection {
 			if py+1 > box.Y1 {
 				box.Y1 = py + 1
 			}
-			for _, q := range [4]int{p - 1, p + 1, p - w, p + w} {
-				if q < 0 || q >= w*h {
-					continue
-				}
-				if (q == p-1 && px == 0) || (q == p+1 && px == w-1) {
-					continue
-				}
-				if mask[q] && labels[q] == 0 {
-					labels[q] = label
-					stack = append(stack, q)
-				}
+			if px > 0 && mask[p-1] {
+				mask[p-1] = false
+				stack = append(stack, e-1)
+			}
+			if px < w-1 && mask[p+1] {
+				mask[p+1] = false
+				stack = append(stack, e+1)
+			}
+			if py > 0 && mask[p-w] {
+				mask[p-w] = false
+				stack = append(stack, e-1<<16)
+			}
+			if py < h-1 && mask[p+w] {
+				mask[p+w] = false
+				stack = append(stack, e+1<<16)
 			}
 		}
 		boxes = append(boxes, box)
 	}
+	sc.cand, sc.stack = cand, stack // keep the grown buffers for the next frame
 	var out []Detection
 	for _, box := range boxes {
 		if box.Area() < minArea {
@@ -115,22 +170,102 @@ func isVehicleColor(r, g, b int) bool {
 	return false
 }
 
+// vehicleLUT pre-classifies the color cube against the palette in
+// 8x8x8-wide cells so the per-pixel palette test is one table lookup
+// almost everywhere. Cells are tri-state: every color in the cell matches
+// some palette entry (lutIn), no color in the cell matches any (lutOut),
+// or the cell straddles a palette sphere's surface and the pixel falls
+// back to the exact distance test (lutEdge) — so the classification is
+// exactly isVehicleColor, just cheaper. 8-wide cells keep the whole table
+// at 32KB (L1-resident; 4-wide cells made a 256KB table whose random
+// per-pixel accesses missed cache) while the palette spheres (radius 48)
+// are still far coarser than a cell, so edge-cell fallbacks stay rare.
+// Built once on first use.
+const (
+	lutShift = 3
+	lutDim   = 256 >> lutShift
+)
+
+// The scan loop's shift-mask index derivation is specialized to 8-wide
+// cells; this trips at compile time if lutShift changes without it.
+var _ = [1]struct{}{}[lutShift-3]
+
+const (
+	lutOut = uint8(iota)
+	lutIn
+	lutEdge
+)
+
+var (
+	vehicleLUT [lutDim * lutDim * lutDim]uint8
+	lutOnce    sync.Once
+)
+
+func buildVehicleLUT() {
+	const cw = 1 << lutShift // cell width per channel
+	for ri := 0; ri < lutDim; ri++ {
+		for gi := 0; gi < lutDim; gi++ {
+			for bi := 0; bi < lutDim; bi++ {
+				allIn, allOut := false, true
+				for _, p := range visualroad.VehiclePalette {
+					pal := [3]int{int(p[0]), int(p[1]), int(p[2])}
+					lo3 := [3]int{ri * cw, gi * cw, bi * cw}
+					minD, maxD := 0, 0
+					for ch := 0; ch < 3; ch++ {
+						lo, hi, t := lo3[ch], lo3[ch]+cw-1, pal[ch]
+						switch {
+						case t < lo:
+							minD += (lo - t) * (lo - t)
+						case t > hi:
+							minD += (t - hi) * (t - hi)
+						}
+						dl, dh := t-lo, hi-t
+						if dl < 0 {
+							dl = -dl
+						}
+						if dh < 0 {
+							dh = -dh
+						}
+						if dl < dh {
+							dl = dh
+						}
+						maxD += dl * dl
+					}
+					if maxD < 48*48 {
+						allIn = true
+					}
+					if minD < 48*48 {
+						allOut = false
+					}
+				}
+				v := lutEdge
+				if allIn {
+					v = lutIn
+				} else if allOut {
+					v = lutOut
+				}
+				vehicleLUT[(ri*lutDim+gi)*lutDim+bi] = v
+			}
+		}
+	}
+}
+
 // dominantColor computes a coarse 3D color histogram (4 levels per
 // channel) over the box and returns the mean color of the fullest cell —
 // the vehicle body color, undiluted by windows and wheels.
 func dominantColor(f *frame.Frame, box frame.Rect) [3]float64 {
 	const levels = 4
 	var count [levels * levels * levels]int
-	var sum [levels * levels * levels][3]float64
+	var sum [levels * levels * levels][3]int
 	for y := box.Y0; y < box.Y1; y++ {
 		for x := box.X0; x < box.X1; x++ {
 			i := (y*f.Width + x) * 3
 			r, g, b := int(f.Data[i]), int(f.Data[i+1]), int(f.Data[i+2])
 			cell := (r/64)*levels*levels + (g/64)*levels + b/64
 			count[cell]++
-			sum[cell][0] += float64(r)
-			sum[cell][1] += float64(g)
-			sum[cell][2] += float64(b)
+			sum[cell][0] += r
+			sum[cell][1] += g
+			sum[cell][2] += b
 		}
 	}
 	best := 0
@@ -143,9 +278,9 @@ func dominantColor(f *frame.Frame, box frame.Rect) [3]float64 {
 		return [3]float64{}
 	}
 	return [3]float64{
-		sum[best][0] / float64(count[best]),
-		sum[best][1] / float64(count[best]),
-		sum[best][2] / float64(count[best]),
+		float64(sum[best][0]) / float64(count[best]),
+		float64(sum[best][1]) / float64(count[best]),
+		float64(sum[best][2]) / float64(count[best]),
 	}
 }
 

@@ -75,3 +75,39 @@ func TestYUVInputConverted(t *testing.T) {
 		t.Errorf("no detections through yuv conversion: %d", len(dets))
 	}
 }
+
+// TestVehicleLUTMatchesExactTest sweeps the color cube and checks that the
+// tri-state lookup table agrees with the exact palette-distance test on
+// every color: lutIn and lutOut cells must be uniformly in or out, and the
+// combined LUT-plus-fallback classification must equal isVehicleColor.
+func TestVehicleLUTMatchesExactTest(t *testing.T) {
+	lutOnce.Do(buildVehicleLUT)
+	for r := 0; r < 256; r += 1 {
+		for g := 0; g < 256; g += 3 {
+			for b := 0; b < 256; b += 5 {
+				exact := isVehicleColor(r, g, b)
+				switch vehicleLUT[((r>>lutShift)*lutDim+(g>>lutShift))*lutDim+(b>>lutShift)] {
+				case lutIn:
+					if !exact {
+						t.Fatalf("LUT says all-in but (%d,%d,%d) is not a vehicle color", r, g, b)
+					}
+				case lutOut:
+					if exact {
+						t.Fatalf("LUT says all-out but (%d,%d,%d) is a vehicle color", r, g, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkVehicles measures the detector on a busy synthetic scene — the
+// per-frame cost every ingest-time summarization pays.
+func BenchmarkVehicles(b *testing.B) {
+	frames := visualroad.Generate(visualroad.Config{Width: 240, Height: 136, FPS: 8, Seed: 11, Vehicles: 6}, 1)
+	b.SetBytes(int64(len(frames[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Vehicles(frames[0])
+	}
+}

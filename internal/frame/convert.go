@@ -144,17 +144,43 @@ func (f *Frame) rgbToPlanar(target PixelFormat, dst *Frame) *Frame {
 func (f *Frame) planarToRGB(dst *Frame) *Frame {
 	out := reshape(dst, f.Width, f.Height, RGB)
 	yp, up, vp := f.planes()
-	cw := f.Width / 2
+	w := f.Width
+	cw := w / 2
+	// The chroma contributions to R, G, and B depend only on (u, v), which
+	// 2 (422) or 4 (420) luma samples share — so each chroma row's
+	// contributions are computed once and reused across its pixels. The
+	// arithmetic per sample is exactly yuvToRGB's; output bytes are
+	// identical to the per-pixel form.
+	rc := make([]int16, cw)
+	gc := make([]int16, cw)
+	bc := make([]int16, cw)
+	lastCY := -1
 	for y := 0; y < f.Height; y++ {
 		cy := y
 		if f.Format == YUV420 {
 			cy = y / 2
 		}
-		for x := 0; x < f.Width; x++ {
-			ci := cy*cw + x/2
-			r, g, b := yuvToRGB(yp[y*f.Width+x], up[ci], vp[ci])
-			i := (y*f.Width + x) * 3
-			out.Data[i], out.Data[i+1], out.Data[i+2] = r, g, b
+		if cy != lastCY {
+			urow := up[cy*cw : cy*cw+cw]
+			vrow := vp[cy*cw : cy*cw+cw]
+			for i := range urow {
+				ui := int(urow[i]) - 128
+				vi := int(vrow[i]) - 128
+				rc[i] = int16((359 * vi) >> 8)
+				gc[i] = int16((88*ui + 183*vi) >> 8)
+				bc[i] = int16((454 * ui) >> 8)
+			}
+			lastCY = cy
+		}
+		yrow := yp[y*w : y*w+w]
+		orow := out.Data[y*w*3 : y*w*3+w*3]
+		for x := 0; x < w; x++ {
+			yi := int(yrow[x])
+			ci := x >> 1
+			i := x * 3
+			orow[i] = clampU8(yi + int(rc[ci]))
+			orow[i+1] = clampU8(yi - int(gc[ci]))
+			orow[i+2] = clampU8(yi + int(bc[ci]))
 		}
 	}
 	return out

@@ -251,6 +251,51 @@ func (c *Client) StreamingRead(ctx context.Context, name, query string) (hdr Rea
 	return hdr, next, func() { resp.Body.Close() }, nil
 }
 
+// QueryMatch is one predicate-read match off the wire: the source frame
+// index and its RGB pixel payload.
+type QueryMatch struct {
+	Index int
+	Data  []byte
+}
+
+// Query issues a predicate read (where=pred over [t0, t1); t1 <= 0
+// means the video end) and drains the stream, returning the response
+// header and the matches in frame order. Each wire chunk carries one
+// match — a 4-byte big-endian source frame index followed by one RGB
+// frame of exactly hdr.FrameBytes — so malformed chunk lengths are
+// rejected rather than mis-split.
+func (c *Client) Query(ctx context.Context, name, pred string, t0, t1 float64) (ReadHeader, []QueryMatch, error) {
+	q := url.Values{"where": {pred}}
+	if t0 != 0 {
+		q.Set("start", strconv.FormatFloat(t0, 'g', -1, 64))
+	}
+	if t1 != 0 {
+		q.Set("end", strconv.FormatFloat(t1, 'g', -1, 64))
+	}
+	hdr, next, stop, err := c.StreamingRead(ctx, name, q.Encode())
+	if err != nil {
+		return hdr, nil, err
+	}
+	defer stop()
+	var matches []QueryMatch
+	for {
+		chunk, err := next()
+		if err == io.EOF {
+			return hdr, matches, nil
+		}
+		if err != nil {
+			return hdr, nil, err
+		}
+		if len(chunk) != 4+hdr.FrameBytes {
+			return hdr, nil, fmt.Errorf("match chunk is %d bytes, want 4+%d", len(chunk), hdr.FrameBytes)
+		}
+		matches = append(matches, QueryMatch{
+			Index: int(binary.BigEndian.Uint32(chunk)),
+			Data:  chunk[4:],
+		})
+	}
+}
+
 // ReadAll issues a read and drains the whole stream, returning the raw
 // chunk payloads (GOPs for compressed reads, frame batches for raw).
 func (c *Client) ReadAll(ctx context.Context, name, query string) (ReadHeader, [][]byte, error) {

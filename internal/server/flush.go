@@ -256,6 +256,47 @@ func (cw *chunkWriter) writeFrames(frames []*frame.Frame) error {
 	return nil
 }
 
+// writeMatch frames one predicate-read match: the chunk payload is a
+// 4-byte big-endian source frame index followed by the frame's pixels
+// (matchIndexLen extra bytes per chunk vs a plain raw frame). Large
+// frames take the zero-copy path with only the index prefix buffered.
+func (cw *chunkWriter) writeMatch(index uint32, payload []byte) error {
+	var idx [matchIndexLen]byte
+	binary.BigEndian.PutUint32(idx[:], index)
+	if matchIndexLen+len(payload) >= bypassThreshold {
+		t0 := time.Now()
+		cw.appendHeader(matchIndexLen + len(payload))
+		cw.buf = append(cw.buf, idx[:]...)
+		n, err := cw.w.Write(cw.buf)
+		cw.bytesOut += int64(n)
+		cw.buf = cw.buf[:0]
+		cw.noteCommit()
+		if err != nil {
+			return err
+		}
+		n, err = cw.w.Write(payload)
+		cw.bytesOut += int64(n)
+		if err != nil {
+			return err
+		}
+		if cw.flusher != nil {
+			cw.flusher.Flush()
+		}
+		cw.flushes++
+		cw.lastFlush = time.Now()
+		cw.observeFlush(t0)
+		return nil
+	}
+	cw.appendHeader(matchIndexLen + len(payload))
+	cw.buf = append(cw.buf, idx[:]...)
+	cw.buf = append(cw.buf, payload...)
+	return cw.maybeFlush()
+}
+
+// matchIndexLen is the per-match frame-index prefix inside a predicate
+// read's chunk payload.
+const matchIndexLen = 4
+
 // finish appends the clean-EOF terminator and flushes everything left.
 func (cw *chunkWriter) finish() error {
 	cw.appendHeader(0)

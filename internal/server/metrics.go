@@ -34,6 +34,15 @@ type metrics struct {
 
 	writes      atomic.Int64
 	gopsWritten atomic.Int64
+
+	// Predicate-read (where=) counters, aggregated core.QueryStats.
+	queriesStarted      atomic.Int64
+	queriesCompleted    atomic.Int64
+	queryGOPsConsidered atomic.Int64
+	queryGOPsSkipped    atomic.Int64
+	queryGOPsDecoded    atomic.Int64
+	queryFramesScanned  atomic.Int64
+	queryFramesMatched  atomic.Int64
 }
 
 // ReadMetrics is the reads section of a metrics snapshot.
@@ -99,6 +108,27 @@ type WriteMetrics struct {
 	GOPsWritten int64 `json:"gops_written"`
 }
 
+// PredicateMetrics is the predicate-reads (where=) section of a
+// snapshot: how many GOPs the planner considered, how many the summary
+// bounds pruned without decoding, and the exact-scan outcome.
+type PredicateMetrics struct {
+	Queries   int64 `json:"queries"`
+	Completed int64 `json:"completed"`
+	// GOPsConsidered counts candidate GOPs overlapping query intervals;
+	// GOPsSkipped are those the per-GOP summary bounds pruned without a
+	// fetch or decode; GOPsDecoded actually decoded.
+	GOPsConsidered int64 `json:"gops_considered"`
+	GOPsSkipped    int64 `json:"gops_skipped"`
+	GOPsDecoded    int64 `json:"gops_decoded"`
+	// FramesScanned/FramesMatched count exact per-frame predicate
+	// evaluations and hits.
+	FramesScanned int64 `json:"frames_scanned"`
+	FramesMatched int64 `json:"frames_matched"`
+	// SkipRate is skipped/considered; Selectivity is matched/scanned.
+	SkipRate    float64 `json:"skip_rate"`
+	Selectivity float64 `json:"selectivity"`
+}
+
 // VideoMetrics is one video's row in the store section of a snapshot.
 type VideoMetrics struct {
 	Bytes int64 `json:"bytes"`
@@ -114,6 +144,7 @@ type MetricsSnapshot struct {
 	Cache     CacheMetrics     `json:"cache"`
 	Response  ResponseMetrics  `json:"response"`
 	Writes    WriteMetrics     `json:"writes"`
+	Predicate PredicateMetrics `json:"predicate"`
 	// Pipeline is the per-stage read/write pipeline latency section:
 	// count, total time, and p50/p99 per stage (admission wait, plan,
 	// fetch, decode, encode, cache admit, flush), from the store's shared

@@ -438,6 +438,10 @@ func (ro *readObs) finish() {
 
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now() // TTFB clock starts before admission queueing
+	if where := r.URL.Query().Get("where"); where != "" {
+		s.handleQuery(w, r, arrived, where)
+		return
+	}
 	name := r.PathValue("name")
 	spec, key, err := parseReadSpec(r.URL.Query(), s.cfg.DefaultCodec)
 	if err != nil {
@@ -617,6 +621,172 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// predicateExclusiveParams are the read parameters a predicate read
+// rejects: where= scans the video's original frames and returns indexed
+// RGB matches at source resolution, so transcode/resample/crop/format
+// parameters have no meaning on it — failing loudly beats silently
+// ignoring half the request.
+var predicateExclusiveParams = []string{"codec", "width", "height", "fps", "quality", "minpsnr", "roi", "format"}
+
+// handleQuery serves a predicate read (GET /videos/{name}/read?where=P):
+// the wire framing matches a raw read except each chunk's payload is a
+// 4-byte big-endian source frame index followed by one RGB frame (see
+// docs/WIRE.md). Predicate responses are never response-cached — like
+// raw reads, holding decoded frames is what streaming avoids.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, arrived time.Time, where string) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	for _, k := range predicateExclusiveParams {
+		if q.Get(k) != "" {
+			http.Error(w, fmt.Sprintf("where= cannot be combined with %s=", k), http.StatusBadRequest)
+			return
+		}
+	}
+	pred, err := vss.ParsePredicate(where)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var t0, t1 float64
+	for _, p := range []struct {
+		k   string
+		dst *float64
+	}{{"start", &t0}, {"end", &t1}} {
+		if v := q.Get(p.k); v != "" {
+			*p.dst, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s: %v", p.k, err), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	key := fmt.Sprintf("where=%s,s=%g,e=%g", pred, t0, t1)
+
+	tr := obs.StartTrace(r.Header.Get(obs.TraceHeader), "query")
+	w.Header().Set(obs.TraceHeader, tr.ID())
+	ctx := obs.WithTrace(r.Context(), tr)
+	ro := &readObs{s: s, tr: tr, video: name, detail: key}
+	defer ro.finish()
+
+	// Predicate reads ride the same admission controller as plain reads:
+	// both decode GOPs on the shared worker pool, so both count against
+	// the in-flight bound.
+	admStart := time.Now()
+	release, err := s.adm.acquire(ctx, clientKey(r))
+	obs.Observe(ctx, s.pipe, obs.StageAdmission, time.Since(admStart))
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull), errors.Is(err, errPerClientLimit):
+			s.m.admissionRejected.Add(1)
+			ro.status = http.StatusTooManyRequests
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default: // client disconnected while queued
+			s.m.admissionAborted.Add(1)
+			ro.status = statusClientGone
+		}
+		return
+	}
+	defer release()
+	s.m.queriesStarted.Add(1)
+
+	st, err := s.sys.ReadStreamWhere(ctx, name, pred, t0, t1)
+	if err != nil {
+		if !clientFault(err) {
+			s.m.readErrors.Add(1)
+		}
+		ro.status = statusFor(err)
+		httpError(w, err)
+		return
+	}
+	defer st.Close()
+
+	frameBytes := vss.RGB.Size(st.Width, st.Height)
+	if int64(frameBytes)+matchIndexLen > maxChunkBytes {
+		ro.status = http.StatusBadRequest
+		http.Error(w, "frame size exceeds the wire chunk limit", http.StatusBadRequest)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-VSS-Width", strconv.Itoa(st.Width))
+	h.Set("X-VSS-Height", strconv.Itoa(st.Height))
+	h.Set("X-VSS-FPS", strconv.Itoa(st.FPS))
+	h.Set("X-VSS-Codec", "raw")
+	h.Set("X-VSS-Format", vss.RGB.String())
+	h.Set("X-VSS-Frame-Bytes", strconv.Itoa(frameBytes))
+	// Echo the canonical predicate so clients see exactly what was
+	// evaluated (ParsePredicate(canonical) reproduces it).
+	h.Set("X-VSS-Predicate", pred.String())
+
+	flusher, _ := w.(http.Flusher)
+	cw := s.bufs.get()
+	cw.reset(w, flusher, func() {
+		ro.ttfb = time.Since(arrived)
+		s.m.ttfb.Observe(ro.ttfb)
+	})
+	cw.instrument(s.pipe, tr)
+	defer func() {
+		ro.bytes = cw.bytesOut
+		s.m.bytesSent.Add(cw.bytesOut)
+		s.m.flushes.Add(cw.flushes)
+		s.m.flushCoalesced.Add(cw.coalesced)
+		s.bufs.put(cw)
+	}()
+
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			switch {
+			case r.Context().Err() != nil:
+				s.m.readsCancelled.Add(1)
+				ro.status = statusClientGone
+			case !cw.committed:
+				cw.abort()
+				s.m.readErrors.Add(1)
+				ro.status = statusFor(err)
+				httpError(w, err)
+			default:
+				s.m.readErrors.Add(1)
+				ro.status = statusFor(err)
+			}
+			s.noteQueryStats(st)
+			return
+		}
+		for _, m := range batch.Matches {
+			if err := cw.writeMatch(uint32(m.Index), m.Frame.Data); err != nil {
+				s.m.readsCancelled.Add(1)
+				ro.status = statusClientGone
+				s.noteQueryStats(st)
+				return
+			}
+		}
+	}
+	if err := cw.finish(); err != nil { // clean-EOF terminator
+		s.m.readsCancelled.Add(1)
+		ro.status = statusClientGone
+		s.noteQueryStats(st)
+		return
+	}
+	s.m.queriesCompleted.Add(1)
+	s.noteQueryStats(st)
+}
+
+// noteQueryStats folds one predicate read's QueryStats into the server
+// counters (planning counters are valid even on error paths).
+func (s *Server) noteQueryStats(st *vss.QueryStream) {
+	qs := st.Stats()
+	s.m.queryGOPsConsidered.Add(int64(qs.GOPsConsidered))
+	s.m.queryGOPsSkipped.Add(int64(qs.GOPsSkipped))
+	s.m.queryGOPsDecoded.Add(int64(qs.GOPsDecoded))
+	s.m.queryFramesScanned.Add(int64(qs.FramesScanned))
+	s.m.queryFramesMatched.Add(int64(qs.FramesMatched))
+	s.m.gopsDecoded.Add(int64(qs.GOPsDecoded))
+	s.m.bytesRead.Add(qs.BytesRead)
+}
+
 // replayCached serves a hot response from the LRU without touching the
 // store. It rides the same coalescing chunkWriter as live reads — the
 // hot path benefits most, since nothing throttles it but the wire — and
@@ -741,6 +911,15 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			Writes:      s.m.writes.Load(),
 			GOPsWritten: s.m.gopsWritten.Load(),
 		},
+		Predicate: PredicateMetrics{
+			Queries:        s.m.queriesStarted.Load(),
+			Completed:      s.m.queriesCompleted.Load(),
+			GOPsConsidered: s.m.queryGOPsConsidered.Load(),
+			GOPsSkipped:    s.m.queryGOPsSkipped.Load(),
+			GOPsDecoded:    s.m.queryGOPsDecoded.Load(),
+			FramesScanned:  s.m.queryFramesScanned.Load(),
+			FramesMatched:  s.m.queryFramesMatched.Load(),
+		},
 		Pipeline: s.pipe.Snapshot(),
 		Videos:   make(map[string]VideoMetrics),
 		Storage:  s.sys.BackendStats(),
@@ -770,6 +949,12 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	}
 	if t := snap.Response.PoolHits + snap.Response.PoolMisses; t > 0 {
 		snap.Response.PoolHitRate = float64(snap.Response.PoolHits) / float64(t)
+	}
+	if snap.Predicate.GOPsConsidered > 0 {
+		snap.Predicate.SkipRate = float64(snap.Predicate.GOPsSkipped) / float64(snap.Predicate.GOPsConsidered)
+	}
+	if snap.Predicate.FramesScanned > 0 {
+		snap.Predicate.Selectivity = float64(snap.Predicate.FramesMatched) / float64(snap.Predicate.FramesScanned)
 	}
 	for _, name := range s.sys.Videos() {
 		total, err := s.sys.TotalBytes(name)

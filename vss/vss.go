@@ -234,6 +234,49 @@ type ReadStream = core.ReadStream
 // reads) or one encoded GOP (compressed reads).
 type ReadBatch = core.ReadBatch
 
+// Predicate is a content predicate over frames — motion energy,
+// detection count, and dominant-color terms combined with and/or. Build
+// one with ParsePredicate; see System.ReadWhere.
+type Predicate = core.Predicate
+
+// FrameInfo is the per-frame content record predicates evaluate against;
+// Detection is one detected vehicle within a frame.
+type (
+	FrameInfo = core.FrameInfo
+	Detection = core.Detection
+)
+
+// GOPSummary is the per-GOP feature summary persisted at ingest; the
+// predicate planner prunes GOPs whose summary bounds prove a predicate
+// false without fetching or decoding them.
+type GOPSummary = core.GOPSummary
+
+// Match, QueryResult, QueryStats, QueryStream, and QueryBatch carry
+// predicate-read results; see System.ReadWhere and System.ReadStreamWhere.
+type (
+	Match       = core.Match
+	QueryResult = core.QueryResult
+	QueryStats  = core.QueryStats
+	QueryStream = core.QueryStream
+	QueryBatch  = core.QueryBatch
+)
+
+// ParsePredicate parses the predicate language ("motion > 2 and count
+// >= 1", "color ~ 200,40,40 < 60", ...); see the core package for the
+// grammar. For every predicate p it returns, ParsePredicate(p.String())
+// reproduces p — the round-trip the wire protocol relies on.
+func ParsePredicate(s string) (Predicate, error) { return core.ParsePredicate(s) }
+
+// AnalyzeFrames computes per-frame content records from decoded RGB-
+// convertible frames — the same deterministic analysis ingest-time
+// summarization and query-time predicate evaluation use, so filtering a
+// full read with it reproduces ReadWhere's decisions exactly.
+func AnalyzeFrames(frames []*Frame) []FrameInfo { return core.AnalyzeFrames(frames) }
+
+// FrameWindow maps [t0, t1) to the half-open source frame index range
+// predicate reads scan at the given frame rate.
+func FrameWindow(fps int, t0, t1 float64) (int, int) { return core.FrameWindow(fps, t0, t1) }
+
 // Writer is a streaming write handle; whole GOPs become readable as they
 // are appended (non-blocking writes, prefix reads). A Writer must be
 // confined to one goroutine, and frames passed to Append are borrowed by
@@ -434,6 +477,23 @@ func (s *System) ReadContext(ctx context.Context, name string, spec ReadSpec) (*
 // client stops consuming CPU.
 func (s *System) ReadStream(ctx context.Context, name string, spec ReadSpec) (*ReadStream, error) {
 	return s.store.ReadStream(ctx, name, spec)
+}
+
+// ReadWhere scans [t0, t1) of a video's original frames (t1 <= 0 means
+// the end) and returns those matching pred, consulting the temporal
+// index and the per-GOP summaries so GOPs that provably cannot match are
+// never fetched or decoded. Matches carry RGB frames at source
+// resolution, byte-identical to a full raw RGB read filtered with
+// AnalyzeFrames. Safe for concurrent use.
+func (s *System) ReadWhere(ctx context.Context, name string, pred Predicate, t0, t1 float64) (*QueryResult, error) {
+	return s.store.ReadWhereContext(ctx, name, pred, t0, t1)
+}
+
+// ReadStreamWhere is ReadWhere with streaming delivery: Next yields the
+// matches of one decoded GOP at a time while later candidates prefetch
+// and decode ahead. Drain to io.EOF or Close the stream.
+func (s *System) ReadStreamWhere(ctx context.Context, name string, pred Predicate, t0, t1 float64) (*QueryStream, error) {
+	return s.store.ReadStreamWhere(ctx, name, pred, t0, t1)
 }
 
 // DeferredLevel reports the deferred-compression level the maintenance
